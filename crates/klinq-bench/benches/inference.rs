@@ -1,0 +1,48 @@
+//! Inference-latency benchmarks: student vs teacher vs FPGA datapath.
+//!
+//! The paper's hardware point is that the distilled students are small
+//! enough for a 32 ns FPGA pipeline. In software the same effect shows up
+//! as orders-of-magnitude lower inference cost than the teacher; these
+//! benchmarks quantify that, plus the cost of the bit-accurate Q16.16
+//! datapath model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klinq_core::experiments::ExperimentConfig;
+use klinq_core::KlinqSystem;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let system = KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system");
+    let shot = system.test_data().shot(0).clone();
+
+    let mut group = c.benchmark_group("inference");
+    // FNN-A student (qubit 1) — float path.
+    group.bench_function("student_fnn_a_float", |b| {
+        let d = system.discriminator(0);
+        let t = &shot.traces[0];
+        b.iter(|| black_box(d.measure(black_box(&t.i), black_box(&t.q))));
+    });
+    // FNN-B student (qubit 2) — float path.
+    group.bench_function("student_fnn_b_float", |b| {
+        let d = system.discriminator(1);
+        let t = &shot.traces[1];
+        b.iter(|| black_box(d.measure(black_box(&t.i), black_box(&t.q))));
+    });
+    // FNN-A student — bit-accurate FPGA datapath model.
+    group.bench_function("student_fnn_a_hw_model", |b| {
+        let d = system.discriminator(0);
+        let t = &shot.traces[0];
+        b.iter(|| black_box(d.measure_hw(black_box(&t.i), black_box(&t.q))));
+    });
+    // Teacher (Baseline FNN) forward pass on a pre-normalized raw trace.
+    group.bench_function("teacher_raw_trace", |b| {
+        let teacher = &system.teachers()[0];
+        let mut row = shot.traces[0].flatten();
+        teacher.normalizer().apply_in_place(&mut row);
+        b.iter(|| black_box(teacher.net().logit(black_box(&row))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Kernel micro-benchmarks: fixed-point MACs, matched filter, averaging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klinq_dsp::{IntervalAverager, MatchedFilter};
+use klinq_fixed::{dot, Q16_16};
+use std::hint::black_box;
+
+fn deterministic_trace(len: usize, seed: u32) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((s >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_fixed_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_dot");
+    for n in [31, 201, 1000] {
+        let a: Vec<Q16_16> = deterministic_trace(n, 1)
+            .iter()
+            .map(|&v| Q16_16::from_f32(v))
+            .collect();
+        let b: Vec<Q16_16> = deterministic_trace(n, 2)
+            .iter()
+            .map(|&v| Q16_16::from_f32(v))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(dot(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matched_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matched_filter");
+    for n in [250, 500] {
+        let ground: Vec<Vec<f32>> = (0..64).map(|k| deterministic_trace(n, 100 + k)).collect();
+        let excited: Vec<Vec<f32>> = (0..64)
+            .map(|k| {
+                deterministic_trace(n, 200 + k)
+                    .iter()
+                    .map(|v| v - 1.0)
+                    .collect()
+            })
+            .collect();
+        let g: Vec<&[f32]> = ground.iter().map(|t| t.as_slice()).collect();
+        let e: Vec<&[f32]> = excited.iter().map(|t| t.as_slice()).collect();
+        let mf = MatchedFilter::train(&g, &e).expect("filter trains");
+        let trace = deterministic_trace(n, 7);
+        group.bench_with_input(BenchmarkId::new("apply", n), &n, |bench, _| {
+            bench.iter(|| black_box(mf.apply(black_box(&trace))));
+        });
+        group.bench_with_input(BenchmarkId::new("train", n), &n, |bench, _| {
+            bench.iter(|| black_box(MatchedFilter::train(black_box(&g), black_box(&e)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_averaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("averaging");
+    let trace = deterministic_trace(500, 3);
+    for (name, avg) in [
+        ("fnn_a_15", IntervalAverager::fnn_a()),
+        ("fnn_b_100", IntervalAverager::fnn_b()),
+    ] {
+        let mut out = vec![0.0f32; avg.outputs()];
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                avg.average_into(black_box(&trace), black_box(&mut out));
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_dot, bench_matched_filter, bench_averaging);
+criterion_main!(benches);

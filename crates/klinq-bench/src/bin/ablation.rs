@@ -1,0 +1,17 @@
+//! Runs the distillation ablation: α/temperature sweep vs pure-supervised
+//! students (an analysis beyond the paper's tables, supporting its core
+//! claim).
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::ablation;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[ablation] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let a = ablation::run(&config).expect("ablation experiment");
+    eprintln!("[ablation] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{a}");
+    args.maybe_write_json(&a);
+}

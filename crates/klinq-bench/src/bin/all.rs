@@ -1,0 +1,43 @@
+//! Runs the whole evaluation: trains one system and regenerates every
+//! table and figure from it (sharing the expensive teacher training).
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::{fig4, fig5, table1, table2, table3};
+use klinq_core::KlinqSystem;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[all] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let system = KlinqSystem::train(&config).expect("system training");
+    eprintln!("[all] system trained in {:.1}s", start.elapsed().as_secs_f32());
+
+    let t1 = table1::run_with_system(&system, &config).expect("table1");
+    println!("===== Table I =====\n{t1}\n");
+    let t2 = table2::run_with_system(&system);
+    println!("===== Table II =====\n{t2}\n");
+    let f4 = fig4::run_with_system(&system, &config).expect("fig4");
+    println!("===== Fig. 4 =====\n{f4}\n");
+    let f5 = fig5::run();
+    println!("===== Fig. 5 =====\n{f5}\n");
+    let t3 = table3::run_with_system(&system);
+    println!("===== Table III =====\n{t3}");
+    eprintln!("[all] total {:.1}s", start.elapsed().as_secs_f32());
+
+    #[derive(serde::Serialize)]
+    struct All {
+        table1: klinq_core::experiments::table1::Table1,
+        table2: klinq_core::experiments::table2::Table2,
+        fig4: klinq_core::experiments::fig4::Fig4,
+        fig5: klinq_core::experiments::fig5::Fig5,
+        table3: klinq_core::experiments::table3::Table3,
+    }
+    args.maybe_write_json(&All {
+        table1: t1,
+        table2: t2,
+        fig4: f4,
+        fig5: f5,
+        table3: t3,
+    });
+}

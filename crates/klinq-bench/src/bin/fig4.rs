@@ -1,0 +1,15 @@
+//! Regenerates Fig. 4: accuracy vs duration, KLiNQ vs HERQULES.
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::fig4;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[fig4] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let fig = fig4::run(&config).expect("fig4 experiment");
+    eprintln!("[fig4] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{fig}");
+    args.maybe_write_json(&fig);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5: parameter counts and compression rate (static).
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::fig5;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let fig = fig5::run();
+    println!("{fig}");
+    args.maybe_write_json(&fig);
+}

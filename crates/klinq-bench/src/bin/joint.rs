@@ -1,0 +1,16 @@
+//! Runs the joint-vs-independent readout comparison (the paper's Table I
+//! footnotes and Discussion, quantified on the simulator).
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::joint_readout;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[joint] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let cmp = joint_readout::run(&config).expect("joint experiment");
+    eprintln!("[joint] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{cmp}");
+    args.maybe_write_json(&cmp);
+}

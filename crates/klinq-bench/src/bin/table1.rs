@@ -1,0 +1,15 @@
+//! Regenerates Table I: readout-fidelity comparison (independent readout).
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::table1;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[table1] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let table = table1::run(&config).expect("table1 experiment");
+    eprintln!("[table1] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{table}");
+    args.maybe_write_json(&table);
+}

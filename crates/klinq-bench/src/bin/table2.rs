@@ -1,0 +1,15 @@
+//! Regenerates Table II: KLiNQ fidelity vs readout-trace duration.
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::table2;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[table2] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let table = table2::run(&config).expect("table2 experiment");
+    eprintln!("[table2] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{table}");
+    args.maybe_write_json(&table);
+}

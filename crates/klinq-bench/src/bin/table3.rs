@@ -1,0 +1,15 @@
+//! Regenerates Table III: FPGA resources and latency per component.
+
+use klinq_bench::CliArgs;
+use klinq_core::experiments::table3;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.config();
+    eprintln!("[table3] training at scale '{}' …", args.scale_name);
+    let start = std::time::Instant::now();
+    let table = table3::run(&config).expect("table3 experiment");
+    eprintln!("[table3] done in {:.1}s", start.elapsed().as_secs_f32());
+    println!("{table}");
+    args.maybe_write_json(&table);
+}

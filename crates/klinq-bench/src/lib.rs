@@ -1,0 +1,138 @@
+//! Benchmark harness for the KLiNQ reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! - **Table/figure regeneration binaries** (`src/bin/table1` …
+//!   `src/bin/table3`, `src/bin/fig4`, `src/bin/fig5`, and `src/bin/all`):
+//!   train the systems and print the paper's tables side by side with the
+//!   measured values. Each accepts a scale argument
+//!   (`--scale smoke|quick|full`, default `quick`) and an optional
+//!   `--json <path>` to dump the structured results.
+//! - **Criterion micro-benchmarks** (`benches/`): inference latency of the
+//!   student vs teacher vs bit-accurate FPGA datapath, feature-pipeline
+//!   throughput, and fixed-point kernel costs.
+
+use klinq_core::experiments::ExperimentConfig;
+
+/// Parses the common `--scale` / `--json` CLI arguments of the
+/// regeneration binaries.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_bench::CliArgs;
+/// let args = CliArgs::parse(["--scale", "smoke"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.scale_name, "smoke");
+/// assert!(args.json_path.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// The chosen scale name (`smoke`, `quick` or `full`).
+    pub scale_name: String,
+    /// Optional JSON output path.
+    pub json_path: Option<String>,
+}
+
+impl CliArgs {
+    /// Parses an argument iterator (excluding the program name).
+    ///
+    /// Unknown arguments abort with an explanatory message.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Self {
+        let mut scale_name = "quick".to_string();
+        let mut json_path = None;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    scale_name = args.next().unwrap_or_else(|| {
+                        eprintln!("--scale requires a value: smoke | quick | full");
+                        std::process::exit(2);
+                    });
+                }
+                "--json" => {
+                    json_path = Some(args.next().unwrap_or_else(|| {
+                        eprintln!("--json requires a path");
+                        std::process::exit(2);
+                    }));
+                }
+                "--help" | "-h" => {
+                    println!("usage: [--scale smoke|quick|full] [--json <path>]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self {
+            scale_name,
+            json_path,
+        }
+    }
+
+    /// Reads the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The [`ExperimentConfig`] for the chosen scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale name is unknown.
+    pub fn config(&self) -> ExperimentConfig {
+        match self.scale_name.as_str() {
+            "smoke" => ExperimentConfig::smoke(),
+            "quick" => ExperimentConfig::quick(),
+            "full" => ExperimentConfig::full(),
+            other => panic!("unknown scale '{other}', expected smoke | quick | full"),
+        }
+    }
+
+    /// Writes `value` as pretty JSON to the `--json` path, if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization or the write fails (regeneration binaries
+    /// want loud failures).
+    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json_path {
+            let json = serde_json::to_string_pretty(value).expect("results serialize");
+            std::fs::write(path, json).expect("write results JSON");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliArgs {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_quick() {
+        let a = parse(&[]);
+        assert_eq!(a.scale_name, "quick");
+        assert_eq!(a.config(), ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn parses_scale_and_json() {
+        let a = parse(&["--scale", "full", "--json", "/tmp/out.json"]);
+        assert_eq!(a.config(), ExperimentConfig::full());
+        assert_eq!(a.json_path.as_deref(), Some("/tmp/out.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_panics_on_config() {
+        let a = CliArgs {
+            scale_name: "huge".into(),
+            json_path: None,
+        };
+        let _ = a.config();
+    }
+}

@@ -1,0 +1,217 @@
+//! HERQULES-style baseline: matched-filter feature banks + compact FNN.
+//!
+//! HERQULES (Maurya et al., ISCA'23) improves on raw-trace FNNs by feeding
+//! hardware-efficient matched-filter outputs into a small network. For the
+//! paper's Table I the authors re-implement it for *independent* per-qubit
+//! readout, where it loses its cross-qubit features and falls behind KLiNQ
+//! by about a percent. This module reproduces that adapted baseline:
+//! per-qubit time-windowed matched-filter outputs (I and Q), normalized,
+//! into a 16/8 FNN.
+
+use crate::error::KlinqError;
+use crate::eval::assignment_fidelity;
+use klinq_dsp::{IqMatchedFilter, VecNormalizer};
+use klinq_nn::train::{train_supervised, Dataset, TrainConfig, TrainReport};
+use klinq_nn::{Activation, Fnn, FnnBuilder};
+use klinq_sim::ReadoutDataset;
+use serde::{Deserialize, Serialize};
+
+/// HERQULES baseline hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HerqulesConfig {
+    /// Matched-filter windows per quadrature (feature count is
+    /// `2 × windows`).
+    pub windows: usize,
+    /// Network training settings.
+    pub train: TrainConfig,
+    /// Weight-init seed.
+    pub init_seed: u64,
+}
+
+impl Default for HerqulesConfig {
+    fn default() -> Self {
+        Self {
+            windows: 8,
+            train: TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainConfig::default()
+            },
+            init_seed: 23,
+        }
+    }
+}
+
+/// A trained per-qubit HERQULES discriminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HerqulesDiscriminator {
+    qubit: usize,
+    windows: usize,
+    filter: IqMatchedFilter,
+    normalizer: VecNormalizer,
+    net: Fnn,
+    report: TrainReport,
+}
+
+impl HerqulesDiscriminator {
+    /// Trains the baseline for qubit `qb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if filter training or dataset assembly
+    /// fails.
+    pub fn train(
+        config: &HerqulesConfig,
+        data: &ReadoutDataset,
+        qb: usize,
+    ) -> Result<Self, KlinqError> {
+        Self::train_at(config, data, qb, data.samples())
+    }
+
+    /// Trains for a shortened readout duration (first `samples` of each
+    /// trace), for the duration-sweep comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if filter training or dataset assembly
+    /// fails.
+    pub fn train_at(
+        config: &HerqulesConfig,
+        data: &ReadoutDataset,
+        qb: usize,
+        samples: usize,
+    ) -> Result<Self, KlinqError> {
+        let samples = samples.min(data.samples());
+        let (ground, excited) = data.class_split(qb);
+        let ground = crate::distill::truncate_pairs(ground, samples);
+        let excited = crate::distill::truncate_pairs(excited, samples);
+        let filter = IqMatchedFilter::train(&ground, &excited)
+            .map_err(klinq_dsp::feature::FitPipelineError::from)?;
+        let raw_rows: Vec<Vec<f32>> = data
+            .qubit_pairs(qb)
+            .iter()
+            .map(|&(i, q)| {
+                filter
+                    .apply_windowed(&i[..samples], &q[..samples], config.windows)
+                    .into_iter()
+                    .map(|v| v as f32)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = raw_rows.iter().map(|r| r.as_slice()).collect();
+        let normalizer =
+            VecNormalizer::fit(&refs).map_err(klinq_dsp::feature::FitPipelineError::from)?;
+        let rows: Vec<Vec<f32>> = raw_rows.iter().map(|r| normalizer.apply(r)).collect();
+        let dataset = Dataset::from_rows(&rows, &data.qubit_labels(qb))?;
+        let mut net = FnnBuilder::new(2 * config.windows)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .seed(config.init_seed + qb as u64)
+            .build();
+        let report = train_supervised(&mut net, &dataset, &config.train);
+        Ok(Self {
+            qubit: qb,
+            windows: config.windows,
+            filter,
+            normalizer,
+            net,
+            report,
+        })
+    }
+
+    /// Which qubit this discriminator reads.
+    pub fn qubit(&self) -> usize {
+        self.qubit
+    }
+
+    /// Parameter count of the compact network.
+    pub fn num_params(&self) -> usize {
+        self.net.num_params()
+    }
+
+    /// Training summary.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Reads the qubit from a raw trace (prefix-tolerant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace prefix cannot fill the feature windows.
+    pub fn measure(&self, i: &[f32], q: &[f32]) -> bool {
+        let raw: Vec<f32> = self
+            .filter
+            .apply_windowed_prefix(i, q, self.windows)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        self.net.predict(&self.normalizer.apply(&raw))
+    }
+
+    /// Assignment fidelity over the first `samples` of each trace.
+    pub fn fidelity_at(&self, data: &ReadoutDataset, samples: usize) -> f64 {
+        let labels = data.qubit_labels(self.qubit);
+        let preds: Vec<bool> = data
+            .qubit_pairs(self.qubit)
+            .iter()
+            .map(|&(i, q)| self.measure(&i[..samples.min(i.len())], &q[..samples.min(q.len())]))
+            .collect();
+        assignment_fidelity(&preds, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klinq_sim::{FiveQubitDevice, SimConfig};
+
+    fn data(shots: usize, seed: u64) -> ReadoutDataset {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::with_duration_ns(300.0);
+        ReadoutDataset::generate(&device, &config, shots, seed)
+    }
+
+    #[test]
+    fn herqules_learns_easy_qubits() {
+        let train = data(320, 1);
+        let test = data(320, 2);
+        // The default config is tuned for thousands of shots; crank the
+        // step count for the tiny smoke dataset.
+        let cfg = HerqulesConfig {
+            train: klinq_nn::train::TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                ..klinq_nn::train::TrainConfig::default()
+            },
+            ..HerqulesConfig::default()
+        };
+        let h = HerqulesDiscriminator::train(&cfg, &train, 0).unwrap();
+        assert_eq!(h.qubit(), 0);
+        let f = h.fidelity_at(&test, test.samples());
+        // Smoke scale (320 shots, 300 ns): well above chance is all we
+        // pin here; the quick-scale Table I run is where HERQULES shows
+        // its paper-level fidelity.
+        assert!(f > 0.68, "HERQULES fidelity {f}");
+        assert!(h.report().final_train_accuracy > 0.70);
+    }
+
+    #[test]
+    fn network_is_compact() {
+        let train = data(128, 3);
+        let h = HerqulesDiscriminator::train(&HerqulesConfig::default(), &train, 0).unwrap();
+        // 16 features → 16 → 8 → 1.
+        assert_eq!(h.num_params(), 16 * 16 + 16 + 16 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn truncated_evaluation_works() {
+        let train = data(320, 5);
+        let h = HerqulesDiscriminator::train(&HerqulesConfig::default(), &train, 0).unwrap();
+        let f_short = h.fidelity_at(&train, train.samples() / 2);
+        assert!(f_short > 0.6, "{f_short}");
+    }
+}

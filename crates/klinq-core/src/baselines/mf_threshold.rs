@@ -1,0 +1,100 @@
+//! Classical matched-filter + threshold discriminator.
+//!
+//! The pre-neural-network standard (Ryan et al. \[7\]): apply the trained
+//! envelope, compare the scalar against the midpoint of the class means.
+//! KLiNQ and every learned baseline should beat this floor — it is also
+//! the statistic the simulator calibration predicts, making it the
+//! natural cross-check between `klinq-sim` and this crate.
+
+use crate::error::KlinqError;
+use crate::eval::assignment_fidelity;
+use klinq_dsp::IqMatchedFilter;
+use klinq_sim::ReadoutDataset;
+
+/// A trained matched-filter threshold discriminator for one qubit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfThreshold {
+    qubit: usize,
+    filter: IqMatchedFilter,
+    threshold: f64,
+    excited_is_high: bool,
+}
+
+impl MfThreshold {
+    /// Trains the envelope and threshold from labelled data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if either class is empty or traces are
+    /// ragged.
+    pub fn train(data: &ReadoutDataset, qb: usize) -> Result<Self, KlinqError> {
+        let (ground, excited) = data.class_split(qb);
+        let filter = IqMatchedFilter::train(&ground, &excited)
+            .map_err(klinq_dsp::feature::FitPipelineError::from)?;
+        let mean = |set: &[(&[f32], &[f32])]| -> f64 {
+            set.iter().map(|&(i, q)| filter.apply(i, q)).sum::<f64>() / set.len() as f64
+        };
+        let mean_g = mean(&ground);
+        let mean_e = mean(&excited);
+        Ok(Self {
+            qubit: qb,
+            filter,
+            threshold: 0.5 * (mean_g + mean_e),
+            excited_is_high: mean_e > mean_g,
+        })
+    }
+
+    /// Which qubit this discriminator reads.
+    pub fn qubit(&self) -> usize {
+        self.qubit
+    }
+
+    /// Classifies one trace (prefix-tolerant).
+    pub fn measure(&self, i: &[f32], q: &[f32]) -> bool {
+        let s = self.filter.apply_prefix(i, q);
+        (s > self.threshold) == self.excited_is_high
+    }
+
+    /// Assignment fidelity over the first `samples` of each trace.
+    pub fn fidelity_at(&self, data: &ReadoutDataset, samples: usize) -> f64 {
+        let labels = data.qubit_labels(self.qubit);
+        let preds: Vec<bool> = data
+            .qubit_pairs(self.qubit)
+            .iter()
+            .map(|&(i, q)| self.measure(&i[..samples.min(i.len())], &q[..samples.min(q.len())]))
+            .collect();
+        assignment_fidelity(&preds, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klinq_sim::{FiveQubitDevice, SimConfig};
+
+    #[test]
+    fn threshold_discriminates_all_qubits_above_chance() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::with_duration_ns(400.0);
+        let train = ReadoutDataset::generate(&device, &config, 512, 1);
+        let test = ReadoutDataset::generate(&device, &config, 512, 2);
+        for qb in 0..5 {
+            let mf = MfThreshold::train(&train, qb).unwrap();
+            assert_eq!(mf.qubit(), qb);
+            let f = mf.fidelity_at(&test, test.samples());
+            assert!(f > 0.6, "qubit {}: {f}", qb + 1);
+        }
+    }
+
+    #[test]
+    fn truncation_degrades_gracefully() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::default();
+        let train = ReadoutDataset::generate(&device, &config, 512, 3);
+        let mf = MfThreshold::train(&train, 0).unwrap();
+        let full = mf.fidelity_at(&train, 500);
+        let half = mf.fidelity_at(&train, 250);
+        assert!(full > 0.9, "{full}");
+        assert!(half > 0.75, "{half}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Comparator systems from the paper's evaluation.
+//!
+//! - **Baseline FNN** (Lienhard et al. \[3\]): the large raw-trace FNN. Its
+//!   per-qubit incarnation is architecturally identical to the KLiNQ
+//!   teacher, so [`crate::teacher::Teacher`] plays this role directly and
+//!   no separate implementation is needed.
+//! - **HERQULES** (Maurya et al., ISCA'23): per-qubit matched-filter
+//!   feature banks feeding a compact FNN ([`herqules`]), adapted to the
+//!   independent-readout scenario exactly as the paper does for its
+//!   comparison.
+//! - **Quantized FNN** (Gautam et al. \[10\]): post-training quantization of
+//!   the baseline network without distillation ([`quantized`]) — the
+//!   "sacrifices accuracy" comparison point.
+//! - **Matched filter + threshold** ([`mf_threshold`]): the classical
+//!   discriminator, used as a sanity floor and for simulator calibration
+//!   checks.
+
+pub mod herqules;
+pub mod mf_threshold;
+pub mod quantized;
+
+pub use herqules::{HerqulesConfig, HerqulesDiscriminator};
+pub use mf_threshold::MfThreshold;
+pub use quantized::quantize_network;

@@ -1,0 +1,159 @@
+//! Post-training quantization baseline (Gautam et al. \[10\]).
+//!
+//! Reference \[10\] shrinks the baseline FNN by quantizing it for an FPGA
+//! accelerator *without* distillation; the paper notes it "sacrifices
+//! accuracy and fails to support mid-circuit measurements". This module
+//! provides the accuracy half of that comparison: symmetric per-layer
+//! fake-quantization of trained weights to a given bit width, so the
+//! degradation of a quantized-but-not-distilled model can be measured
+//! against KLiNQ at matched storage budgets.
+
+use klinq_nn::{Dense, Fnn, Matrix};
+
+/// Quantizes every weight and bias of `net` to `bits`-bit symmetric
+/// integers (per-layer max-abs scaling), returning the degraded network.
+///
+/// This is "fake quantization": values are snapped to the quantized grid
+/// but kept as `f32`, which is exactly what the accuracy comparison
+/// needs.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `2..=16`.
+pub fn quantize_network(net: &Fnn, bits: u32) -> Fnn {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+    let levels = (1i64 << (bits - 1)) - 1; // symmetric signed range
+    let layers = net
+        .layers()
+        .iter()
+        .map(|layer| {
+            let max_abs = layer
+                .weights()
+                .data()
+                .iter()
+                .chain(layer.bias().iter())
+                .fold(0.0f32, |m, &w| m.max(w.abs()));
+            if max_abs == 0.0 {
+                return layer.clone();
+            }
+            let scale = max_abs / levels as f32;
+            let snap = |w: f32| (w / scale).round() * scale;
+            let w = Matrix::from_vec(
+                layer.weights().rows(),
+                layer.weights().cols(),
+                layer.weights().data().iter().map(|&w| snap(w)).collect(),
+            );
+            let b = layer.bias().iter().map(|&v| snap(v)).collect();
+            Dense::from_parts(w, b, layer.activation())
+        })
+        .collect();
+    Fnn::from_layers(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klinq_nn::train::{train_supervised, Dataset, TrainConfig};
+    use klinq_nn::{Activation, FnnBuilder};
+
+    fn trained_classifier() -> (Fnn, Dataset) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..128 {
+            let jit = ((k * 29 % 13) as f32 - 6.0) * 0.08;
+            rows.push(vec![1.0 + jit, 0.8 - jit]);
+            labels.push(1.0);
+            rows.push(vec![-1.0 - jit, -0.8 + jit]);
+            labels.push(0.0);
+        }
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let mut net = FnnBuilder::new(2)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .seed(4)
+            .build();
+        train_supervised(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 60,
+                batch_size: 32,
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
+        );
+        (net, data)
+    }
+
+    #[test]
+    fn high_bit_quantization_preserves_accuracy() {
+        let (net, data) = trained_classifier();
+        let q = quantize_network(&net, 12);
+        let base = klinq_nn::train::evaluate_accuracy(&net, &data);
+        let quant = klinq_nn::train::evaluate_accuracy(&q, &data);
+        assert!((base - quant).abs() < 0.02, "{base} vs {quant}");
+    }
+
+    #[test]
+    fn quantization_error_grows_as_bits_shrink() {
+        let (net, _) = trained_classifier();
+        let err_of = |bits: u32| -> f32 {
+            let q = quantize_network(&net, bits);
+            net.layers()
+                .iter()
+                .zip(q.layers())
+                .map(|(a, b)| {
+                    a.weights()
+                        .data()
+                        .iter()
+                        .zip(b.weights().data())
+                        .map(|(x, y)| (x - y).abs())
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+        assert!(err_of(3) > err_of(6));
+        assert!(err_of(6) > err_of(10));
+    }
+
+    #[test]
+    fn weights_land_on_the_quantized_grid() {
+        let (net, _) = trained_classifier();
+        let bits = 4;
+        let q = quantize_network(&net, bits);
+        let levels = (1i64 << (bits - 1)) - 1;
+        for (orig, quant) in net.layers().iter().zip(q.layers()) {
+            let max_abs = orig
+                .weights()
+                .data()
+                .iter()
+                .chain(orig.bias().iter())
+                .fold(0.0f32, |m, &w| m.max(w.abs()));
+            let scale = max_abs / levels as f32;
+            for &w in quant.weights().data() {
+                let steps = w / scale;
+                assert!(
+                    (steps - steps.round()).abs() < 1e-3,
+                    "{w} is not on the grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn silly_bit_widths_rejected() {
+        let (net, _) = trained_classifier();
+        let _ = quantize_network(&net, 1);
+    }
+
+    #[test]
+    fn zero_network_is_untouched() {
+        use klinq_nn::Matrix;
+        let layer = Dense::from_parts(Matrix::zeros(2, 2), vec![0.0; 2], Activation::Relu);
+        let net = Fnn::from_layers(vec![layer]);
+        let q = quantize_network(&net, 8);
+        assert_eq!(net, q);
+    }
+}

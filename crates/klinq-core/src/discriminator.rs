@@ -1,0 +1,434 @@
+//! The KLiNQ system: independent per-qubit discriminators with a
+//! mid-circuit measurement API.
+
+use crate::distill::{distill_student, DistilledStudent};
+use crate::error::KlinqError;
+use crate::eval::{assignment_fidelity, FidelityReport};
+use crate::experiments::ExperimentConfig;
+use crate::student::StudentArch;
+use crate::teacher::Teacher;
+use klinq_fpga::FpgaDiscriminator;
+use klinq_sim::{FiveQubitDevice, ReadoutDataset, SimConfig};
+
+/// One qubit's complete readout discriminator: feature pipeline + distilled
+/// student + compiled FPGA datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KlinqDiscriminator {
+    qubit: usize,
+    arch: StudentArch,
+    student: DistilledStudent,
+    hw: FpgaDiscriminator,
+}
+
+impl KlinqDiscriminator {
+    /// Builds from a distilled student, compiling the FPGA datapath for
+    /// `design_samples` per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::Compile`] if the datapath cannot be compiled.
+    pub fn new(
+        qubit: usize,
+        arch: StudentArch,
+        student: DistilledStudent,
+        design_samples: usize,
+    ) -> Result<Self, KlinqError> {
+        let hw = FpgaDiscriminator::compile(&student.net, &student.pipeline, design_samples)?;
+        Ok(Self {
+            qubit,
+            arch,
+            student,
+            hw,
+        })
+    }
+
+    /// Which qubit this discriminator reads.
+    pub fn qubit(&self) -> usize {
+        self.qubit
+    }
+
+    /// The student architecture in use.
+    pub fn arch(&self) -> StudentArch {
+        self.arch
+    }
+
+    /// The trained student network.
+    pub fn student(&self) -> &DistilledStudent {
+        &self.student
+    }
+
+    /// The compiled FPGA datapath.
+    pub fn hardware(&self) -> &FpgaDiscriminator {
+        &self.hw
+    }
+
+    /// Reads the qubit state from a raw trace (float reference path).
+    ///
+    /// Accepts any trace length down to the averager's output count —
+    /// this is what enables mid-circuit measurements at arbitrary times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the feature front end allows.
+    pub fn measure(&self, i: &[f32], q: &[f32]) -> bool {
+        self.student
+            .net
+            .predict(&self.student.pipeline.extract(i, q))
+    }
+
+    /// Reads the qubit state through the bit-accurate Q16.16 datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the feature front end allows.
+    pub fn measure_hw(&self, i: &[f32], q: &[f32]) -> bool {
+        self.hw.infer(i, q)
+    }
+
+    /// Assignment fidelity over a dataset, reading only the first
+    /// `samples` of each trace (pass the dataset's full sample count for
+    /// the design duration).
+    pub fn fidelity_at(&self, data: &ReadoutDataset, samples: usize) -> f64 {
+        let labels = data.qubit_labels(self.qubit);
+        let preds: Vec<bool> = data
+            .qubit_pairs(self.qubit)
+            .iter()
+            .map(|&(i, q)| self.measure(&i[..samples.min(i.len())], &q[..samples.min(q.len())]))
+            .collect();
+        assignment_fidelity(&preds, &labels)
+    }
+
+    /// Hardware-path assignment fidelity over a dataset.
+    pub fn fidelity_hw(&self, data: &ReadoutDataset) -> f64 {
+        let labels = data.qubit_labels(self.qubit);
+        let preds: Vec<bool> = data
+            .qubit_pairs(self.qubit)
+            .iter()
+            .map(|&(i, q)| self.measure_hw(i, q))
+            .collect();
+        assignment_fidelity(&preds, &labels)
+    }
+}
+
+/// The full five-qubit KLiNQ system plus the data and teachers it was
+/// built from (kept for the paper's comparisons).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KlinqSystem {
+    discriminators: Vec<KlinqDiscriminator>,
+    teachers: Vec<Teacher>,
+    train_data: ReadoutDataset,
+    test_data: ReadoutDataset,
+    config: ExperimentConfig,
+}
+
+impl KlinqSystem {
+    /// Trains the complete system per the experiment configuration:
+    /// generates calibrated data, trains one teacher per qubit (in
+    /// parallel), distills the per-qubit students, and compiles the FPGA
+    /// datapaths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if any stage fails (configuration,
+    /// pipeline fitting, dataset assembly or datapath compilation).
+    pub fn train(config: &ExperimentConfig) -> Result<Self, KlinqError> {
+        config.validate()?;
+        let device = FiveQubitDevice::paper();
+        let sim = SimConfig::with_duration_ns(config.duration_ns);
+        let train_data = ReadoutDataset::generate(&device, &sim, config.train_shots, config.data_seed);
+        let test_data =
+            ReadoutDataset::generate(&device, &sim, config.test_shots, config.data_seed + 1);
+        let teacher_extra = (config.teacher_extra_shots > 0).then(|| {
+            ReadoutDataset::generate(
+                &device,
+                &sim,
+                config.teacher_extra_shots,
+                config.data_seed + 2,
+            )
+        });
+
+        // Train the five qubits in parallel; each thread trains a teacher
+        // and distills its student.
+        let results: Vec<Result<(Teacher, DistilledStudent, StudentArch), KlinqError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..5)
+                    .map(|qb| {
+                        let train_data = &train_data;
+                        let teacher_extra = teacher_extra.as_ref();
+                        scope.spawn(move |_| {
+                            let teacher = Teacher::train_with_extra(
+                                &config.teacher,
+                                train_data,
+                                teacher_extra,
+                                qb,
+                            )?;
+                            let arch = StudentArch::for_qubit(qb);
+                            let student = distill_student(
+                                &teacher,
+                                arch,
+                                train_data,
+                                config.distill,
+                                &config.student_train,
+                                config.student_seed + qb as u64,
+                            )?;
+                            Ok((teacher, student, arch))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("training thread panicked"))
+                    .collect()
+            })
+            .expect("training scope panicked");
+
+        let mut discriminators = Vec::with_capacity(5);
+        let mut teachers = Vec::with_capacity(5);
+        for (qb, result) in results.into_iter().enumerate() {
+            let (teacher, student, arch) = result?;
+            teachers.push(teacher);
+            discriminators.push(KlinqDiscriminator::new(
+                qb,
+                arch,
+                student,
+                test_data.samples(),
+            )?);
+        }
+        Ok(Self {
+            discriminators,
+            teachers,
+            train_data,
+            test_data,
+            config: config.clone(),
+        })
+    }
+
+    /// Per-qubit discriminators.
+    pub fn discriminators(&self) -> &[KlinqDiscriminator] {
+        &self.discriminators
+    }
+
+    /// One discriminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qb` is out of range.
+    pub fn discriminator(&self, qb: usize) -> &KlinqDiscriminator {
+        &self.discriminators[qb]
+    }
+
+    /// The per-qubit teachers (also the Baseline-FNN comparators).
+    pub fn teachers(&self) -> &[Teacher] {
+        &self.teachers
+    }
+
+    /// Training dataset.
+    pub fn train_data(&self) -> &ReadoutDataset {
+        &self.train_data
+    }
+
+    /// Held-out evaluation dataset.
+    pub fn test_data(&self) -> &ReadoutDataset {
+        &self.test_data
+    }
+
+    /// The configuration the system was trained with.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Mid-circuit measurement: read one qubit independently from a raw
+    /// trace of any supported length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or the trace is too short.
+    pub fn measure(&self, qubit: usize, i: &[f32], q: &[f32]) -> bool {
+        self.discriminators[qubit].measure(i, q)
+    }
+
+    /// Evaluates all qubits on the held-out set at the design duration.
+    pub fn evaluate(&self) -> FidelityReport {
+        self.evaluate_at(self.test_data.samples())
+    }
+
+    /// Evaluates at a shortened trace length (`samples` per channel)
+    /// using the design-point students on truncated inputs.
+    ///
+    /// Note the feature distribution shifts when traces shrink, so this
+    /// underestimates the achievable fidelity; the paper's duration sweep
+    /// corresponds to [`Self::evaluate_retrained_at`], which re-distills
+    /// per duration (input dimensions never change — only the averaging
+    /// group adapts, per Sec. III-D).
+    pub fn evaluate_at(&self, samples: usize) -> FidelityReport {
+        FidelityReport::new(
+            self.discriminators
+                .iter()
+                .map(|d| d.fidelity_at(&self.test_data, samples))
+                .collect(),
+        )
+    }
+
+    /// Re-distills one student per qubit for a shortened duration (the
+    /// teachers and their soft labels are reused) and evaluates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if any per-duration distillation fails.
+    pub fn evaluate_retrained_at(&self, samples: usize) -> Result<FidelityReport, KlinqError> {
+        let samples = samples.min(self.test_data.samples());
+        if samples == self.test_data.samples() {
+            // Design point: the trained students are exactly this.
+            return Ok(self.evaluate());
+        }
+        let students = self.students_at(samples)?;
+        let fidelities = students
+            .iter()
+            .enumerate()
+            .map(|(qb, s)| {
+                let labels = self.test_data.qubit_labels(qb);
+                let correct = self
+                    .test_data
+                    .qubit_pairs(qb)
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(&(i, q), &y)| {
+                        s.net
+                            .predict(&s.pipeline.extract(&i[..samples], &q[..samples]))
+                            == (y == 1.0)
+                    })
+                    .count();
+                correct as f64 / labels.len() as f64
+            })
+            .collect();
+        Ok(FidelityReport::new(fidelities))
+    }
+
+    /// Distills a fresh student per qubit at the given trace length
+    /// (parallel across qubits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError`] if any distillation fails.
+    pub fn students_at(&self, samples: usize) -> Result<Vec<DistilledStudent>, KlinqError> {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..5)
+                .map(|qb| {
+                    scope.spawn(move |_| {
+                        crate::distill::distill_student_at(
+                            &self.teachers[qb],
+                            StudentArch::for_qubit(qb),
+                            &self.train_data,
+                            samples,
+                            self.config.distill,
+                            &self.config.student_train,
+                            self.config.student_seed + qb as u64,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("distillation thread panicked"))
+                .collect()
+        })
+        .expect("distillation scope panicked")
+    }
+
+    /// Evaluates through the bit-accurate FPGA datapath.
+    pub fn evaluate_hw(&self) -> FidelityReport {
+        FidelityReport::new(
+            self.discriminators
+                .iter()
+                .map(|d| d.fidelity_hw(&self.test_data))
+                .collect(),
+        )
+    }
+
+    /// Baseline-FNN (= teacher) fidelities on the held-out set.
+    pub fn evaluate_teachers(&self) -> FidelityReport {
+        FidelityReport::new(
+            self.teachers
+                .iter()
+                .map(|t| t.fidelity(&self.test_data))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_system() -> KlinqSystem {
+        KlinqSystem::train(&ExperimentConfig::smoke()).unwrap()
+    }
+
+    #[test]
+    fn system_trains_and_evaluates() {
+        let sys = smoke_system();
+        assert_eq!(sys.discriminators().len(), 5);
+        assert_eq!(sys.teachers().len(), 5);
+        let report = sys.evaluate();
+        // Smoke scale (300 ns traces): demand clearly-better-than-chance
+        // overall and solid accuracy on the front-loaded-signal qubit 3,
+        // the easiest at this shortened duration.
+        assert!(report.geometric_mean() > 0.70, "{report}");
+        assert!(report.qubit(2) > 0.85, "{report}");
+        assert!(report.qubit(0) > 0.75, "{report}");
+    }
+
+    #[test]
+    fn architectures_assigned_per_paper() {
+        let sys = smoke_system();
+        assert_eq!(sys.discriminator(0).arch(), StudentArch::FnnA);
+        assert_eq!(sys.discriminator(1).arch(), StudentArch::FnnB);
+        assert_eq!(sys.discriminator(2).arch(), StudentArch::FnnB);
+        assert_eq!(sys.discriminator(3).arch(), StudentArch::FnnA);
+        assert_eq!(sys.discriminator(4).arch(), StudentArch::FnnA);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_is_independent_and_truncatable() {
+        let sys = smoke_system();
+        let shot = sys.test_data().shot(3);
+        for qb in 0..5 {
+            let t = &shot.traces[qb];
+            // Full trace and a truncated prefix both produce a decision.
+            // FNN-B qubits average 100 points per channel, so the prefix
+            // cannot drop below 100 samples (200 ns).
+            let _ = sys.measure(qb, &t.i, &t.q);
+            let cut = (t.i.len() * 7 / 10).max(100);
+            let _ = sys.measure(qb, &t.i[..cut], &t.q[..cut]);
+        }
+    }
+
+    #[test]
+    fn hardware_path_tracks_float_path() {
+        let sys = smoke_system();
+        let float_report = sys.evaluate();
+        let hw_report = sys.evaluate_hw();
+        for qb in 0..5 {
+            let delta = (float_report.qubit(qb) - hw_report.qubit(qb)).abs();
+            assert!(
+                delta < 0.03,
+                "qubit {}: float {:.3} vs hw {:.3}",
+                qb + 1,
+                float_report.qubit(qb),
+                hw_report.qubit(qb)
+            );
+        }
+    }
+
+    #[test]
+    fn teachers_outperform_chance_everywhere() {
+        let sys = smoke_system();
+        let report = sys.evaluate_teachers();
+        for qb in 0..5 {
+            // Qubit 2 sits near 0.68 even for the analytic optimum at the
+            // smoke scale's 300 ns; the tiny smoke teacher lands lower.
+            let floor = if qb == 1 { 0.52 } else { 0.65 };
+            assert!(report.qubit(qb) > floor, "qubit {}: {report}", qb + 1);
+        }
+    }
+}

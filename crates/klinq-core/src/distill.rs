@@ -1,0 +1,208 @@
+//! Knowledge distillation of teachers into per-qubit students.
+
+use crate::error::KlinqError;
+use crate::student::StudentArch;
+use crate::teacher::Teacher;
+use klinq_dsp::FeaturePipeline;
+use klinq_nn::loss::DistillParams;
+use klinq_nn::train::{train_distilled, Dataset, TrainConfig, TrainReport};
+use klinq_nn::Fnn;
+use klinq_sim::ReadoutDataset;
+
+/// Result of distilling one qubit's student.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistilledStudent {
+    /// The trained compact network.
+    pub net: Fnn,
+    /// The fitted feature pipeline it consumes.
+    pub pipeline: FeaturePipeline,
+    /// Training summary.
+    pub report: TrainReport,
+}
+
+/// Fits the feature pipeline for qubit `qb` and distills `teacher` into a
+/// fresh student of the given architecture.
+///
+/// The teacher provides soft labels (logits on the raw traces); the
+/// student consumes the compact averaged + matched-filter features. This
+/// is exactly the paper's offline-training path (Fig. 1).
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if the pipeline cannot be fitted or the feature
+/// dataset is malformed.
+pub fn distill_student(
+    teacher: &Teacher,
+    arch: StudentArch,
+    train_data: &ReadoutDataset,
+    params: DistillParams,
+    train: &TrainConfig,
+    init_seed: u64,
+) -> Result<DistilledStudent, KlinqError> {
+    distill_student_at(
+        teacher,
+        arch,
+        train_data,
+        train_data.samples(),
+        params,
+        train,
+        init_seed,
+    )
+}
+
+/// Distills a student for a *shortened* readout duration: the feature
+/// pipeline is fitted on the first `samples` of each trace and the student
+/// trains on those truncated features, while the teacher's soft labels
+/// still come from the full traces it was trained on.
+///
+/// This is how the duration sweeps (Table II, Fig. 4) are evaluated: one
+/// teacher, one student per (qubit, duration) — the student input
+/// dimension never changes because the averaging adapts (Sec. III-D).
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if the pipeline cannot be fitted or the feature
+/// dataset is malformed.
+#[allow(clippy::too_many_arguments)]
+pub fn distill_student_at(
+    teacher: &Teacher,
+    arch: StudentArch,
+    train_data: &ReadoutDataset,
+    samples: usize,
+    params: DistillParams,
+    train: &TrainConfig,
+    init_seed: u64,
+) -> Result<DistilledStudent, KlinqError> {
+    let qb = teacher.qubit();
+    let samples = samples.min(train_data.samples());
+    let min_samples = arch.feature_spec().avg_outputs_per_channel;
+    if samples < min_samples {
+        return Err(KlinqError::InvalidConfig(format!(
+            "{samples} samples cannot feed {min_samples} averaging outputs;              the {arch:?} front end needs at least {min_samples} samples"
+        )));
+    }
+    let (ground, excited) = train_data.class_split(qb);
+    let ground = truncate_pairs(ground, samples);
+    let excited = truncate_pairs(excited, samples);
+    let pipeline = FeaturePipeline::fit(arch.feature_spec(), &ground, &excited)?;
+
+    let rows: Vec<Vec<f32>> = train_data
+        .qubit_pairs(qb)
+        .iter()
+        .map(|&(i, q)| pipeline.extract(&i[..samples], &q[..samples]))
+        .collect();
+    let labels = train_data.qubit_labels(qb);
+    let dataset = Dataset::from_rows(&rows, &labels)?;
+
+    let teacher_logits = teacher.logits(train_data);
+    let mut net = arch.build(init_seed);
+    let report = train_distilled(&mut net, &dataset, &teacher_logits, params, train);
+    Ok(DistilledStudent {
+        net,
+        pipeline,
+        report,
+    })
+}
+
+/// Truncates `(i, q)` slice pairs to their first `samples` entries.
+pub(crate) fn truncate_pairs<'a>(
+    set: Vec<(&'a [f32], &'a [f32])>,
+    samples: usize,
+) -> Vec<(&'a [f32], &'a [f32])> {
+    set.into_iter()
+        .map(|(i, q)| (&i[..samples], &q[..samples]))
+        .collect()
+}
+
+/// Trains a student of the same architecture *without* distillation
+/// (hard labels only) — the ablation the paper's knowledge-distillation
+/// claim rests on.
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if the pipeline cannot be fitted or the feature
+/// dataset is malformed.
+pub fn train_student_supervised(
+    qb: usize,
+    arch: StudentArch,
+    train_data: &ReadoutDataset,
+    train: &TrainConfig,
+    init_seed: u64,
+) -> Result<DistilledStudent, KlinqError> {
+    let (ground, excited) = train_data.class_split(qb);
+    let pipeline = FeaturePipeline::fit(arch.feature_spec(), &ground, &excited)?;
+    let rows: Vec<Vec<f32>> = train_data
+        .qubit_pairs(qb)
+        .iter()
+        .map(|&(i, q)| pipeline.extract(i, q))
+        .collect();
+    let dataset = Dataset::from_rows(&rows, &train_data.qubit_labels(qb))?;
+    let mut net = arch.build(init_seed);
+    let report = klinq_nn::train::train_supervised(&mut net, &dataset, train);
+    Ok(DistilledStudent {
+        net,
+        pipeline,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teacher::TeacherConfig;
+    use klinq_sim::{FiveQubitDevice, SimConfig};
+
+    #[test]
+    fn distillation_produces_an_accurate_student() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::with_duration_ns(300.0);
+        let train_data = ReadoutDataset::generate(&device, &config, 320, 1);
+        let test_data = ReadoutDataset::generate(&device, &config, 320, 2);
+
+        let teacher = Teacher::train(&TeacherConfig::smoke(), &train_data, 0).unwrap();
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..TrainConfig::default()
+        };
+        let student = distill_student(
+            &teacher,
+            StudentArch::FnnA,
+            &train_data,
+            DistillParams::default(),
+            &cfg,
+            7,
+        )
+        .unwrap();
+        assert_eq!(student.net.num_params(), 657);
+
+        // Evaluate the student on held-out data.
+        let labels = test_data.qubit_labels(0);
+        let correct = test_data
+            .qubit_pairs(0)
+            .iter()
+            .zip(&labels)
+            .filter(|(&(i, q), &y)| {
+                student.net.predict(&student.pipeline.extract(i, q)) == (y == 1.0)
+            })
+            .count();
+        let fidelity = correct as f64 / labels.len() as f64;
+        assert!(fidelity > 0.72, "student fidelity {fidelity}");
+    }
+
+    #[test]
+    fn supervised_ablation_also_trains() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::with_duration_ns(300.0);
+        let train_data = ReadoutDataset::generate(&device, &config, 256, 3);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            ..TrainConfig::default()
+        };
+        let s = train_student_supervised(0, StudentArch::FnnA, &train_data, &cfg, 9).unwrap();
+        assert!(s.report.final_train_accuracy > 0.72);
+    }
+}

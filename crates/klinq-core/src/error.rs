@@ -1,0 +1,75 @@
+//! The crate-level error type.
+
+use klinq_dsp::feature::FitPipelineError;
+use klinq_fpga::engine::CompileError;
+use klinq_nn::train::DatasetError;
+use std::fmt;
+
+/// Errors produced while building or running a KLiNQ system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KlinqError {
+    /// Feature-pipeline fitting failed (empty class, ragged traces).
+    Pipeline(FitPipelineError),
+    /// Dataset construction failed (empty, ragged, bad labels).
+    Dataset(DatasetError),
+    /// FPGA compilation failed.
+    Compile(CompileError),
+    /// A configuration value is unusable.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for KlinqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pipeline(e) => write!(f, "feature pipeline: {e}"),
+            Self::Dataset(e) => write!(f, "dataset: {e}"),
+            Self::Compile(e) => write!(f, "fpga compile: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KlinqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Pipeline(e) => Some(e),
+            Self::Dataset(e) => Some(e),
+            Self::Compile(e) => Some(e),
+            Self::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<FitPipelineError> for KlinqError {
+    fn from(e: FitPipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<DatasetError> for KlinqError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+impl From<CompileError> for KlinqError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = KlinqError::InvalidConfig("zero shots".into());
+        assert!(e.to_string().contains("zero shots"));
+        use std::error::Error;
+        assert!(e.source().is_none());
+        let e = KlinqError::from(DatasetError::Empty);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("dataset"));
+    }
+}

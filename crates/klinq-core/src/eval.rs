@@ -1,0 +1,144 @@
+//! Fidelity metrics: per-qubit assignment fidelity, F5Q and F4Q.
+
+use klinq_dsp::geometric_mean;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-qubit readout fidelities plus the paper's geometric-mean summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    fidelities: Vec<f64>,
+}
+
+impl FidelityReport {
+    /// Wraps per-qubit fidelities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fidelities` is empty or any value is outside `[0, 1]`.
+    pub fn new(fidelities: Vec<f64>) -> Self {
+        assert!(!fidelities.is_empty(), "fidelity report needs at least one qubit");
+        assert!(
+            fidelities.iter().all(|f| (0.0..=1.0).contains(f)),
+            "fidelities must lie in [0, 1]: {fidelities:?}"
+        );
+        Self { fidelities }
+    }
+
+    /// Per-qubit fidelities, qubit-ordered.
+    pub fn per_qubit(&self) -> &[f64] {
+        &self.fidelities
+    }
+
+    /// One qubit's fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qb` is out of range.
+    pub fn qubit(&self, qb: usize) -> f64 {
+        self.fidelities[qb]
+    }
+
+    /// Geometric mean over all qubits (the paper's `F5Q` for five qubits).
+    pub fn geometric_mean(&self) -> f64 {
+        geometric_mean(&self.fidelities)
+    }
+
+    /// Geometric mean excluding one qubit (the paper's `F4Q` excludes the
+    /// noisy qubit 2, index 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exclude` is out of range or only one qubit exists.
+    pub fn geometric_mean_excluding(&self, exclude: usize) -> f64 {
+        assert!(exclude < self.fidelities.len(), "exclude index out of range");
+        assert!(self.fidelities.len() > 1, "cannot exclude the only qubit");
+        let rest: Vec<f64> = self
+            .fidelities
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != exclude)
+            .map(|(_, &f)| f)
+            .collect();
+        geometric_mean(&rest)
+    }
+
+    /// The paper's `F4Q`: geometric mean excluding qubit 2 (index 1).
+    pub fn f4q(&self) -> f64 {
+        self.geometric_mean_excluding(1)
+    }
+}
+
+impl fmt::Display for FidelityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fid) in self.fidelities.iter().enumerate() {
+            write!(f, "Q{}: {:.3}  ", i + 1, fid)?;
+        }
+        write!(f, "F{}Q: {:.3}", self.fidelities.len(), self.geometric_mean())?;
+        if self.fidelities.len() == 5 {
+            write!(f, "  F4Q: {:.3}", self.f4q())?;
+        }
+        Ok(())
+    }
+}
+
+/// Counts correct binary predictions against labels.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn assignment_fidelity(predictions: &[bool], labels: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
+    assert!(!predictions.is_empty(), "fidelity of an empty set");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| p == (y == 1.0))
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_reproduces_paper_table1_means() {
+        let r = FidelityReport::new(vec![0.968, 0.748, 0.929, 0.934, 0.959]);
+        assert!((r.geometric_mean() - 0.904).abs() < 0.002);
+        assert!((r.f4q() - 0.947).abs() < 0.002);
+        assert_eq!(r.qubit(1), 0.748);
+        assert_eq!(r.per_qubit().len(), 5);
+    }
+
+    #[test]
+    fn display_contains_all_qubits() {
+        let r = FidelityReport::new(vec![0.9, 0.8, 0.7, 0.95, 0.85]);
+        let s = r.to_string();
+        assert!(s.contains("Q1") && s.contains("Q5") && s.contains("F5Q") && s.contains("F4Q"));
+    }
+
+    #[test]
+    fn assignment_fidelity_reference() {
+        let f = assignment_fidelity(&[true, false, true, true], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(f, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_report_rejected() {
+        let _ = FidelityReport::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn out_of_range_fidelity_rejected() {
+        let _ = FidelityReport::new(vec![1.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction/label mismatch")]
+    fn fidelity_length_checked() {
+        let _ = assignment_fidelity(&[true], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Distillation ablation: what does the knowledge actually buy?
+//!
+//! The paper's central claim is that knowledge distillation lets a
+//! 657/3377-parameter student match a 1.6 M-parameter network. This
+//! experiment isolates the distillation term of
+//! `L = α·L_CE + (1−α)·L_KD`: it trains each qubit's student at several
+//! α values — α = 1 being the pure-supervised (no-teacher) ablation — and
+//! reports the resulting fidelities, so the contribution of the soft
+//! labels is measurable rather than asserted.
+
+use crate::discriminator::KlinqSystem;
+use crate::distill::distill_student;
+use crate::error::KlinqError;
+use crate::experiments::ExperimentConfig;
+use crate::student::StudentArch;
+use klinq_dsp::geometric_mean;
+use klinq_nn::loss::DistillParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One ablation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Hard-label weight (α = 1 → no distillation).
+    pub alpha: f32,
+    /// Softening temperature.
+    pub temperature: f32,
+    /// Per-qubit fidelities.
+    pub per_qubit: Vec<f64>,
+    /// Five-qubit geometric mean.
+    pub f5q: f64,
+}
+
+/// The ablation sweep results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// One row per (α, T) setting, pure-supervised last.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Ablation {
+    /// The pure-supervised row (α = 1).
+    pub fn supervised(&self) -> &AblationRow {
+        self.rows
+            .iter()
+            .find(|r| r.alpha == 1.0)
+            .expect("sweep always contains alpha = 1")
+    }
+
+    /// The best distilled row (α < 1) by F5Q.
+    pub fn best_distilled(&self) -> &AblationRow {
+        self.rows
+            .iter()
+            .filter(|r| r.alpha < 1.0)
+            .max_by(|a, b| a.f5q.partial_cmp(&b.f5q).expect("finite"))
+            .expect("sweep always contains distilled rows")
+    }
+}
+
+/// The (α, T) grid swept by [`run_with_system`].
+pub fn sweep_grid() -> Vec<(f32, f32)> {
+    vec![
+        (0.0, 2.5),
+        (0.3, 2.5),
+        (0.3, 1.0),
+        (0.5, 2.5),
+        (0.7, 2.5),
+        (1.0, 1.0), // pure supervised: temperature is irrelevant
+    ]
+}
+
+/// Runs the ablation on a freshly trained system.
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if training fails.
+pub fn run(config: &ExperimentConfig) -> Result<Ablation, KlinqError> {
+    let system = KlinqSystem::train(config)?;
+    run_with_system(&system, config)
+}
+
+/// Runs the sweep against an existing system's teachers and data.
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if any student fails to train.
+pub fn run_with_system(
+    system: &KlinqSystem,
+    config: &ExperimentConfig,
+) -> Result<Ablation, KlinqError> {
+    let samples = system.test_data().samples();
+    let mut rows = Vec::new();
+    for (alpha, temperature) in sweep_grid() {
+        let params = DistillParams { alpha, temperature };
+        let fidelities: Vec<f64> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..5)
+                .map(|qb| {
+                    scope.spawn(move |_| -> Result<f64, KlinqError> {
+                        let student = distill_student(
+                            &system.teachers()[qb],
+                            StudentArch::for_qubit(qb),
+                            system.train_data(),
+                            params,
+                            &config.student_train,
+                            config.student_seed + qb as u64,
+                        )?;
+                        let labels = system.test_data().qubit_labels(qb);
+                        let correct = system
+                            .test_data()
+                            .qubit_pairs(qb)
+                            .iter()
+                            .zip(&labels)
+                            .filter(|(&(i, q), &y)| {
+                                student.net.predict(
+                                    &student.pipeline.extract(&i[..samples], &q[..samples]),
+                                ) == (y == 1.0)
+                            })
+                            .count();
+                        Ok(correct as f64 / labels.len() as f64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ablation thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .expect("ablation scope panicked")?;
+        rows.push(AblationRow {
+            alpha,
+            temperature,
+            f5q: geometric_mean(&fidelities),
+            per_qubit: fidelities,
+        });
+    }
+    Ok(Ablation { rows })
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "alpha", "T", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q"
+        )?;
+        for row in &self.rows {
+            write!(f, "{:>6.2} {:>5.1}", row.alpha, row.temperature)?;
+            for q in &row.per_qubit {
+                write!(f, " {q:>7.3}")?;
+            }
+            writeln!(f, " {:>7.3}", row.f5q)?;
+        }
+        let sup = self.supervised();
+        let best = self.best_distilled();
+        write!(
+            f,
+            "distillation gain: F5Q {:.3} (α={:.1}, T={:.1}) vs supervised {:.3} → {:+.4}",
+            best.f5q,
+            best.alpha,
+            best.temperature,
+            sup.f5q,
+            best.f5q - sup.f5q
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_the_grid_and_identifies_rows() {
+        let a = run(&ExperimentConfig::smoke()).unwrap();
+        assert_eq!(a.rows.len(), sweep_grid().len());
+        assert_eq!(a.supervised().alpha, 1.0);
+        assert!(a.best_distilled().alpha < 1.0);
+        for row in &a.rows {
+            assert_eq!(row.per_qubit.len(), 5);
+            assert!(row.f5q > 0.5 && row.f5q <= 1.0);
+        }
+        let s = a.to_string();
+        assert!(s.contains("distillation gain"), "{s}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 4: accuracy vs readout-trace duration.
+//!
+//! (a) per-qubit KLiNQ accuracy across the 500–1000 ns sweep;
+//! (b) geometric-mean comparison of KLiNQ vs HERQULES over the same
+//! sweep — the paper shows KLiNQ above HERQULES at every duration, with
+//! the gap widening at short traces.
+
+use crate::baselines::{HerqulesConfig, HerqulesDiscriminator};
+use crate::discriminator::KlinqSystem;
+use crate::error::KlinqError;
+use crate::experiments::ExperimentConfig;
+use klinq_dsp::geometric_mean;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sweep durations (ns): 500 to 1000 in 50 ns steps, as in Fig. 4.
+pub fn sweep_durations() -> Vec<f64> {
+    (0..=10).map(|k| 500.0 + 50.0 * k as f64).collect()
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Trace duration (ns).
+    pub duration_ns: f64,
+    /// KLiNQ per-qubit accuracy (Fig. 4a series).
+    pub klinq_per_qubit: Vec<f64>,
+    /// KLiNQ geometric mean (Fig. 4b).
+    pub klinq_f5q: f64,
+    /// HERQULES geometric mean (Fig. 4b).
+    pub herqules_f5q: f64,
+}
+
+/// The measured Fig. 4 data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Sweep points, shortest duration first.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Fig4 {
+    /// Durations where KLiNQ's geometric mean beats HERQULES'.
+    pub fn klinq_wins(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.klinq_f5q > p.herqules_f5q)
+            .count()
+    }
+}
+
+/// Runs the sweep on a freshly trained system.
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if training fails.
+pub fn run(config: &ExperimentConfig) -> Result<Fig4, KlinqError> {
+    let system = KlinqSystem::train(config)?;
+    run_with_system(&system, config)
+}
+
+/// Evaluates the sweep on an existing system (trains HERQULES once).
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if the HERQULES baseline fails to train.
+pub fn run_with_system(
+    system: &KlinqSystem,
+    config: &ExperimentConfig,
+) -> Result<Fig4, KlinqError> {
+    let hq_cfg = HerqulesConfig {
+        train: config.student_train,
+        ..HerqulesConfig::default()
+    };
+    let sample_period = system.test_data().config().sample_period_ns;
+    let max_samples = system.test_data().samples();
+    let mut points = Vec::new();
+    for dur in sweep_durations() {
+        let samples = ((dur / sample_period) as usize).min(max_samples);
+        // KLiNQ and HERQULES are both retrained per duration (teachers
+        // reused for the distillation soft labels), as in the paper.
+        let klinq = system.evaluate_retrained_at(samples)?;
+        let hq: Vec<f64> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..5)
+                .map(|qb| {
+                    let hq_cfg = &hq_cfg;
+                    scope.spawn(move |_| -> Result<f64, KlinqError> {
+                        let h = HerqulesDiscriminator::train_at(
+                            hq_cfg,
+                            system.train_data(),
+                            qb,
+                            samples,
+                        )?;
+                        Ok(h.fidelity_at(system.test_data(), samples))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("herqules thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .expect("herqules scope panicked")?;
+        points.push(SweepPoint {
+            duration_ns: dur,
+            klinq_per_qubit: klinq.per_qubit().to_vec(),
+            klinq_f5q: klinq.geometric_mean(),
+            herqules_f5q: geometric_mean(&hq),
+        });
+    }
+    Ok(Fig4 { points })
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4(a): per-qubit accuracy vs duration")?;
+        writeln!(
+            f,
+            "{:>9} {:>7} {:>7} {:>7} {:>7} {:>7}   | Fig. 4(b): {:>7} {:>9}",
+            "Duration", "Q1", "Q2", "Q3", "Q4", "Q5", "KLiNQ", "HERQULES"
+        )?;
+        for p in &self.points {
+            write!(f, "{:>7.0}ns", p.duration_ns)?;
+            for q in &p.klinq_per_qubit {
+                write!(f, " {q:>7.3}")?;
+            }
+            writeln!(f, "   | {:>17.3} {:>9.3}", p.klinq_f5q, p.herqules_f5q)?;
+        }
+        write!(
+            f,
+            "KLiNQ leads HERQULES at {}/{} durations (paper: all)",
+            self.klinq_wins(),
+            self.points.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_all_points() {
+        let fig = run(&ExperimentConfig::smoke()).unwrap();
+        assert_eq!(fig.points.len(), 11);
+        for p in &fig.points {
+            assert_eq!(p.klinq_per_qubit.len(), 5);
+            assert!(p.klinq_f5q > 0.5 && p.klinq_f5q <= 1.0);
+            assert!(p.herqules_f5q > 0.5 && p.herqules_f5q <= 1.0);
+        }
+        let s = fig.to_string();
+        assert!(s.contains("Fig. 4(b)"), "{s}");
+    }
+}

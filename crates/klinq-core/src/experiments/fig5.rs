@@ -1,0 +1,89 @@
+//! Fig. 5: parameter counts of teacher vs student networks (log scale)
+//! and the network compression rate.
+
+use crate::params::CompressionReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The measured Fig. 5 data: the three bars plus compression rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// The underlying accounting.
+    pub report: CompressionReport,
+}
+
+/// Paper values for the three bars.
+pub const PAPER_BARS: [(&str, usize); 3] = [
+    ("Teacher NNs", 8_130_005),
+    ("KLiNQ (Q2, Q3)", 6_754),
+    ("KLiNQ (Q1, Q4, Q5)", 1_971),
+];
+
+/// Computes Fig. 5 (purely architectural; no training involved).
+pub fn run() -> Fig5 {
+    Fig5 {
+        report: CompressionReport::paper_architectures(),
+    }
+}
+
+impl Fig5 {
+    /// The three bars as `(label, ours, paper)`.
+    pub fn bars(&self) -> [(&'static str, usize, usize); 3] {
+        [
+            (
+                "Teacher NNs",
+                self.report.teacher_params_total,
+                PAPER_BARS[0].1,
+            ),
+            (
+                "KLiNQ (Q2, Q3)",
+                self.report.fnn_b_group_total,
+                PAPER_BARS[1].1,
+            ),
+            (
+                "KLiNQ (Q1, Q4, Q5)",
+                self.report.fnn_a_group_total,
+                PAPER_BARS[2].1,
+            ),
+        ]
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>12} {:>12}", "Networks", "ours", "paper")?;
+        for (label, ours, paper) in self.bars() {
+            // Log-scale bar, as in the figure.
+            let log_len = (ours as f64).log10().round() as usize;
+            writeln!(
+                f,
+                "{label:<22} {ours:>12} {paper:>12}  {}",
+                "#".repeat(log_len)
+            )?;
+        }
+        write!(f, "{}", self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn student_bars_match_paper_exactly() {
+        let fig = run();
+        let bars = fig.bars();
+        assert_eq!(bars[1].1, bars[1].2); // 6 754
+        assert_eq!(bars[2].1, bars[2].2); // 1 971
+        // Teacher bar within 0.1%.
+        let rel = (bars[0].1 as f64 - bars[0].2 as f64) / bars[0].2 as f64;
+        assert!(rel.abs() < 0.001, "{rel}");
+    }
+
+    #[test]
+    fn render_shows_log_bars() {
+        let s = run().to_string();
+        assert!(s.contains("######"), "{s}"); // ~10^6.9 teacher bar
+        assert!(s.contains("1971") || s.contains("1 971"), "{s}");
+    }
+}

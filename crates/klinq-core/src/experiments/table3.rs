@@ -1,0 +1,124 @@
+//! Table III: FPGA resource utilization and latency per component.
+//!
+//! Compiles one representative discriminator per student configuration
+//! and builds the five-qubit design report: a shared matched-filter unit,
+//! per-qubit AVG&NORM and network instances. The reproduction targets are
+//! structural: the resource rows (fitted to the paper's synthesis
+//! results), the 9-vs-6-stage AVG&NORM split, the +3-stage network
+//! difference, equal end-to-end latency for both configurations, and
+//! latency invariance across trace durations.
+
+use crate::discriminator::KlinqSystem;
+use crate::error::KlinqError;
+use crate::experiments::ExperimentConfig;
+use klinq_fpga::report::DesignReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Paper Table III reference values: (component, LUT, FF, DSP, ns).
+pub const PAPER_ROWS: [(&str, u64, u64, u64, f64); 5] = [
+    ("MF", 27_180, 24_052, 375, 11.0),
+    ("AVG&NORM (Q1,4,5)", 17_770, 11_415, 0, 9.0),
+    ("Network (Q1,4,5)", 8_840, 6_020, 55, 12.0),
+    ("AVG&NORM (Q2,3)", 19_600, 17_500, 0, 6.0),
+    ("Network (Q2,3)", 25_882, 23_172, 226, 15.0),
+];
+
+/// The measured Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// The structural design report.
+    pub report: DesignReport,
+    /// Worst-case end-to-end per-qubit latency in stages.
+    pub discrimination_stages: u32,
+    /// Whether both configurations share the same end-to-end latency
+    /// (true at the paper's 1 µs design point).
+    pub latencies_equal: bool,
+}
+
+/// Runs Table III on a freshly trained (smoke-scale is fine — resources
+/// and latency depend only on the architecture) system.
+///
+/// # Errors
+///
+/// Returns [`KlinqError`] if training fails.
+pub fn run(config: &ExperimentConfig) -> Result<Table3, KlinqError> {
+    let system = KlinqSystem::train(config)?;
+    Ok(run_with_system(&system))
+}
+
+/// Builds the report from an existing system.
+pub fn run_with_system(system: &KlinqSystem) -> Table3 {
+    let samples = system.test_data().samples();
+    // Representative discriminators: qubit 1 (FNN-A) and qubit 2 (FNN-B).
+    let report = DesignReport::from_design(
+        &[
+            ("Q1,4,5".to_string(), system.discriminator(0).hardware(), 3),
+            ("Q2,3".to_string(), system.discriminator(1).hardware(), 2),
+        ],
+        samples,
+    );
+    let discrimination_stages = report.discrimination_stages();
+    let latencies_equal = report.latencies_equal();
+    Table3 {
+        report,
+        discrimination_stages,
+        latencies_equal,
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.report)?;
+        writeln!(f, "\n--- paper (Table III, ns at 100 MHz system clock) ---")?;
+        for (name, lut, ff, dsp, ns) in PAPER_ROWS {
+            writeln!(f, "{name:<22} {lut:>9} {ff:>9} {dsp:>6} {ns:>6.0} ns")?;
+        }
+        write!(
+            f,
+            "paper end-to-end: 32 ns for both configurations; ours: {} stages for both",
+            self.discrimination_stages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_structure_matches_paper() {
+        let table = run(&ExperimentConfig::smoke()).unwrap();
+        let rows = &table.report.rows;
+        assert_eq!(rows.len(), 5);
+        // Smoke config runs 200 ns traces (100 samples): per-qubit rows
+        // still show the architectural splits.
+        let avg_a = rows.iter().find(|r| r.name.contains("AVG&NORM (Q1")).unwrap();
+        let avg_b = rows.iter().find(|r| r.name.contains("AVG&NORM (Q2")).unwrap();
+        // FNN-A groups (100/15 = 6 samples) vs FNN-B (100/100 = 1).
+        assert!(avg_a.stages > avg_b.stages);
+        let net_a = rows.iter().find(|r| r.name.contains("Network (Q1")).unwrap();
+        let net_b = rows.iter().find(|r| r.name.contains("Network (Q2")).unwrap();
+        assert_eq!(net_a.resources.dsp, 55);
+        assert_eq!(net_b.resources.dsp, 225);
+        assert!(net_b.stages > net_a.stages);
+        let s = table.to_string();
+        assert!(s.contains("paper"), "{s}");
+    }
+
+    #[test]
+    fn design_duration_reproduces_paper_splits() {
+        // At the real 1 µs design point the splits are exactly the
+        // paper's: AVG&NORM 9 vs 6 stages and equal totals. Verified via
+        // the latency formulas (fast) rather than full training.
+        use klinq_fpga::latency::{avg_norm_stages, mf_stages, network_stages};
+        // Our averager floors 500/15 to a 33-sample group; the paper uses
+        // 32. Both land on 9 stages (⌈log₂33⌉ = 6 without a shift stage;
+        // ⌈log₂32⌉ = 5 plus the power-of-two shift).
+        assert_eq!(avg_norm_stages(500 / 15), 9);
+        assert_eq!(avg_norm_stages(32), 9);
+        let a = mf_stages(500) + avg_norm_stages(500 / 15) + network_stages(&[31, 16, 8]);
+        let b = mf_stages(500) + avg_norm_stages(500 / 100) + network_stages(&[201, 16, 8]);
+        assert_eq!(a, b);
+    }
+}

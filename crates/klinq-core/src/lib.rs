@@ -1,0 +1,56 @@
+//! KLiNQ: knowledge-distillation-assisted lightweight qubit-readout
+//! discriminators — the paper's primary contribution.
+//!
+//! This crate assembles the substrates (`klinq-sim`, `klinq-dsp`,
+//! `klinq-nn`, `klinq-fpga`) into the complete system of the DAC 2025
+//! paper:
+//!
+//! 1. Train a large per-qubit **teacher** FNN on raw 1 µs I/Q traces
+//!    ([`teacher`]); the same architecture doubles as the Baseline FNN of
+//!    Lienhard et al. in the comparisons.
+//! 2. Fit each qubit's **feature pipeline** (interval averaging + matched
+//!    filter + normalization) and **distill** the teacher into a tiny
+//!    student — FNN-A (31→16→8→1) for the high-SNR qubits 1, 4, 5 and
+//!    FNN-B (201→16→8→1) for the noisy qubits 2, 3 ([`student`],
+//!    [`distill`]).
+//! 3. Deploy the students as independent per-qubit discriminators capable
+//!    of **mid-circuit measurement** ([`discriminator`]), optionally
+//!    compiled to the bit-accurate FPGA datapath.
+//! 4. Compare against **baselines** ([`baselines`]): the raw-trace
+//!    Baseline FNN, a HERQULES-style matched-filter + FNN, a post-training
+//!    quantized FNN, and a classical matched-filter threshold.
+//! 5. Reproduce every table and figure of the evaluation
+//!    ([`experiments`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use klinq_core::experiments::ExperimentConfig;
+//! use klinq_core::KlinqSystem;
+//!
+//! let config = ExperimentConfig::smoke();
+//! let system = KlinqSystem::train(&config)?;
+//! let report = system.evaluate();
+//! println!("F5Q = {:.3}", report.geometric_mean());
+//! // Mid-circuit: read qubit 3 alone from a fresh trace.
+//! let shot = system.test_data().shot(0);
+//! let state = system.measure(3, &shot.traces[3].i, &shot.traces[3].q);
+//! println!("qubit 3 is {}", if state { "|1>" } else { "|0>" });
+//! # Ok::<(), klinq_core::KlinqError>(())
+//! ```
+
+pub mod baselines;
+pub mod discriminator;
+pub mod distill;
+pub mod error;
+pub mod eval;
+pub mod experiments;
+pub mod joint;
+pub mod params;
+pub mod student;
+pub mod teacher;
+
+pub use discriminator::{KlinqDiscriminator, KlinqSystem};
+pub use error::KlinqError;
+pub use eval::FidelityReport;
+pub use student::StudentArch;

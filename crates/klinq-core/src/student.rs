@@ -1,0 +1,95 @@
+//! Student network architectures and their qubit assignment.
+
+use klinq_dsp::FeatureSpec;
+use klinq_nn::{Activation, Fnn, FnnBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The two student architectures of the paper's Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StudentArch {
+    /// 31 → 16 → 8 → 1 for the high-SNR qubits (1, 4, 5): 64 ns averaging
+    /// intervals suffice. 657 parameters.
+    FnnA,
+    /// 201 → 16 → 8 → 1 for the noisy qubits (2, 3): 10 ns averaging
+    /// intervals preserve the temporal detail they need. 3 377 parameters.
+    FnnB,
+}
+
+impl StudentArch {
+    /// The paper's architecture assignment for qubit index `qb` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qb >= 5`.
+    pub fn for_qubit(qb: usize) -> Self {
+        match qb {
+            0 | 3 | 4 => Self::FnnA,
+            1 | 2 => Self::FnnB,
+            _ => panic!("qubit index {qb} out of range for the five-qubit device"),
+        }
+    }
+
+    /// The feature layout this architecture consumes.
+    pub fn feature_spec(&self) -> FeatureSpec {
+        match self {
+            Self::FnnA => FeatureSpec::fnn_a(),
+            Self::FnnB => FeatureSpec::fnn_b(),
+        }
+    }
+
+    /// Network input dimension (31 or 201).
+    pub fn input_dim(&self) -> usize {
+        self.feature_spec().input_dim()
+    }
+
+    /// Builds an untrained student with this architecture.
+    pub fn build(&self, seed: u64) -> Fnn {
+        FnnBuilder::new(self.input_dim())
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .seed(seed)
+            .build()
+    }
+
+    /// Parameter count of this architecture.
+    pub fn num_params(&self) -> usize {
+        let d = self.input_dim();
+        d * 16 + 16 + 16 * 8 + 8 + 8 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_matches_paper() {
+        assert_eq!(StudentArch::for_qubit(0), StudentArch::FnnA);
+        assert_eq!(StudentArch::for_qubit(1), StudentArch::FnnB);
+        assert_eq!(StudentArch::for_qubit(2), StudentArch::FnnB);
+        assert_eq!(StudentArch::for_qubit(3), StudentArch::FnnA);
+        assert_eq!(StudentArch::for_qubit(4), StudentArch::FnnA);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_rejects_sixth_qubit() {
+        let _ = StudentArch::for_qubit(5);
+    }
+
+    #[test]
+    fn parameter_counts_match_fig5() {
+        assert_eq!(StudentArch::FnnA.num_params(), 657);
+        assert_eq!(StudentArch::FnnB.num_params(), 3377);
+        // And the built networks agree with the closed form.
+        assert_eq!(StudentArch::FnnA.build(0).num_params(), 657);
+        assert_eq!(StudentArch::FnnB.build(0).num_params(), 3377);
+    }
+
+    #[test]
+    fn input_dims() {
+        assert_eq!(StudentArch::FnnA.input_dim(), 31);
+        assert_eq!(StudentArch::FnnB.input_dim(), 201);
+    }
+}

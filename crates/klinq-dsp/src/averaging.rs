@@ -1,0 +1,212 @@
+//! Interval averaging: the trace-compression front end of the students.
+//!
+//! The paper compresses each 500-sample (1 µs at 2 ns/sample) I or Q trace
+//! by averaging over fixed intervals — 32 samples (64 ns) for the
+//! high-SNR qubits (→ 15 averaged points per channel) and 5 samples (10 ns)
+//! for the noisy qubits (→ 100 points per channel). Crucially the **network
+//! input size is fixed**: when the readout-trace duration changes, the
+//! number of samples per interval is re-derived so the averager still emits
+//! the same number of outputs (Sec. III-D).
+
+use serde::{Deserialize, Serialize};
+
+/// Averages a trace over contiguous intervals, emitting a fixed number of
+/// outputs regardless of the trace duration.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_dsp::IntervalAverager;
+/// // FNN-A front end: 15 outputs per channel.
+/// let avg = IntervalAverager::new(15);
+/// let full = avg.average(&vec![1.0; 500]);   // 1 µs trace → 32-sample groups
+/// assert_eq!(full.len(), 15);
+/// let short = avg.average(&vec![1.0; 250]);  // 500 ns trace → 16-sample groups
+/// assert_eq!(short.len(), 15);
+/// assert_eq!(avg.group_size(500), 33); // floor(500/15)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntervalAverager {
+    outputs: usize,
+}
+
+impl IntervalAverager {
+    /// Creates an averager with a fixed number of outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is zero.
+    pub fn new(outputs: usize) -> Self {
+        assert!(outputs > 0, "IntervalAverager requires at least one output");
+        Self { outputs }
+    }
+
+    /// The paper's FNN-A front end (qubits 1, 4, 5): 15 averaged points per
+    /// channel (64 ns intervals on a 1 µs trace).
+    pub fn fnn_a() -> Self {
+        Self::new(15)
+    }
+
+    /// The paper's FNN-B front end (qubits 2, 3): 100 averaged points per
+    /// channel (10 ns intervals on a 1 µs trace).
+    pub fn fnn_b() -> Self {
+        Self::new(100)
+    }
+
+    /// Number of outputs this averager emits.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Samples per interval for a trace of `trace_len` samples
+    /// (`floor(trace_len / outputs)`, minimum 1).
+    pub fn group_size(&self, trace_len: usize) -> usize {
+        (trace_len / self.outputs).max(1)
+    }
+
+    /// Averages the trace into exactly `outputs` points.
+    ///
+    /// Uses `group = floor(len / outputs)` samples per interval; trailing
+    /// samples beyond `group * outputs` are dropped, matching the paper's
+    /// 500-sample → 15 × 32-sample reduction (20 samples unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer samples than outputs (no full interval
+    /// can be formed for every output).
+    pub fn average(&self, trace: &[f32]) -> Vec<f32> {
+        assert!(
+            trace.len() >= self.outputs,
+            "trace too short to average: {} samples for {} outputs",
+            trace.len(),
+            self.outputs
+        );
+        let group = self.group_size(trace.len());
+        let inv = 1.0 / group as f32;
+        (0..self.outputs)
+            .map(|k| {
+                let start = k * group;
+                trace[start..start + group].iter().sum::<f32>() * inv
+            })
+            .collect()
+    }
+
+    /// Averages into a caller-provided buffer (allocation-free hot path for
+    /// the FPGA model and benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics on short traces (see [`Self::average`]) or if `out.len()`
+    /// differs from [`Self::outputs`].
+    pub fn average_into(&self, trace: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.outputs, "output buffer size mismatch");
+        assert!(
+            trace.len() >= self.outputs,
+            "trace too short to average: {} samples for {} outputs",
+            trace.len(),
+            self.outputs
+        );
+        let group = self.group_size(trace.len());
+        let inv = 1.0 / group as f32;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let start = k * group;
+            *slot = trace[start..start + group].iter().sum::<f32>() * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        // 1 µs = 500 samples/channel at 2 ns/sample.
+        let a = IntervalAverager::fnn_a();
+        assert_eq!(a.outputs(), 15);
+        assert_eq!(a.group_size(500), 33);
+        let b = IntervalAverager::fnn_b();
+        assert_eq!(b.outputs(), 100);
+        assert_eq!(b.group_size(500), 5);
+    }
+
+    #[test]
+    fn output_len_is_constant_across_durations() {
+        let a = IntervalAverager::fnn_a();
+        for len in [500, 475, 375, 275, 250] {
+            let out = a.average(&vec![0.5; len]);
+            assert_eq!(out.len(), 15, "len={len}");
+        }
+    }
+
+    #[test]
+    fn averages_constant_signal_exactly() {
+        let a = IntervalAverager::new(10);
+        let out = a.average(&vec![3.25; 100]);
+        assert!(out.iter().all(|&x| (x - 3.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn averages_ramp_correctly() {
+        // Ramp 0..20, 4 outputs → groups of 5: means 2, 7, 12, 17.
+        let trace: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let out = IntervalAverager::new(4).average(&trace);
+        assert_eq!(out, vec![2.0, 7.0, 12.0, 17.0]);
+    }
+
+    #[test]
+    fn trailing_samples_are_dropped() {
+        // 11 samples, 2 outputs → group 5, sample 10 unused.
+        let mut trace = vec![1.0f32; 10];
+        trace.push(1000.0);
+        let out = IntervalAverager::new(2).average(&trace);
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn averaging_is_linear() {
+        let a = IntervalAverager::new(5);
+        let x: Vec<f32> = (0..50).map(|i| (i as f32 * 0.7).sin()).collect();
+        let y: Vec<f32> = (0..50).map(|i| (i as f32 * 1.3).cos()).collect();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let ax = a.average(&x);
+        let ay = a.average(&y);
+        let asum = a.average(&sum);
+        for k in 0..5 {
+            assert!((asum[k] - (ax[k] + ay[k])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn average_into_matches_average() {
+        let a = IntervalAverager::new(7);
+        let trace: Vec<f32> = (0..70).map(|i| (i as f32).sqrt()).collect();
+        let mut buf = vec![0.0f32; 7];
+        a.average_into(&trace, &mut buf);
+        assert_eq!(buf, a.average(&trace));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn zero_outputs_rejected() {
+        let _ = IntervalAverager::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_trace_rejected() {
+        let _ = IntervalAverager::new(16).average(&[0.0; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn wrong_buffer_rejected() {
+        let mut buf = vec![0.0f32; 3];
+        IntervalAverager::new(4).average_into(&[0.0; 16], &mut buf);
+    }
+
+    #[test]
+    fn group_size_floors_at_one() {
+        assert_eq!(IntervalAverager::new(10).group_size(5), 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! The student-network input pipeline: averaging ∥ matched filter → normalize.
+//!
+//! For each qubit the paper forms the student input by concatenating the
+//! interval-averaged I and Q traces with the matched-filter scalar, then
+//! normalizing. FNN-A consumes 15 + 15 + 1 = 31 features; FNN-B consumes
+//! 100 + 100 + 1 = 201 features. The pipeline is fit once on training data
+//! (envelope + normalization constants) and is afterwards a pure function of
+//! the raw trace — exactly the structure the FPGA implements.
+
+use crate::averaging::IntervalAverager;
+use crate::matched_filter::{IqMatchedFilter, TrainFilterError};
+use crate::normalize::{FitNormalizerError, VecNormalizer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static description of a student input layout.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_dsp::FeatureSpec;
+/// assert_eq!(FeatureSpec::fnn_a().input_dim(), 31);
+/// assert_eq!(FeatureSpec::fnn_b().input_dim(), 201);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Averaged points per quadrature channel (15 for FNN-A, 100 for FNN-B).
+    pub avg_outputs_per_channel: usize,
+}
+
+impl FeatureSpec {
+    /// FNN-A layout (qubits 1, 4, 5): 64 ns averaging intervals at 1 µs.
+    pub fn fnn_a() -> Self {
+        Self {
+            avg_outputs_per_channel: 15,
+        }
+    }
+
+    /// FNN-B layout (qubits 2, 3): 10 ns averaging intervals at 1 µs.
+    pub fn fnn_b() -> Self {
+        Self {
+            avg_outputs_per_channel: 100,
+        }
+    }
+
+    /// Total feature dimension: `2 × avg + 1` (I, Q, matched filter).
+    pub fn input_dim(&self) -> usize {
+        2 * self.avg_outputs_per_channel + 1
+    }
+
+    /// The averager realizing this layout.
+    pub fn averager(&self) -> IntervalAverager {
+        IntervalAverager::new(self.avg_outputs_per_channel)
+    }
+}
+
+/// Error from fitting a [`FeaturePipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitPipelineError {
+    /// Matched-filter training failed.
+    Filter(TrainFilterError),
+    /// Normalizer fitting failed.
+    Normalizer(FitNormalizerError),
+}
+
+impl fmt::Display for FitPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Filter(e) => write!(f, "matched filter training failed: {e}"),
+            Self::Normalizer(e) => write!(f, "normalizer fitting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitPipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Filter(e) => Some(e),
+            Self::Normalizer(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainFilterError> for FitPipelineError {
+    fn from(e: TrainFilterError) -> Self {
+        Self::Filter(e)
+    }
+}
+
+impl From<FitNormalizerError> for FitPipelineError {
+    fn from(e: FitNormalizerError) -> Self {
+        Self::Normalizer(e)
+    }
+}
+
+/// A fitted per-qubit feature pipeline.
+///
+/// Construction trains the matched-filter envelope on the class-separated
+/// traces and fits normalization constants on the resulting raw features;
+/// [`FeaturePipeline::extract`] then maps any raw (I, Q) trace pair to the
+/// student input vector.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_dsp::{FeaturePipeline, FeatureSpec};
+/// // Toy classes: constant-level traces (31-dim FNN-A layout).
+/// let ground: Vec<(Vec<f32>, Vec<f32>)> = (0..32)
+///     .map(|k| (vec![1.0 + 0.01 * (k % 5) as f32; 60], vec![0.5; 60]))
+///     .collect();
+/// let excited: Vec<(Vec<f32>, Vec<f32>)> = (0..32)
+///     .map(|k| (vec![-1.0 - 0.01 * (k % 5) as f32; 60], vec![-0.5; 60]))
+///     .collect();
+/// let g: Vec<(&[f32], &[f32])> = ground.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+/// let e: Vec<(&[f32], &[f32])> = excited.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+/// let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &g, &e)?;
+/// let features = pipe.extract(&ground[0].0, &ground[0].1);
+/// assert_eq!(features.len(), 31);
+/// # Ok::<(), klinq_dsp::feature::FitPipelineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeaturePipeline {
+    spec: FeatureSpec,
+    averager: IntervalAverager,
+    filter: IqMatchedFilter,
+    normalizer: VecNormalizer,
+}
+
+impl FeaturePipeline {
+    /// Fits the pipeline from labelled training traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitPipelineError`] when either class is empty or traces
+    /// are ragged.
+    pub fn fit(
+        spec: FeatureSpec,
+        ground: &[(&[f32], &[f32])],
+        excited: &[(&[f32], &[f32])],
+    ) -> Result<Self, FitPipelineError> {
+        let filter = IqMatchedFilter::train(ground, excited)?;
+        let averager = spec.averager();
+        let mut raw_rows: Vec<Vec<f32>> =
+            Vec::with_capacity(ground.len() + excited.len());
+        for &(i, q) in ground.iter().chain(excited.iter()) {
+            raw_rows.push(raw_features(&averager, &filter, i, q));
+        }
+        let row_refs: Vec<&[f32]> = raw_rows.iter().map(|r| r.as_slice()).collect();
+        // σ is snapped to powers of two at fit time, exactly as the paper
+        // prepares its normalization constants: the network then trains on
+        // the same feature scaling the shift-based hardware will apply.
+        let normalizer = VecNormalizer::fit(&row_refs)?.snap_to_pow2();
+        Ok(Self {
+            spec,
+            averager,
+            filter,
+            normalizer,
+        })
+    }
+
+    /// The layout this pipeline produces.
+    pub fn spec(&self) -> FeatureSpec {
+        self.spec
+    }
+
+    /// Output feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.spec.input_dim()
+    }
+
+    /// The interval averager stage.
+    pub fn averager(&self) -> &IntervalAverager {
+        &self.averager
+    }
+
+    /// The matched-filter stage.
+    pub fn filter(&self) -> &IqMatchedFilter {
+        &self.filter
+    }
+
+    /// The normalization stage (float/training form).
+    pub fn normalizer(&self) -> &VecNormalizer {
+        &self.normalizer
+    }
+
+    /// Raw (pre-normalization) features: `[avg_i, avg_q, mf]`.
+    ///
+    /// Exposed because the FPGA model normalizes in fixed point and needs
+    /// the un-normalized values as its input stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count.
+    pub fn extract_raw(&self, i: &[f32], q: &[f32]) -> Vec<f32> {
+        raw_features(&self.averager, &self.filter, i, q)
+    }
+
+    /// The full feature vector the student network consumes.
+    ///
+    /// Works for any trace duration no shorter than the averaging output
+    /// count: the averager adapts its group size and the matched filter is
+    /// applied over the available prefix of its envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count.
+    pub fn extract(&self, i: &[f32], q: &[f32]) -> Vec<f32> {
+        let mut raw = self.extract_raw(i, q);
+        self.normalizer.apply_in_place(&mut raw);
+        raw
+    }
+}
+
+fn raw_features(
+    averager: &IntervalAverager,
+    filter: &IqMatchedFilter,
+    i: &[f32],
+    q: &[f32],
+) -> Vec<f32> {
+    let out = averager.outputs();
+    let mut raw = Vec::with_capacity(2 * out + 1);
+    raw.extend(averager.average(i));
+    raw.extend(averager.average(q));
+    raw.push(filter.apply_prefix(i, q) as f32);
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_classes(
+        n: usize,
+        len: usize,
+    ) -> (Vec<(Vec<f32>, Vec<f32>)>, Vec<(Vec<f32>, Vec<f32>)>) {
+        let make = |level: f32| -> Vec<(Vec<f32>, Vec<f32>)> {
+            (0..n)
+                .map(|k| {
+                    let ripple = 0.05 * ((k % 7) as f32 - 3.0);
+                    let i: Vec<f32> = (0..len)
+                        .map(|t| level + ripple + 0.02 * ((t % 5) as f32))
+                        .collect();
+                    let q: Vec<f32> = (0..len).map(|t| -level + 0.01 * ((t % 3) as f32)).collect();
+                    (i, q)
+                })
+                .collect()
+        };
+        (make(1.0), make(-1.0))
+    }
+
+    fn as_refs(v: &[(Vec<f32>, Vec<f32>)]) -> Vec<(&[f32], &[f32])> {
+        v.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect()
+    }
+
+    #[test]
+    fn dims_match_paper() {
+        assert_eq!(FeatureSpec::fnn_a().input_dim(), 31);
+        assert_eq!(FeatureSpec::fnn_b().input_dim(), 201);
+        assert_eq!(FeatureSpec::fnn_a().averager().outputs(), 15);
+        assert_eq!(FeatureSpec::fnn_b().averager().outputs(), 100);
+    }
+
+    #[test]
+    fn pipeline_produces_expected_dim() {
+        let (g, e) = toy_classes(24, 120);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        let f = pipe.extract(&g[0].0, &g[0].1);
+        assert_eq!(f.len(), 31);
+        assert_eq!(pipe.input_dim(), 31);
+        assert_eq!(pipe.extract_raw(&g[0].0, &g[0].1).len(), 31);
+    }
+
+    #[test]
+    fn features_separate_classes() {
+        let (g, e) = toy_classes(24, 120);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        // The matched-filter feature (last element, before normalization)
+        // must be positive for ground, negative for excited.
+        for (i, q) in &g {
+            assert!(*pipe.extract_raw(i, q).last().unwrap() > 0.0);
+        }
+        for (i, q) in &e {
+            assert!(*pipe.extract_raw(i, q).last().unwrap() < 0.0);
+        }
+    }
+
+    #[test]
+    fn shorter_traces_still_produce_fixed_dim() {
+        let (g, e) = toy_classes(24, 120);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        // Evaluate at 60% of the training duration.
+        let f = pipe.extract(&g[0].0[..72], &g[0].1[..72]);
+        assert_eq!(f.len(), 31);
+    }
+
+    #[test]
+    fn normalization_is_applied() {
+        let (g, e) = toy_classes(24, 120);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        let raw = pipe.extract_raw(&g[0].0, &g[0].1);
+        let norm = pipe.extract(&g[0].0, &g[0].1);
+        let manual = pipe.normalizer().apply(&raw);
+        assert_eq!(norm, manual);
+    }
+
+    #[test]
+    fn empty_class_propagates_error() {
+        let (g, _) = toy_classes(4, 60);
+        let err = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &[]).unwrap_err();
+        assert!(matches!(err, FitPipelineError::Filter(_)));
+        assert!(err.to_string().contains("matched filter"));
+        // Error source chain is preserved.
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn fnn_b_layout_works() {
+        let (g, e) = toy_classes(16, 500);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_b(), &as_refs(&g), &as_refs(&e)).unwrap();
+        assert_eq!(pipe.extract(&g[0].0, &g[0].1).len(), 201);
+    }
+}

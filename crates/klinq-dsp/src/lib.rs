@@ -1,0 +1,34 @@
+//! Digital signal processing blocks for KLiNQ qubit-state readout.
+//!
+//! This crate implements the data pre-processing and input-optimization
+//! stages of the KLiNQ paper (Sec. III-B):
+//!
+//! - [`stats`] — running statistics, the geometric-mean fidelity metric and
+//!   Gaussian error-function helpers used for simulator calibration.
+//! - [`matched_filter`] — per-qubit matched filters with the paper's
+//!   envelope `mean(T0 − T1) / var(T0 − T1)`, applied as a dot product to
+//!   produce a single scalar feature.
+//! - [`averaging`] — interval averaging that compresses the raw I/Q traces
+//!   into a fixed-dimensional representation; the samples-per-interval
+//!   adapts to the trace duration so the network input size stays constant.
+//! - [`normalize`] — `(x − x_min)/σ` feature normalization, including the
+//!   hardware variant where σ is snapped to a power of two so the division
+//!   becomes an arithmetic shift.
+//! - [`feature`] — the complete student-input pipeline
+//!   (averaging ∥ matched filter → normalize → concatenate), producing the
+//!   31-dimensional (FNN-A) or 201-dimensional (FNN-B) vectors.
+//!
+//! All functions operate on plain `f32`/`f64` slices so the crate stays
+//! independent of the simulator and network crates.
+
+pub mod averaging;
+pub mod feature;
+pub mod matched_filter;
+pub mod normalize;
+pub mod stats;
+
+pub use averaging::IntervalAverager;
+pub use feature::{FeaturePipeline, FeatureSpec};
+pub use matched_filter::{IqMatchedFilter, MatchedFilter};
+pub use normalize::{ShiftVecNormalizer, VecNormalizer};
+pub use stats::{geometric_mean, mean, normal_cdf, population_variance, std_dev};

@@ -1,0 +1,385 @@
+//! Feature normalization: `(x − x_min) / σ`, float and shift-based forms.
+//!
+//! The KLiNQ normalization layer "optimizes the data distribution ... and
+//! mitigates the risk of overflow in the fully connected layers". On the
+//! FPGA the per-feature constants `x_min` and `σ` are prepared during
+//! training and σ is approximated as a power of two, replacing the division
+//! with a shift that completes in two clock cycles (Sec. IV).
+//!
+//! [`VecNormalizer`] is the training-time (float) form;
+//! [`ShiftVecNormalizer`] is the deployment form whose constants are what
+//! the hardware model in `klinq-fpga` consumes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from fitting a normalizer on unusable data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitNormalizerError {
+    /// No feature vectors were provided.
+    EmptyDataset,
+    /// Feature vectors have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Expected dimension (from the first vector).
+        expected: usize,
+        /// Offending dimension.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FitNormalizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "normalizer fit requires at least one feature vector"),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitNormalizerError {}
+
+/// Per-feature `(x − min) / σ` normalizer (training-time float form).
+///
+/// Features with zero variance get σ = 1 so they normalize to zero instead
+/// of dividing by zero.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_dsp::VecNormalizer;
+/// let data = vec![vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]];
+/// let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+/// let norm = VecNormalizer::fit(&refs)?;
+/// let out = norm.apply(&[2.0, 20.0]);
+/// // (2 - 0) / std([0,2,4]) and (20 - 10) / std([10,20,30])
+/// assert!((out[0] - 2.0 / (8.0f32 / 3.0).sqrt()).abs() < 1e-5);
+/// # Ok::<(), klinq_dsp::normalize::FitNormalizerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VecNormalizer {
+    mins: Vec<f32>,
+    sigmas: Vec<f32>,
+}
+
+impl VecNormalizer {
+    /// Fits per-feature minimum and population standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitNormalizerError`] on an empty dataset or ragged rows.
+    pub fn fit(rows: &[&[f32]]) -> Result<Self, FitNormalizerError> {
+        let first = rows.first().ok_or(FitNormalizerError::EmptyDataset)?;
+        let dim = first.len();
+        let n = rows.len() as f64;
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut sums = vec![0.0f64; dim];
+        for row in rows {
+            if row.len() != dim {
+                return Err(FitNormalizerError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
+            }
+            for ((m, s), &x) in mins.iter_mut().zip(&mut sums).zip(row.iter()) {
+                if x < *m {
+                    *m = x;
+                }
+                *s += x as f64;
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+        let mut var = vec![0.0f64; dim];
+        for row in rows {
+            for ((v, &x), m) in var.iter_mut().zip(row.iter()).zip(&means) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let sigmas = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt() as f32;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Self { mins, sigmas })
+    }
+
+    /// Builds from explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or any σ is
+    /// non-positive.
+    pub fn from_constants(mins: Vec<f32>, sigmas: Vec<f32>) -> Self {
+        assert_eq!(mins.len(), sigmas.len(), "mins/sigmas length mismatch");
+        assert!(
+            sigmas.iter().all(|&s| s > 0.0),
+            "sigmas must be strictly positive"
+        );
+        Self { mins, sigmas }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-feature minima.
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-feature standard deviations.
+    pub fn sigmas(&self) -> &[f32] {
+        &self.sigmas
+    }
+
+    /// Normalizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim(), "normalizer dimension mismatch");
+        x.iter()
+            .zip(self.mins.iter().zip(&self.sigmas))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// In-place variant of [`Self::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_in_place(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), self.dim(), "normalizer dimension mismatch");
+        for (v, (&m, &s)) in x.iter_mut().zip(self.mins.iter().zip(&self.sigmas)) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Returns a copy with every σ snapped to its nearest power of two —
+    /// the paper prepares the normalization constants this way *during
+    /// training*, so the deployed network sees exactly the feature scaling
+    /// it was trained with.
+    pub fn snap_to_pow2(&self) -> Self {
+        let sigmas = self
+            .sigmas
+            .iter()
+            .map(|&s| (s as f64).log2().round().exp2() as f32)
+            .collect();
+        Self {
+            mins: self.mins.clone(),
+            sigmas,
+        }
+    }
+
+    /// Converts to the hardware shift form, snapping each σ to the nearest
+    /// power of two.
+    pub fn to_shift(&self) -> ShiftVecNormalizer {
+        let exponents = self
+            .sigmas
+            .iter()
+            .map(|&s| (s as f64).log2().round() as i32)
+            .collect();
+        ShiftVecNormalizer {
+            mins: self.mins.clone(),
+            exponents,
+        }
+    }
+}
+
+/// Deployment-form normalizer: per-feature `x_min` subtraction followed by
+/// an arithmetic shift (σ snapped to a power of two).
+///
+/// The float `apply` here defines the reference semantics; the bit-exact
+/// Q16.16 implementation lives in `klinq-fpga` and is tested against this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftVecNormalizer {
+    mins: Vec<f32>,
+    exponents: Vec<i32>,
+}
+
+impl ShiftVecNormalizer {
+    /// Builds from explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_constants(mins: Vec<f32>, exponents: Vec<i32>) -> Self {
+        assert_eq!(mins.len(), exponents.len(), "mins/exponents length mismatch");
+        Self { mins, exponents }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-feature minima (the subtrahends).
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-feature shift exponents (divide by `2^e`).
+    pub fn exponents(&self) -> &[i32] {
+        &self.exponents
+    }
+
+    /// Normalizes one feature vector: `(x − min) / 2^e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim(), "normalizer dimension mismatch");
+        x.iter()
+            .zip(self.mins.iter().zip(&self.exponents))
+            .map(|(&v, (&m, &e))| (v - m) / (e as f32).exp2())
+            .collect()
+    }
+
+    /// Worst-case relative error vs the exact-σ normalizer it was derived
+    /// from (bounded by √2 − 1 ≈ 0.414 in log-space snap).
+    pub fn max_relative_error(&self, exact: &VecNormalizer) -> f64 {
+        self.exponents
+            .iter()
+            .zip(exact.sigmas())
+            .map(|(&e, &s)| (((e as f64).exp2() - s as f64) / s as f64).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[Vec<f32>]) -> Vec<&[f32]> {
+        data.iter().map(|v| v.as_slice()).collect()
+    }
+
+    #[test]
+    fn fit_computes_min_and_sigma() {
+        let data = vec![vec![1.0, -5.0], vec![3.0, -5.0], vec![5.0, -5.0]];
+        let n = VecNormalizer::fit(&rows(&data)).unwrap();
+        assert_eq!(n.dim(), 2);
+        assert_eq!(n.mins(), &[1.0, -5.0]);
+        // Column 0: var = ((−2)²+0+2²)/3 = 8/3.
+        assert!((n.sigmas()[0] - (8.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        // Column 1 is constant → σ forced to 1.
+        assert_eq!(n.sigmas()[1], 1.0);
+    }
+
+    #[test]
+    fn apply_matches_formula_and_constant_features_zero() {
+        let data = vec![vec![0.0, 7.0], vec![4.0, 7.0]];
+        let n = VecNormalizer::fit(&rows(&data)).unwrap();
+        let out = n.apply(&[4.0, 7.0]);
+        assert!((out[0] - 4.0 / 2.0).abs() < 1e-6); // σ = 2
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn normalized_training_data_has_zero_min() {
+        let data = vec![vec![-3.0], vec![9.0], vec![1.5]];
+        let n = VecNormalizer::fit(&rows(&data)).unwrap();
+        let normalized: Vec<f32> = data.iter().map(|r| n.apply(r)[0]).collect();
+        let min = normalized.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min.abs() < 1e-6);
+        assert!(normalized.iter().all(|&v| v >= -1e-6));
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let data = vec![vec![1.0, 2.0, 3.0], vec![4.0, 8.0, 6.0]];
+        let n = VecNormalizer::fit(&rows(&data)).unwrap();
+        let x = [2.5f32, 5.0, 4.5];
+        let mut y = x;
+        n.apply_in_place(&mut y);
+        assert_eq!(y.to_vec(), n.apply(&x));
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let err = VecNormalizer::fit(&[]).unwrap_err();
+        assert_eq!(err, FitNormalizerError::EmptyDataset);
+        assert!(err.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn ragged_rows_are_error() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![1.0f32];
+        let err = VecNormalizer::fit(&[&a, &b]).unwrap_err();
+        assert_eq!(
+            err,
+            FitNormalizerError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn apply_rejects_wrong_dim() {
+        let n = VecNormalizer::from_constants(vec![0.0], vec![1.0]);
+        let _ = n.apply(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn constants_reject_zero_sigma() {
+        let _ = VecNormalizer::from_constants(vec![0.0], vec![0.0]);
+    }
+
+    #[test]
+    fn shift_form_snaps_sigma_to_pow2() {
+        // σ = 3 → 2^2 = 4; σ = 0.3 → 2^-2 = 0.25.
+        let n = VecNormalizer::from_constants(vec![0.0, 0.0], vec![3.0, 0.3]);
+        let s = n.to_shift();
+        assert_eq!(s.exponents(), &[2, -2]);
+        let out = s.apply(&[8.0, 1.0]);
+        assert!((out[0] - 2.0).abs() < 1e-6);
+        assert!((out[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_error_bound_holds() {
+        let sigmas: Vec<f32> = (1..50).map(|i| 0.07 * i as f32).collect();
+        let mins = vec![0.0; sigmas.len()];
+        let n = VecNormalizer::from_constants(mins, sigmas);
+        let s = n.to_shift();
+        let err = s.max_relative_error(&n);
+        assert!(err <= std::f64::consts::SQRT_2 - 1.0 + 1e-6, "err = {err}");
+    }
+
+    #[test]
+    fn snap_to_pow2_is_idempotent_and_matches_shift_form() {
+        let n = VecNormalizer::from_constants(vec![0.0, 1.0], vec![3.0, 0.3]);
+        let snapped = n.snap_to_pow2();
+        assert_eq!(snapped.sigmas(), &[4.0, 0.25]);
+        assert_eq!(snapped.snap_to_pow2(), snapped);
+        // After snapping, the shift form is exact.
+        assert_eq!(snapped.to_shift().max_relative_error(&snapped), 0.0);
+        let x = [8.0f32, 2.0];
+        assert_eq!(snapped.apply(&x), snapped.to_shift().apply(&x));
+    }
+
+    #[test]
+    fn shift_and_exact_agree_when_sigma_is_pow2() {
+        let n = VecNormalizer::from_constants(vec![1.0, -2.0], vec![4.0, 0.5]);
+        let s = n.to_shift();
+        let x = [9.0f32, -1.0];
+        assert_eq!(n.apply(&x), s.apply(&x));
+        assert_eq!(s.max_relative_error(&n), 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Statistics helpers: moments, geometric-mean fidelity, Gaussian CDF.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(klinq_dsp::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`, not `n − 1`), matching the paper's
+/// matched-filter envelope definition. Returns `0.0` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    population_variance(xs).sqrt()
+}
+
+/// Geometric mean of per-qubit fidelities — the paper's primary metric:
+/// `F_GM = (∏ F_i)^(1/N)`.
+///
+/// This penalizes outliers with low accuracy, which is why the paper also
+/// reports the mean excluding the noisy qubit 2 (`F4Q`).
+///
+/// # Panics
+///
+/// Panics if `fidelities` is empty or contains a negative value.
+///
+/// # Examples
+///
+/// ```
+/// let f = klinq_dsp::geometric_mean(&[0.9, 0.9, 0.9]);
+/// assert!((f - 0.9).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(fidelities: &[f64]) -> f64 {
+    assert!(
+        !fidelities.is_empty(),
+        "geometric_mean requires at least one fidelity"
+    );
+    let mut log_sum = 0.0;
+    for &f in fidelities {
+        assert!(f >= 0.0, "geometric_mean requires non-negative fidelities, got {f}");
+        if f == 0.0 {
+            return 0.0;
+        }
+        log_sum += f.ln();
+    }
+    (log_sum / fidelities.len() as f64).exp()
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (max absolute error 1.5e-7, plenty for fidelity calibration).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// Used by the simulator calibration to predict matched-filter readout
+/// fidelity from an IQ-separation SNR: `F ≈ Φ(SNR/2)` for symmetric
+/// Gaussian blobs.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse of [`normal_cdf`] via bisection (sufficient precision for
+/// calibration; not a hot path).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    let (mut lo, mut hi) = (-10.0, 10.0);
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Single-pass running mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use klinq_dsp::stats::Running;
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { r.push(x); }
+/// assert_eq!(r.mean(), 2.5);
+/// assert_eq!(r.population_variance(), 1.25);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn population_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = new_mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_reference() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_table1() {
+        // Table I, KLiNQ row: per-qubit fidelities and their means.
+        let f = [0.968, 0.748, 0.929, 0.934, 0.959];
+        let f5q = geometric_mean(&f);
+        assert!((f5q - 0.904).abs() < 0.002, "F5Q = {f5q}");
+        let f4q = geometric_mean(&[0.968, 0.929, 0.934, 0.959]);
+        assert!((f4q - 0.947).abs() < 0.002, "F4Q = {f4q}");
+    }
+
+    #[test]
+    fn geometric_mean_penalizes_outliers() {
+        let balanced = geometric_mean(&[0.9, 0.9]);
+        let outlier = geometric_mean(&[0.99, 0.81]);
+        assert!(outlier < balanced);
+    }
+
+    #[test]
+    fn geometric_mean_zero_short_circuits() {
+        assert_eq!(geometric_mean(&[0.9, 0.0, 0.9]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn geometric_mean_rejects_empty() {
+        geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn geometric_mean_rejects_negative() {
+        geometric_mean(&[0.9, -0.1]);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tails() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        for x in [0.3, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.01, 0.25, 0.5, 0.9, 0.997] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_bad_p() {
+        normal_quantile(1.0);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [0.5, -1.0, 2.25, 3.0, -0.75, 10.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert!((r.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((r.population_variance() - population_variance(&xs)).abs() < 1e-12);
+        assert_eq!(r.min(), -1.0);
+        assert_eq!(r.max(), 10.0);
+        assert_eq!(r.count(), 6);
+    }
+
+    #[test]
+    fn running_merge_equals_combined() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Running::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = Running::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        assert!((a.mean() - mean(&all)).abs() < 1e-12);
+        assert!((a.population_variance() - population_variance(&all)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_merge_with_empty() {
+        let mut a = Running::new();
+        a.push(5.0);
+        let b = Running::new();
+        let mut c = a;
+        c.merge(&b);
+        assert_eq!(c, a);
+        let mut d = Running::new();
+        d.merge(&a);
+        assert_eq!(d.mean(), 5.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the DSP blocks.
+
+use klinq_dsp::{
+    geometric_mean, mean, population_variance, IntervalAverager, MatchedFilter, VecNormalizer,
+};
+use proptest::prelude::*;
+
+fn trace(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn averaging_preserves_constant_signals(
+        level in -50.0f32..50.0,
+        outputs in 1usize..20,
+        extra in 0usize..40
+    ) {
+        let len = outputs * 3 + extra;
+        let avg = IntervalAverager::new(outputs);
+        let out = avg.average(&vec![level; len]);
+        prop_assert_eq!(out.len(), outputs);
+        for v in out {
+            prop_assert!((v - level).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn averaging_is_bounded_by_input_range(xs in trace(64), outputs in 1usize..16) {
+        let avg = IntervalAverager::new(outputs);
+        let lo = xs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in avg.average(&xs) {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        }
+    }
+
+    #[test]
+    fn averaging_output_count_is_duration_invariant(
+        outputs in 1usize..16,
+        len_a in 32usize..200,
+        len_b in 32usize..200
+    ) {
+        prop_assume!(len_a >= outputs && len_b >= outputs);
+        let avg = IntervalAverager::new(outputs);
+        prop_assert_eq!(avg.average(&vec![1.0; len_a]).len(), outputs);
+        prop_assert_eq!(avg.average(&vec![1.0; len_b]).len(), outputs);
+    }
+
+    #[test]
+    fn averaging_commutes_with_scaling(xs in trace(60), scale in -4.0f32..4.0) {
+        let avg = IntervalAverager::new(6);
+        let scaled: Vec<f32> = xs.iter().map(|&x| x * scale).collect();
+        let a = avg.average(&scaled);
+        let b: Vec<f32> = avg.average(&xs).iter().map(|&x| x * scale).collect();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn normalizer_maps_training_minimum_to_zero(
+        rows in prop::collection::vec(trace(8), 2..20)
+    ) {
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let n = VecNormalizer::fit(&refs).unwrap();
+        let normalized: Vec<Vec<f32>> = rows.iter().map(|r| n.apply(r)).collect();
+        for dim in 0..8 {
+            let min = normalized
+                .iter()
+                .map(|r| r[dim])
+                .fold(f32::INFINITY, f32::min);
+            prop_assert!(min.abs() < 1e-3, "dim {dim} min {min}");
+        }
+    }
+
+    #[test]
+    fn normalizer_is_affine(rows in prop::collection::vec(trace(4), 3..10), x in trace(4)) {
+        // apply(a) - apply(b) == (a - b) / sigma elementwise.
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let n = VecNormalizer::fit(&refs).unwrap();
+        let a = n.apply(&x);
+        let shifted: Vec<f32> = x.iter().map(|&v| v + 1.0).collect();
+        let b = n.apply(&shifted);
+        for ((va, vb), &s) in a.iter().zip(&b).zip(n.sigmas()) {
+            prop_assert!((vb - va - 1.0 / s).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matched_filter_output_is_linear_in_trace(
+        g in prop::collection::vec(trace(16), 4..12),
+        e in prop::collection::vec(trace(16), 4..12),
+        a in trace(16),
+        b in trace(16)
+    ) {
+        let gr: Vec<&[f32]> = g.iter().map(|t| t.as_slice()).collect();
+        let er: Vec<&[f32]> = e.iter().map(|t| t.as_slice()).collect();
+        let mf = MatchedFilter::train(&gr, &er).unwrap();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = mf.apply(&sum);
+        let rhs = mf.apply(&a) + mf.apply(&b);
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!(((lhs - rhs) / scale).abs() < 1e-3);
+    }
+
+    #[test]
+    fn windowed_mf_sums_to_full_output(
+        g in prop::collection::vec(trace(24), 4..10),
+        e in prop::collection::vec(trace(24), 4..10),
+        x in trace(24),
+        windows in 1usize..8
+    ) {
+        let gr: Vec<&[f32]> = g.iter().map(|t| t.as_slice()).collect();
+        let er: Vec<&[f32]> = e.iter().map(|t| t.as_slice()).collect();
+        let mf = MatchedFilter::train(&gr, &er).unwrap();
+        let total: f64 = mf.apply_windowed(&x, windows).iter().sum();
+        let full = mf.apply(&x);
+        let scale = 1.0 + full.abs();
+        prop_assert!(((total - full) / scale).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_bounds(fs in prop::collection::vec(0.01f64..1.0, 1..10)) {
+        let gm = geometric_mean(&fs);
+        let lo = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(gm >= lo - 1e-12 && gm <= hi + 1e-12);
+        // And never exceeds the arithmetic mean.
+        let am: f64 = fs.iter().sum::<f64>() / fs.len() as f64;
+        prop_assert!(gm <= am + 1e-12);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(xs in prop::collection::vec(-50.0f64..50.0, 2..64), c in -10.0f64..10.0) {
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + c).collect();
+        prop_assert!((population_variance(&xs) - population_variance(&shifted)).abs() < 1e-6);
+        prop_assert!((mean(&shifted) - mean(&xs) - c).abs() < 1e-9);
+    }
+}

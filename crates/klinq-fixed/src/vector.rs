@@ -1,0 +1,239 @@
+//! Wide-accumulator dot products: the software model of the FPGA MAC path.
+//!
+//! In the KLiNQ datapath each neuron multiplies its inputs by weights in DSP
+//! blocks (full-precision products) and reduces them through an adder tree
+//! together with the bias. The products of two Q16.16 numbers are Q32.32
+//! values held in 64-bit accumulators; only the final sum is renormalized
+//! (shifted back to Q16.16) and range-checked. This matches hardware
+//! behaviour where intermediate precision is wider than the storage format.
+
+use crate::q16::{Q16_16, FRAC_BITS};
+use serde::{Deserialize, Serialize};
+
+/// A Q32.32 accumulator (i64) for summing products of [`Q16_16`] values.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_fixed::{Q16_16, WideAccumulator};
+/// let mut acc = WideAccumulator::new();
+/// acc.mac(Q16_16::from_f64(2.0), Q16_16::from_f64(3.0));
+/// acc.add_fixed(Q16_16::from_f64(0.5)); // bias
+/// assert_eq!(acc.to_fixed_saturating().to_f64(), 6.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WideAccumulator(i64);
+
+impl WideAccumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Creates an accumulator pre-loaded with a Q16.16 value (e.g. a bias).
+    pub fn from_fixed(q: Q16_16) -> Self {
+        Self((q.to_bits() as i64) << FRAC_BITS)
+    }
+
+    /// Multiply-accumulate: adds the full-precision product `a * b`.
+    ///
+    /// Uses wrapping i64 addition; a Q32.32 accumulator overflows only after
+    /// ~2^31 worst-case products, far beyond any layer width in this system,
+    /// but tests exercise the boundary explicitly.
+    #[inline]
+    pub fn mac(&mut self, a: Q16_16, b: Q16_16) {
+        self.0 = self
+            .0
+            .wrapping_add(a.to_bits() as i64 * b.to_bits() as i64);
+    }
+
+    /// Adds a Q16.16 value (promoted to Q32.32).
+    #[inline]
+    pub fn add_fixed(&mut self, q: Q16_16) {
+        self.0 = self.0.wrapping_add((q.to_bits() as i64) << FRAC_BITS);
+    }
+
+    /// Merges another accumulator (adder-tree node join).
+    #[inline]
+    pub fn merge(&mut self, other: WideAccumulator) {
+        self.0 = self.0.wrapping_add(other.0);
+    }
+
+    /// The raw Q32.32 bits.
+    pub fn to_raw(self) -> i64 {
+        self.0
+    }
+
+    /// Renormalizes to Q16.16 with saturation (the hardware write-back).
+    pub fn to_fixed_saturating(self) -> Q16_16 {
+        let shifted = round_shift_i64(self.0, FRAC_BITS);
+        if shifted > i32::MAX as i64 {
+            Q16_16::MAX
+        } else if shifted < i32::MIN as i64 {
+            Q16_16::MIN
+        } else {
+            Q16_16::from_bits(shifted as i32)
+        }
+    }
+
+    /// Renormalizes to Q16.16, reporting overflow instead of clamping.
+    pub fn to_fixed_checked(self) -> Option<Q16_16> {
+        let shifted = round_shift_i64(self.0, FRAC_BITS);
+        if shifted > i32::MAX as i64 || shifted < i32::MIN as i64 {
+            None
+        } else {
+            Some(Q16_16::from_bits(shifted as i32))
+        }
+    }
+
+    /// Value as f64 (exact for |raw| < 2^53).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1u64 << (2 * FRAC_BITS)) as f64
+    }
+}
+
+#[inline]
+fn round_shift_i64(v: i64, bits: u32) -> i64 {
+    let half = 1i64 << (bits - 1);
+    if v >= 0 {
+        (v.wrapping_add(half)) >> bits
+    } else {
+        -((-v + half) >> bits)
+    }
+}
+
+/// Full-precision dot product of two fixed-point slices, returned as a wide
+/// accumulator (no intermediate rounding — what the DSP + adder tree
+/// computes before write-back).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_fixed::{dot_wide, Q16_16};
+/// let a = [Q16_16::ONE, Q16_16::from_f64(2.0)];
+/// let b = [Q16_16::from_f64(3.0), Q16_16::from_f64(4.0)];
+/// assert_eq!(dot_wide(&a, &b).to_fixed_saturating().to_f64(), 11.0);
+/// ```
+pub fn dot_wide(a: &[Q16_16], b: &[Q16_16]) -> WideAccumulator {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot_wide: length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    let mut acc = WideAccumulator::new();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc.mac(x, y);
+    }
+    acc
+}
+
+/// Dot product renormalized to Q16.16 with saturation.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[Q16_16], b: &[Q16_16]) -> Q16_16 {
+    dot_wide(a, b).to_fixed_saturating()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: f64) -> Q16_16 {
+        Q16_16::from_f64(v)
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(dot(&[], &[]), Q16_16::ZERO);
+    }
+
+    #[test]
+    fn dot_matches_float_reference() {
+        let a: Vec<Q16_16> = [1.0, -2.5, 0.125, 7.0].iter().map(|&v| q(v)).collect();
+        let b: Vec<Q16_16> = [0.5, 4.0, -8.0, 0.25].iter().map(|&v| q(v)).collect();
+        let want: f64 = 1.0 * 0.5 + (-2.5) * 4.0 + 0.125 * (-8.0) + 7.0 * 0.25;
+        assert!((dot(&a, &b).to_f64() - want).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[Q16_16::ONE], &[]);
+    }
+
+    #[test]
+    fn no_intermediate_rounding() {
+        // Sum of many tiny products: each product underflows Q16.16 on its
+        // own (EPSILON * EPSILON = 2^-32), but the wide accumulator keeps
+        // full precision so 2^16 of them sum to exactly one EPSILON.
+        let n = 1 << 16;
+        let a = vec![Q16_16::EPSILON; n];
+        let acc = dot_wide(&a, &a);
+        assert_eq!(acc.to_fixed_saturating(), Q16_16::EPSILON);
+        // Naive per-product rounding would give zero:
+        let naive: Q16_16 = a.iter().map(|&x| x * x).sum();
+        assert_eq!(naive, Q16_16::ZERO);
+    }
+
+    #[test]
+    fn accumulator_bias_preload() {
+        let acc = WideAccumulator::from_fixed(q(-3.5));
+        assert_eq!(acc.to_fixed_saturating(), q(-3.5));
+        assert_eq!(acc.to_f64(), -3.5);
+    }
+
+    #[test]
+    fn saturating_writeback_clamps() {
+        let mut acc = WideAccumulator::new();
+        for _ in 0..10 {
+            acc.mac(q(30000.0), q(30000.0));
+        }
+        assert_eq!(acc.to_fixed_saturating(), Q16_16::MAX);
+        assert_eq!(acc.to_fixed_checked(), None);
+        let mut neg = WideAccumulator::new();
+        for _ in 0..10 {
+            neg.mac(q(30000.0), q(-30000.0));
+        }
+        assert_eq!(neg.to_fixed_saturating(), Q16_16::MIN);
+    }
+
+    #[test]
+    fn merge_equals_combined_sum() {
+        let a: Vec<Q16_16> = (0..16).map(|i| q(i as f64 * 0.3 - 2.0)).collect();
+        let b: Vec<Q16_16> = (0..16).map(|i| q(1.7 - i as f64 * 0.11)).collect();
+        let full = dot_wide(&a, &b);
+        let mut left = dot_wide(&a[..8], &b[..8]);
+        let right = dot_wide(&a[8..], &b[8..]);
+        left.merge(right);
+        assert_eq!(left, full);
+    }
+
+    #[test]
+    fn checked_writeback_in_range() {
+        let mut acc = WideAccumulator::new();
+        acc.mac(q(100.0), q(2.0));
+        assert_eq!(acc.to_fixed_checked().unwrap().to_f64(), 200.0);
+    }
+
+    #[test]
+    fn negative_rounding_symmetry() {
+        // -1.5 * EPSILON in the accumulator should round away from zero,
+        // mirroring the positive case.
+        let mut pos = WideAccumulator::new();
+        pos.mac(Q16_16::EPSILON, q(1.5));
+        let mut neg = WideAccumulator::new();
+        neg.mac(Q16_16::EPSILON, q(-1.5));
+        assert_eq!(
+            pos.to_fixed_saturating().to_bits(),
+            -neg.to_fixed_saturating().to_bits()
+        );
+    }
+}

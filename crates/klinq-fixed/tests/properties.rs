@@ -1,0 +1,161 @@
+//! Property-based tests for the Q16.16 arithmetic model.
+
+use klinq_fixed::{dot, dot_wide, nearest_pow2_exponent, Pow2Divisor, Q16_16, WideAccumulator};
+use proptest::prelude::*;
+
+/// Strategy over the full raw bit range.
+fn any_q() -> impl Strategy<Value = Q16_16> {
+    any::<i32>().prop_map(Q16_16::from_bits)
+}
+
+/// Strategy over a "small" range where products cannot overflow Q16.16.
+fn small_q() -> impl Strategy<Value = Q16_16> {
+    (-100.0f64..100.0).prop_map(Q16_16::from_f64)
+}
+
+proptest! {
+    #[test]
+    fn bits_round_trip(raw in any::<i32>()) {
+        prop_assert_eq!(Q16_16::from_bits(raw).to_bits(), raw);
+    }
+
+    #[test]
+    fn f64_round_trip_on_grid(q in any_q()) {
+        prop_assert_eq!(Q16_16::from_f64(q.to_f64()), q);
+    }
+
+    #[test]
+    fn from_f64_error_is_half_ulp(v in -32000.0f64..32000.0) {
+        let q = Q16_16::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 0.5 / 65536.0 + 1e-12);
+    }
+
+    #[test]
+    fn addition_commutes(a in any_q(), b in any_q()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in any_q(), b in any_q()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_matches_float_when_in_range(a in small_q(), b in small_q()) {
+        let want = a.to_f64() + b.to_f64();
+        prop_assert!((a + b).to_f64() - want == 0.0);
+    }
+
+    #[test]
+    fn mul_matches_float_within_ulp(a in small_q(), b in small_q()) {
+        let want = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        // One rounding step of 2^-16, plus representation error of inputs.
+        prop_assert!((got - want).abs() <= 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn saturating_ops_stay_in_range(a in any_q(), b in any_q()) {
+        for v in [a + b, a - b, a * b, a / b, -a, a.abs()] {
+            prop_assert!(v >= Q16_16::MIN && v <= Q16_16::MAX);
+        }
+    }
+
+    #[test]
+    fn checked_agrees_with_saturating_when_some(a in any_q(), b in any_q()) {
+        if let Some(v) = a.checked_add(b) {
+            prop_assert_eq!(v, a.saturating_add(b));
+        }
+        if let Some(v) = a.checked_mul(b) {
+            prop_assert_eq!(v, a.saturating_mul(b));
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(a in any_q()) {
+        let r = a.relu();
+        prop_assert!(!r.is_negative());
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_f64(a in any_q(), b in any_q()) {
+        prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+    }
+
+    #[test]
+    fn shift_right_halves(a in any_q(), k in 0u32..8) {
+        let shifted = (a >> k).to_f64();
+        let want = (a.to_bits() >> k) as f64 / 65536.0;
+        prop_assert_eq!(shifted, want);
+    }
+
+    #[test]
+    fn pow2_snap_is_within_half_octave(x in 1e-6f64..1e6) {
+        let e = nearest_pow2_exponent(x);
+        let ratio = x / (e as f64).exp2();
+        // round(log2 x) = e means ratio in [2^-0.5, 2^0.5].
+        prop_assert!(ratio >= std::f64::consts::FRAC_1_SQRT_2 - 1e-12);
+        prop_assert!(ratio <= std::f64::consts::SQRT_2 + 1e-12);
+    }
+
+    #[test]
+    fn pow2_divisor_matches_shift(v in -1000.0f64..1000.0, e in -4i32..8) {
+        let d = Pow2Divisor::from_exponent(e);
+        let q = Q16_16::from_f64(v);
+        let got = d.apply(q).to_f64();
+        let want = d.apply_f64(q.to_f64());
+        // Shift truncates toward -inf; error bounded by one output ULP
+        // (after accounting for left-shift saturation, excluded by range).
+        prop_assert!((got - want).abs() <= 1.0 / 65536.0 + 1e-9,
+            "v={v} e={e} got={got} want={want}");
+    }
+
+    #[test]
+    fn dot_wide_equals_sequential_macs(
+        vals in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..64)
+    ) {
+        let a: Vec<Q16_16> = vals.iter().map(|&(x, _)| Q16_16::from_f64(x)).collect();
+        let b: Vec<Q16_16> = vals.iter().map(|&(_, y)| Q16_16::from_f64(y)).collect();
+        let mut acc = WideAccumulator::new();
+        for (&x, &y) in a.iter().zip(&b) {
+            acc.mac(x, y);
+        }
+        prop_assert_eq!(acc, dot_wide(&a, &b));
+    }
+
+    #[test]
+    fn dot_split_merge_invariance(
+        vals in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..64),
+        split_frac in 0.0f64..1.0
+    ) {
+        let a: Vec<Q16_16> = vals.iter().map(|&(x, _)| Q16_16::from_f64(x)).collect();
+        let b: Vec<Q16_16> = vals.iter().map(|&(_, y)| Q16_16::from_f64(y)).collect();
+        let split = ((vals.len() as f64) * split_frac) as usize;
+        let mut left = dot_wide(&a[..split], &b[..split]);
+        left.merge(dot_wide(&a[split..], &b[split..]));
+        prop_assert_eq!(left, dot_wide(&a, &b));
+    }
+
+    #[test]
+    fn dot_matches_float_reference(
+        vals in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..256)
+    ) {
+        let a: Vec<Q16_16> = vals.iter().map(|&(x, _)| Q16_16::from_f64(x)).collect();
+        let b: Vec<Q16_16> = vals.iter().map(|&(_, y)| Q16_16::from_f64(y)).collect();
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x.to_f64() * y.to_f64()).sum();
+        let got = dot(&a, &b).to_f64();
+        prop_assert!((got - want).abs() <= 1.0 / 65536.0,
+            "got={got} want={want}");
+    }
+
+    #[test]
+    fn display_parse_round_trip(q in any_q()) {
+        // Display prints 6 decimals which is finer than 2^-16, so parsing
+        // back must reproduce the value (up to final-digit rounding of the
+        // decimal representation: allow one ULP).
+        let s = q.to_string();
+        let back: Q16_16 = s.parse().unwrap();
+        prop_assert!((back.to_bits() as i64 - q.to_bits() as i64).abs() <= 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! AXI data-movement model: DDR → PS → PL trace streaming.
+//!
+//! The paper's prototype stores qubit traces and network weights in DDR
+//! memory and moves them through the processing system (PS) into the
+//! programmable logic (PL) over AXI, "as a substitute" for a live ADC
+//! stream (Sec. IV). That movement is off the critical discrimination
+//! path once the pipeline is primed, but it bounds the shot rate of the
+//! prototype and the one-time configuration cost. This module models both
+//! with simple bandwidth/burst accounting so the end-to-end shot budget
+//! can be reported alongside the 32 ns discrimination latency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An AXI burst-transfer link (e.g. the PS–PL high-performance port).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxiLink {
+    /// Data width in bytes per beat (HP ports: 8 or 16).
+    pub beat_bytes: u32,
+    /// Clock frequency of the interface in MHz.
+    pub clock_mhz: f64,
+    /// Maximum beats per burst (AXI4: 256).
+    pub burst_beats: u32,
+    /// Fixed overhead cycles per burst (address phase, handshake).
+    pub burst_overhead_cycles: u32,
+}
+
+impl AxiLink {
+    /// The ZCU216 PS–PL high-performance port configuration used by the
+    /// model: 128-bit beats at 100 MHz, AXI4 bursts of 256 beats with a
+    /// conservative 8-cycle per-burst overhead.
+    pub fn zcu216_hp_port() -> Self {
+        Self {
+            beat_bytes: 16,
+            clock_mhz: 100.0,
+            burst_beats: 256,
+            burst_overhead_cycles: 8,
+        }
+    }
+
+    /// Validates the link parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero/non-positive.
+    pub fn validate(&self) {
+        assert!(self.beat_bytes > 0, "beat width must be positive");
+        assert!(self.clock_mhz > 0.0, "clock must be positive");
+        assert!(self.burst_beats > 0, "burst length must be positive");
+    }
+
+    /// Cycles to move `bytes` over the link, including per-burst overhead.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.validate();
+        if bytes == 0 {
+            return 0;
+        }
+        let beats = bytes.div_ceil(self.beat_bytes as u64);
+        let bursts = beats.div_ceil(self.burst_beats as u64);
+        beats + bursts * self.burst_overhead_cycles as u64
+    }
+
+    /// Transfer latency in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        self.transfer_cycles(bytes) as f64 * 1000.0 / self.clock_mhz
+    }
+
+    /// Effective sustained bandwidth in bytes per second for a given
+    /// transfer size (approaches the raw link rate for large transfers).
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / (self.transfer_ns(bytes) * 1e-9)
+    }
+}
+
+/// Data-movement budget for one multiplexed readout shot plus the one-time
+/// weight configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShotTransferReport {
+    /// Bytes of trace data per shot (all qubits, both quadratures).
+    pub trace_bytes: u64,
+    /// One-time bytes for weights, biases, filter envelopes and
+    /// normalization constants.
+    pub config_bytes: u64,
+    /// Trace-streaming latency per shot (ns).
+    pub trace_ns: f64,
+    /// One-time configuration latency (ns).
+    pub config_ns: f64,
+    /// Upper bound on the shot rate from data movement alone (shots/s).
+    pub max_shot_rate_hz: f64,
+}
+
+/// Builds the per-shot transfer report for a five-qubit design.
+///
+/// `samples` is the per-quadrature sample count (32-bit fixed-point words,
+/// as stored by the prototype), `total_params` the parameter count across
+/// all student networks, and `feature_constants` the per-design constants
+/// (matched-filter envelopes + normalization min/σ pairs).
+pub fn shot_transfer_report(
+    link: &AxiLink,
+    qubits: u32,
+    samples: usize,
+    total_params: usize,
+    feature_constants: usize,
+) -> ShotTransferReport {
+    let word = 4u64; // Q16.16 words
+    let trace_bytes = qubits as u64 * 2 * samples as u64 * word;
+    let config_bytes = (total_params + feature_constants) as u64 * word;
+    let trace_ns = link.transfer_ns(trace_bytes);
+    ShotTransferReport {
+        trace_bytes,
+        config_bytes,
+        trace_ns,
+        config_ns: link.transfer_ns(config_bytes),
+        max_shot_rate_hz: 1e9 / trace_ns,
+    }
+}
+
+impl fmt::Display for ShotTransferReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace stream: {} B/shot in {:.0} ns (≤ {:.0} kshots/s)",
+            self.trace_bytes,
+            self.trace_ns,
+            self.max_shot_rate_hz / 1e3
+        )?;
+        write!(
+            f,
+            "one-time config: {} B in {:.1} µs",
+            self.config_bytes,
+            self.config_ns / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let link = AxiLink::zcu216_hp_port();
+        assert_eq!(link.transfer_cycles(0), 0);
+        assert_eq!(link.effective_bandwidth(0), 0.0);
+    }
+
+    #[test]
+    fn single_beat_costs_one_burst_overhead() {
+        let link = AxiLink::zcu216_hp_port();
+        // 1 byte → 1 beat + 8 overhead cycles.
+        assert_eq!(link.transfer_cycles(1), 9);
+        assert_eq!(link.transfer_ns(1), 90.0); // 9 cycles at 10 ns
+    }
+
+    #[test]
+    fn large_transfers_approach_raw_bandwidth() {
+        let link = AxiLink::zcu216_hp_port();
+        let raw = link.beat_bytes as f64 * link.clock_mhz * 1e6;
+        let eff = link.effective_bandwidth(1 << 20);
+        assert!(eff > 0.95 * raw, "eff {eff} vs raw {raw}");
+        assert!(eff <= raw);
+    }
+
+    #[test]
+    fn cycles_are_monotone_in_size() {
+        let link = AxiLink::zcu216_hp_port();
+        let mut prev = 0;
+        for bytes in [1u64, 16, 64, 4096, 40_000, 1 << 20] {
+            let c = link.transfer_cycles(bytes);
+            assert!(c >= prev, "{bytes} B: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn paper_scale_shot_report() {
+        // Five qubits, 500 samples/channel, all-student parameters
+        // (8 725) plus envelopes (2 × 500) and norm constants.
+        let link = AxiLink::zcu216_hp_port();
+        let report = shot_transfer_report(&link, 5, 500, 8_725, 2 * 500 + 2 * 231);
+        // 5 × 2 × 500 × 4 B = 20 kB per shot.
+        assert_eq!(report.trace_bytes, 20_000);
+        // Streaming 20 kB over a 1.6 GB/s port ≈ 13 µs → ~77 kshots/s.
+        assert!(report.trace_ns > 10_000.0 && report.trace_ns < 16_000.0);
+        assert!(report.max_shot_rate_hz > 60_000.0 && report.max_shot_rate_hz < 90_000.0);
+        // Config is a one-time cost in the tens of µs.
+        assert!(report.config_ns < 100_000.0);
+        let s = report.to_string();
+        assert!(s.contains("kshots"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beat width")]
+    fn invalid_link_rejected() {
+        let link = AxiLink {
+            beat_bytes: 0,
+            ..AxiLink::zcu216_hp_port()
+        };
+        let _ = link.transfer_cycles(1);
+    }
+}

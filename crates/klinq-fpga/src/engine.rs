@@ -1,0 +1,445 @@
+//! The per-qubit FPGA discriminator: a bit-accurate Q16.16 datapath.
+//!
+//! [`FpgaDiscriminator::compile`] takes a trained student network plus its
+//! fitted feature pipeline and produces the deployable fixed-point design:
+//! quantized matched-filter envelopes, averaging unit, shift-based
+//! normalizer (σ snapped to powers of two) and quantized dense layers.
+//! Inference then follows exactly the hardware dataflow of the paper's
+//! Fig. 3: average + normalize in parallel with the MF MAC, concatenate,
+//! and run the fully connected pipeline to a single sign-checked logit.
+
+use crate::latency::{avg_norm_stages, mf_stages, network_stages, Clock, LatencyReport};
+use crate::quant::QuantizedDense;
+use crate::resources::{avg_norm_resources, network_resources, Resources};
+use klinq_dsp::FeaturePipeline;
+use klinq_fixed::{dot_wide, shift_divide, Q16_16, WideAccumulator};
+use klinq_nn::{Activation, Fnn};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error compiling a trained model onto the FPGA datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Network input dimension differs from the pipeline's feature count.
+    DimensionMismatch {
+        /// Features the pipeline produces.
+        pipeline: usize,
+        /// Inputs the network expects.
+        network: usize,
+    },
+    /// The network uses an activation with no hardware mapping.
+    UnsupportedActivation,
+    /// The network has more than one output (the discriminator emits one
+    /// logit).
+    MultiOutput(usize),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { pipeline, network } => write!(
+                f,
+                "pipeline produces {pipeline} features but the network expects {network}"
+            ),
+            Self::UnsupportedActivation => {
+                write!(f, "only ReLU and identity activations map to the datapath")
+            }
+            Self::MultiOutput(n) => write!(f, "expected a single-logit network, got {n} outputs"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Detailed result of one hardware inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceDetail {
+    /// `true` if the qubit was read as |1⟩ (logit sign bit clear and
+    /// non-zero).
+    pub excited: bool,
+    /// The raw fixed-point logit.
+    pub logit: Q16_16,
+    /// Neuron accumulators that overflowed (and saturated) during this
+    /// inference — nonzero values indicate the normalization failed to
+    /// keep the dynamic range in check.
+    pub overflow_count: usize,
+}
+
+/// A compiled per-qubit discriminator, bit-accurate to the FPGA design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDiscriminator {
+    outputs_per_channel: usize,
+    design_group: usize,
+    design_samples: usize,
+    mf_env_i: Vec<Q16_16>,
+    mf_env_q: Vec<Q16_16>,
+    norm_min: Vec<Q16_16>,
+    norm_exp: Vec<i32>,
+    layers: Vec<QuantizedDense>,
+    clock: Clock,
+}
+
+impl FpgaDiscriminator {
+    /// Compiles a trained student and its feature pipeline for deployment
+    /// at the given design trace length (`design_samples` per channel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on dimension mismatches, multi-output
+    /// networks, or activations without a hardware mapping.
+    pub fn compile(
+        net: &Fnn,
+        pipeline: &FeaturePipeline,
+        design_samples: usize,
+    ) -> Result<Self, CompileError> {
+        if net.input_dim() != pipeline.input_dim() {
+            return Err(CompileError::DimensionMismatch {
+                pipeline: pipeline.input_dim(),
+                network: net.input_dim(),
+            });
+        }
+        if net.output_dim() != 1 {
+            return Err(CompileError::MultiOutput(net.output_dim()));
+        }
+        if net
+            .layers()
+            .iter()
+            .any(|l| l.activation() == Activation::Sigmoid)
+        {
+            return Err(CompileError::UnsupportedActivation);
+        }
+        let shift_norm = pipeline.normalizer().to_shift();
+        let quantize = |xs: &[f32]| xs.iter().map(|&v| Q16_16::from_f32(v)).collect::<Vec<_>>();
+        Ok(Self {
+            outputs_per_channel: pipeline.spec().avg_outputs_per_channel,
+            design_group: pipeline.averager().group_size(design_samples),
+            design_samples,
+            mf_env_i: quantize(pipeline.filter().i_filter().envelope()),
+            mf_env_q: quantize(pipeline.filter().q_filter().envelope()),
+            norm_min: quantize(shift_norm.mins()),
+            norm_exp: shift_norm.exponents().to_vec(),
+            layers: net.layers().iter().map(QuantizedDense::from_dense).collect(),
+            clock: Clock::default(),
+        })
+    }
+
+    /// Replaces the stage clock used in latency reports.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Feature dimension of the compiled design.
+    pub fn input_dim(&self) -> usize {
+        2 * self.outputs_per_channel + 1
+    }
+
+    /// Design-time averaging group size (fixes the AVG&NORM pipeline
+    /// structure, hence its latency).
+    pub fn design_group(&self) -> usize {
+        self.design_group
+    }
+
+    /// Runs one inference on raw I/Q samples, returning only the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count or
+    /// differ in length.
+    pub fn infer(&self, i: &[f32], q: &[f32]) -> bool {
+        self.infer_detailed(i, q).excited
+    }
+
+    /// Runs one inference with the full fixed-point detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count or
+    /// differ in length.
+    pub fn infer_detailed(&self, i: &[f32], q: &[f32]) -> InferenceDetail {
+        assert_eq!(i.len(), q.len(), "I and Q traces must have equal length");
+        let m = self.outputs_per_channel;
+        let mut features = Vec::with_capacity(2 * m + 1);
+
+        // ADC quantization of the raw samples.
+        let i_q: Vec<Q16_16> = i.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let q_q: Vec<Q16_16> = q.iter().map(|&v| Q16_16::from_f32(v)).collect();
+
+        // Averaging unit: adder tree per group, then shift (power-of-two
+        // group) or reciprocal multiply.
+        self.average_into(&i_q, &mut features);
+        self.average_into(&q_q, &mut features);
+
+        // Matched-filter MAC over the available envelope prefix.
+        let n_i = i_q.len().min(self.mf_env_i.len());
+        let n_q = q_q.len().min(self.mf_env_q.len());
+        let mut mf_acc = dot_wide(&self.mf_env_i[..n_i], &i_q[..n_i]);
+        mf_acc.merge(dot_wide(&self.mf_env_q[..n_q], &q_q[..n_q]));
+        features.push(mf_acc.to_fixed_saturating());
+
+        // Shift normalization: (x − min) >> e.
+        for ((f, &mn), &e) in features
+            .iter_mut()
+            .zip(&self.norm_min)
+            .zip(&self.norm_exp)
+        {
+            *f = shift_divide(f.saturating_sub(mn), e);
+        }
+
+        // Fully connected pipeline.
+        let mut overflow_count = 0;
+        let mut cur = features;
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            next.clear();
+            next.resize(layer.output_dim(), Q16_16::ZERO);
+            overflow_count += layer.forward(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let logit = cur[0];
+        InferenceDetail {
+            excited: !logit.is_negative() && logit != Q16_16::ZERO,
+            logit,
+            overflow_count,
+        }
+    }
+
+    fn average_into(&self, channel: &[Q16_16], out: &mut Vec<Q16_16>) {
+        let m = self.outputs_per_channel;
+        assert!(
+            channel.len() >= m,
+            "trace too short: {} samples for {} outputs",
+            channel.len(),
+            m
+        );
+        let group = (channel.len() / m).max(1);
+        if group.is_power_of_two() {
+            let shift = group.trailing_zeros() as i32;
+            for k in 0..m {
+                let mut acc = WideAccumulator::new();
+                for &s in &channel[k * group..(k + 1) * group] {
+                    acc.add_fixed(s);
+                }
+                out.push(shift_divide(acc.to_fixed_saturating(), shift));
+            }
+        } else {
+            let recip = Q16_16::from_f64(1.0 / group as f64);
+            for k in 0..m {
+                let mut acc = WideAccumulator::new();
+                for &s in &channel[k * group..(k + 1) * group] {
+                    acc.add_fixed(s);
+                }
+                out.push(acc.to_fixed_saturating().saturating_mul(recip));
+            }
+        }
+    }
+
+    /// Latency breakdown of this design (structure fixed at compile time,
+    /// so it is duration-invariant, as the paper reports).
+    pub fn latency(&self) -> LatencyReport {
+        let layer_inputs: Vec<usize> = self.layers.iter().map(QuantizedDense::input_dim).collect();
+        LatencyReport {
+            mf: mf_stages(self.design_samples),
+            avg_norm: avg_norm_stages(self.design_group),
+            network: network_stages(&layer_inputs),
+            clock: self.clock,
+        }
+    }
+
+    /// Estimated per-qubit AVG&NORM resources.
+    pub fn avg_norm_resources(&self) -> Resources {
+        avg_norm_resources(2 * self.design_samples, 2 * self.outputs_per_channel)
+    }
+
+    /// Estimated per-qubit network resources.
+    pub fn network_resources(&self) -> Resources {
+        let layer_inputs: Vec<usize> = self.layers.iter().map(QuantizedDense::input_dim).collect();
+        let params: usize = self
+            .layers
+            .iter()
+            .map(|l| l.input_dim() * l.output_dim() + l.output_dim())
+            .sum();
+        network_resources(&layer_inputs, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klinq_dsp::FeatureSpec;
+    use klinq_nn::network::FnnBuilder;
+    use klinq_nn::train::{train_supervised, Dataset, TrainConfig};
+
+    /// Builds a trained 31-feature student on separable synthetic classes
+    /// and returns (net, pipeline, sample traces per class).
+    fn trained_setup() -> (
+        Fnn,
+        FeaturePipeline,
+        Vec<(Vec<f32>, Vec<f32>)>,
+        Vec<(Vec<f32>, Vec<f32>)>,
+    ) {
+        let len = 120usize;
+        let make = |level: f32, n: usize| -> Vec<(Vec<f32>, Vec<f32>)> {
+            (0..n)
+                .map(|k| {
+                    let jit = 0.15 * (((k * 13) % 9) as f32 - 4.0);
+                    let i: Vec<f32> = (0..len)
+                        .map(|t| level + jit + 0.3 * ((t % 7) as f32 - 3.0))
+                        .collect();
+                    let q: Vec<f32> = (0..len)
+                        .map(|t| -0.5 * level + 0.2 * ((t % 5) as f32 - 2.0))
+                        .collect();
+                    (i, q)
+                })
+                .collect()
+        };
+        let ground = make(1.0, 48);
+        let excited = make(-1.0, 48);
+        let g: Vec<(&[f32], &[f32])> = ground
+            .iter()
+            .map(|(i, q)| (i.as_slice(), q.as_slice()))
+            .collect();
+        let e: Vec<(&[f32], &[f32])> = excited
+            .iter()
+            .map(|(i, q)| (i.as_slice(), q.as_slice()))
+            .collect();
+        let pipeline = FeaturePipeline::fit(FeatureSpec::fnn_a(), &g, &e).unwrap();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (i, q) in &ground {
+            rows.push(pipeline.extract(i, q));
+            labels.push(0.0);
+        }
+        for (i, q) in &excited {
+            rows.push(pipeline.extract(i, q));
+            labels.push(1.0);
+        }
+        let data = Dataset::from_rows(&rows, &labels).unwrap();
+        let mut net = FnnBuilder::new(31)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .seed(5)
+            .build();
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            learning_rate: 0.01,
+            ..TrainConfig::default()
+        };
+        train_supervised(&mut net, &data, &cfg);
+        (net, pipeline, ground, excited)
+    }
+
+    #[test]
+    fn compile_and_dimensions() {
+        let (net, pipeline, _, _) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        assert_eq!(hw.input_dim(), 31);
+        assert_eq!(hw.design_group(), 8); // 120 / 15
+    }
+
+    #[test]
+    fn hardware_agrees_with_float_reference() {
+        let (net, pipeline, ground, excited) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        let mut mismatches = 0usize;
+        let mut total = 0usize;
+        for (traces, want) in [(&ground, false), (&excited, true)] {
+            for (i, q) in traces.iter() {
+                let float_pred = net.predict(&pipeline.extract(i, q));
+                let detail = hw.infer_detailed(i, q);
+                assert_eq!(detail.overflow_count, 0, "unexpected overflow");
+                if detail.excited != float_pred {
+                    mismatches += 1;
+                }
+                assert_eq!(detail.excited, want, "classification shifted");
+                total += 1;
+            }
+        }
+        assert_eq!(mismatches, 0, "{mismatches}/{total} fixed-point mismatches");
+    }
+
+    #[test]
+    fn logit_error_vs_float_is_small() {
+        let (net, pipeline, ground, _) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        for (i, q) in ground.iter().take(8) {
+            let float_logit = net.logit(&pipeline.extract(i, q));
+            let detail = hw.infer_detailed(i, q);
+            // The shift normalizer snaps σ to powers of two, so feature
+            // scales differ from the float pipeline by up to √2; the
+            // decision must survive but logits only agree loosely.
+            assert_eq!(detail.excited, float_logit > 0.0);
+        }
+    }
+
+    #[test]
+    fn shortened_traces_still_classify() {
+        let (net, pipeline, ground, excited) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        for (i, q) in ground.iter().take(8) {
+            assert!(!hw.infer(&i[..72], &q[..72]));
+        }
+        for (i, q) in excited.iter().take(8) {
+            assert!(hw.infer(&i[..72], &q[..72]));
+        }
+    }
+
+    #[test]
+    fn latency_and_resources_are_reported() {
+        let (net, pipeline, _, _) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 500).unwrap();
+        let lat = hw.latency();
+        assert_eq!(lat.network, network_stages(&[31, 16, 8]));
+        assert_eq!(lat.mf, mf_stages(500));
+        assert!(lat.total_stages() > 0);
+        let r = hw.network_resources();
+        assert_eq!(r.dsp, 55);
+        assert!(hw.avg_norm_resources().lut > 0);
+    }
+
+    #[test]
+    fn compile_rejects_dimension_mismatch() {
+        let (_, pipeline, _, _) = trained_setup();
+        let wrong = FnnBuilder::new(10).output(1).build();
+        let err = FpgaDiscriminator::compile(&wrong, &pipeline, 120).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::DimensionMismatch {
+                pipeline: 31,
+                network: 10
+            }
+        );
+        assert!(err.to_string().contains("31"));
+    }
+
+    #[test]
+    fn compile_rejects_multi_output() {
+        let (_, pipeline, _, _) = trained_setup();
+        let multi = FnnBuilder::new(31).output(2).build();
+        let err = FpgaDiscriminator::compile(&multi, &pipeline, 120).unwrap_err();
+        assert_eq!(err, CompileError::MultiOutput(2));
+    }
+
+    #[test]
+    fn compile_rejects_sigmoid() {
+        let (_, pipeline, _, _) = trained_setup();
+        let net = FnnBuilder::new(31)
+            .hidden(4, Activation::Sigmoid)
+            .output(1)
+            .build();
+        let err = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap_err();
+        assert_eq!(err, CompileError::UnsupportedActivation);
+    }
+
+    #[test]
+    fn clock_override_scales_ns() {
+        let (net, pipeline, _, _) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 500)
+            .unwrap()
+            .with_clock(Clock::new(500.0));
+        let lat = hw.latency();
+        assert_eq!(lat.total_ns(), lat.total_stages() as f64 * 2.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Pipeline-stage latency model of the KLiNQ datapath.
+//!
+//! Stage counts follow the structural formulas in the paper's Sec. IV:
+//!
+//! - **Multiplication**: a 4-stage pipeline of combinational multipliers.
+//! - **Adder tree**: `⌈log₂ n⌉ + 1` stages for `n` summands plus the bias.
+//! - **Activation (ReLU)**: 1 stage (sign-bit check with overflow
+//!   handling).
+//! - **Averaging**: an adder tree over the design group size, plus a
+//!   dedicated shift stage when the group is a power of two (otherwise the
+//!   division folds into the normalization constant), plus a register.
+//! - **Normalization**: 2 stages (subtract `x_min`, shift by the
+//!   power-of-two σ) — "we replace the division with shift operations and
+//!   can get the results within only two clock cycles".
+//!
+//! With these formulas the two student configurations differ by +3 stages
+//! in AVG&NORM (FNN-A) and +3 stages in the network (FNN-B) — so their
+//! totals coincide, reproducing the paper's observation that "both modules
+//! coincidentally produce the same execution latency". Totals are also
+//! invariant across the 550 ns–1 µs trace durations because the averaging
+//! tree depth (design-time) and the MF tree depth (`⌈log₂⌉` of the sample
+//! count) do not change, which is the paper's stated reason.
+//!
+//! Absolute nanoseconds depend on the stage clock; the paper's Table III
+//! reports component latencies in ns at a 100 MHz system clock that do not
+//! decompose into 10 ns cycles, so this model exposes stage counts plus a
+//! configurable [`Clock`] (defaulting to 1 GHz, i.e. 1 ns per stage, which
+//! reproduces the paper's 9 ns vs 6 ns AVG&NORM split exactly).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stages of the multiplier pipeline.
+pub const MULT_STAGES: u32 = 4;
+/// Stages of the activation (ReLU + overflow handling).
+pub const ACT_STAGES: u32 = 1;
+/// Stages of the normalization unit (subtract, shift).
+pub const NORM_STAGES: u32 = 2;
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "ceil_log2 of zero");
+    (n as u64).next_power_of_two().trailing_zeros()
+}
+
+/// Adder-tree latency for `n` summands: `⌈log₂ n⌉ + 1` (the +1 merges the
+/// bias), per the paper.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn adder_tree_stages(n: usize) -> u32 {
+    ceil_log2(n) + 1
+}
+
+/// Matched-filter unit latency for `samples` per quadrature: the MAC
+/// pipeline (reusing the fully connected design) over `2·samples` inputs.
+pub fn mf_stages(samples: usize) -> u32 {
+    MULT_STAGES + adder_tree_stages(2 * samples)
+}
+
+/// AVG&NORM unit latency for a design-time averaging group size.
+///
+/// Power-of-two groups get a dedicated mean shift stage; other group sizes
+/// fold the `1/g` into the normalization multiply. One register stage
+/// separates the averager from the normalizer. Reproduces Table III: group
+/// 32 → 9 stages, group 5 → 6 stages.
+///
+/// # Panics
+///
+/// Panics if `group` is zero.
+pub fn avg_norm_stages(group: usize) -> u32 {
+    assert!(group > 0, "averaging group must be positive");
+    let tree = ceil_log2(group);
+    let shift = if group.is_power_of_two() { 1 } else { 0 };
+    tree + shift + 1 + NORM_STAGES
+}
+
+/// Fully connected network latency for the given per-layer input widths.
+/// Each layer: 4-stage multiply, adder tree over its inputs (+bias), and
+/// one activation stage; neurons within a layer run in parallel so a
+/// layer's latency equals one neuron's.
+pub fn network_stages(layer_inputs: &[usize]) -> u32 {
+    layer_inputs
+        .iter()
+        .map(|&n| MULT_STAGES + adder_tree_stages(n) + ACT_STAGES)
+        .sum()
+}
+
+/// A pipeline clock for converting stages to nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clock {
+    freq_mhz: f64,
+}
+
+impl Clock {
+    /// Creates a clock at the given frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    pub fn new(freq_mhz: f64) -> Self {
+        assert!(freq_mhz > 0.0, "clock frequency must be positive");
+        Self { freq_mhz }
+    }
+
+    /// The paper's 100 MHz system clock.
+    pub fn system_100mhz() -> Self {
+        Self::new(100.0)
+    }
+
+    /// Frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_mhz
+    }
+
+    /// Period of one cycle in ns.
+    pub fn period_ns(&self) -> f64 {
+        1000.0 / self.freq_mhz
+    }
+
+    /// Converts a stage count to nanoseconds.
+    pub fn to_ns(&self, stages: u32) -> f64 {
+        stages as f64 * self.period_ns()
+    }
+}
+
+impl Default for Clock {
+    /// 1 GHz: one stage per nanosecond, the granularity at which the model
+    /// reproduces the paper's component-latency split.
+    fn default() -> Self {
+        Self::new(1000.0)
+    }
+}
+
+/// Per-component latency breakdown of one qubit's discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Matched-filter unit stages.
+    pub mf: u32,
+    /// Averaging + normalization stages.
+    pub avg_norm: u32,
+    /// Fully connected network stages.
+    pub network: u32,
+    /// Stage clock used for ns conversion.
+    pub clock: Clock,
+}
+
+impl LatencyReport {
+    /// Total latency in stages, summing the pipelined components as the
+    /// paper does.
+    pub fn total_stages(&self) -> u32 {
+        self.mf + self.avg_norm + self.network
+    }
+
+    /// Total latency in ns under the report's clock.
+    pub fn total_ns(&self) -> f64 {
+        self.clock.to_ns(self.total_stages())
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MF {} + AVG&NORM {} + network {} = {} stages ({:.1} ns at {:.0} MHz)",
+            self.mf,
+            self.avg_norm,
+            self.network,
+            self.total_stages(),
+            self.total_ns(),
+            self.clock.freq_mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_reference() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(31), 5);
+        assert_eq!(ceil_log2(32), 5);
+        assert_eq!(ceil_log2(500), 9);
+        assert_eq!(ceil_log2(1000), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of zero")]
+    fn ceil_log2_rejects_zero() {
+        let _ = ceil_log2(0);
+    }
+
+    #[test]
+    fn avg_norm_reproduces_table3() {
+        // FNN-A: 32-sample groups → 9 stages = Table III's 9 ns.
+        assert_eq!(avg_norm_stages(32), 9);
+        // FNN-B: 5-sample groups → 6 stages = Table III's 6 ns.
+        assert_eq!(avg_norm_stages(5), 6);
+    }
+
+    #[test]
+    fn network_difference_matches_table3() {
+        // Table III: FNN-B's network is 3 ns slower than FNN-A's
+        // (15 vs 12); structurally that is the wider first-layer tree
+        // (⌈log₂ 201⌉ = 8 vs ⌈log₂ 31⌉ = 5).
+        let a = network_stages(&[31, 16, 8]);
+        let b = network_stages(&[201, 16, 8]);
+        assert_eq!(b - a, 3);
+    }
+
+    #[test]
+    fn both_configs_have_equal_totals() {
+        // The paper's headline: both configurations produce the same
+        // execution latency.
+        let a = mf_stages(500) + avg_norm_stages(32) + network_stages(&[31, 16, 8]);
+        let b = mf_stages(500) + avg_norm_stages(5) + network_stages(&[201, 16, 8]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_constant_across_durations() {
+        // 550 ns (275 samples) through 1 µs (500 samples): same ⌈log₂⌉,
+        // hence identical latency — the paper's stated reason.
+        let at = |samples: usize, group: usize, layers: &[usize]| {
+            mf_stages(samples) + avg_norm_stages(group) + network_stages(layers)
+        };
+        let a_1us = at(500, 32, &[31, 16, 8]);
+        for samples in [275, 375, 475, 500] {
+            assert_eq!(at(samples, 32, &[31, 16, 8]), a_1us, "{samples} samples");
+        }
+    }
+
+    #[test]
+    fn report_totals_and_display() {
+        let r = LatencyReport {
+            mf: mf_stages(500),
+            avg_norm: avg_norm_stages(32),
+            network: network_stages(&[31, 16, 8]),
+            clock: Clock::default(),
+        };
+        assert_eq!(r.total_stages(), r.mf + r.avg_norm + r.network);
+        assert_eq!(r.total_ns(), r.total_stages() as f64);
+        let s = r.to_string();
+        assert!(s.contains("stages"), "{s}");
+        let sys = Clock::system_100mhz();
+        assert_eq!(sys.period_ns(), 10.0);
+        assert_eq!(sys.to_ns(3), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn clock_rejects_zero() {
+        let _ = Clock::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group must be positive")]
+    fn avg_norm_rejects_zero_group() {
+        let _ = avg_norm_stages(0);
+    }
+}

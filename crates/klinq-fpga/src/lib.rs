@@ -1,0 +1,45 @@
+//! Structural model of the KLiNQ FPGA implementation (Xilinx ZCU216).
+//!
+//! The paper deploys the student networks on a Zynq RFSoC ZCU216 in
+//! Verilog: Q16.16 fixed point, an averaging + shift-normalization front
+//! end, a matched-filter MAC unit, and fully connected layers built from a
+//! 4-stage multiplier pipeline feeding an adder tree of depth
+//! `⌈log₂ n⌉ + 1`, with a sign-bit ReLU that also handles overflow. This
+//! crate models that architecture at three levels:
+//!
+//! - **Functional (bit-accurate)**: [`engine::FpgaDiscriminator`] executes
+//!   the full per-qubit datapath in Q16.16 with wide accumulators, exactly
+//!   as DSP blocks and adder trees would, including saturation.
+//! - **Latency**: [`latency`] derives per-component stage counts from the
+//!   paper's structural formulas. The model reproduces Table III's shape:
+//!   the small-network config spends more stages averaging (power-of-two
+//!   group needs its own shift) while the large network spends more in the
+//!   wider first layer — and the totals coincide, as the paper observes.
+//! - **Resources**: [`resources`] estimates LUT/FF/DSP per component from
+//!   per-input/per-parameter coefficients fitted to Table III, reported
+//!   against ZCU216 capacity.
+//!
+//! # Examples
+//!
+//! ```
+//! use klinq_fpga::latency::{avg_norm_stages, network_stages, mf_stages};
+//!
+//! // FNN-A (31 → 16 → 8 → 1) with 32-sample averaging groups:
+//! let a = avg_norm_stages(32) + network_stages(&[31, 16, 8]) + mf_stages(500);
+//! // FNN-B (201 → 16 → 8 → 1) with 5-sample groups:
+//! let b = avg_norm_stages(5) + network_stages(&[201, 16, 8]) + mf_stages(500);
+//! assert_eq!(a, b); // the paper's "coincidentally equal" 32 ns totals
+//! ```
+
+pub mod axi;
+pub mod engine;
+pub mod latency;
+pub mod quant;
+pub mod report;
+pub mod resources;
+
+pub use axi::{shot_transfer_report, AxiLink, ShotTransferReport};
+pub use engine::{FpgaDiscriminator, InferenceDetail};
+pub use latency::{Clock, LatencyReport};
+pub use quant::QuantizedDense;
+pub use resources::{Resources, Utilization, ZCU216_CAPACITY};

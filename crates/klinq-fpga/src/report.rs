@@ -1,0 +1,211 @@
+//! Table III-style design reports: per-component resources and latency.
+
+use crate::engine::FpgaDiscriminator;
+use crate::latency::mf_stages;
+use crate::resources::{mf_resources, Resources, Utilization, ZCU216_CAPACITY};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of the component report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRow {
+    /// Component name (e.g. "MF", "AVG&NORM (Q1,4,5)").
+    pub name: String,
+    /// Estimated fabric resources.
+    pub resources: Resources,
+    /// Utilization against the ZCU216.
+    pub utilization: Utilization,
+    /// Pipeline latency in stages.
+    pub stages: u32,
+}
+
+/// A complete design report for a multi-qubit KLiNQ deployment,
+/// mirroring the paper's Table III structure: one shared MF row plus
+/// per-configuration AVG&NORM and network rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// Component rows (shared resources first).
+    pub rows: Vec<ComponentRow>,
+    /// Total resources of the full design (MF once, per-qubit units
+    /// multiplied by their instance counts).
+    pub total: Resources,
+    /// Per-configuration end-to-end latency in stages. At the paper's
+    /// design point (1 µs traces, the Fig. 2 architectures) all entries
+    /// are equal — the "coincidentally the same" 32 ns.
+    pub per_config_stages: Vec<(String, u32)>,
+}
+
+impl DesignReport {
+    /// Builds the report from one compiled discriminator per qubit, with
+    /// `design_samples` per channel feeding the shared MF unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discriminators` is empty.
+    pub fn from_design(discriminators: &[(String, &FpgaDiscriminator, usize)], design_samples: usize) -> Self {
+        assert!(
+            !discriminators.is_empty(),
+            "a design needs at least one discriminator"
+        );
+        let mf_res = mf_resources(2 * design_samples);
+        let mut rows = vec![ComponentRow {
+            name: "MF (shared)".to_string(),
+            resources: mf_res,
+            utilization: mf_res.utilization(&ZCU216_CAPACITY),
+            stages: mf_stages(design_samples),
+        }];
+        let mut total = mf_res;
+        let mut per_config_stages = Vec::with_capacity(discriminators.len());
+        for (name, hw, count) in discriminators {
+            let avg = hw.avg_norm_resources();
+            let lat = hw.latency();
+            rows.push(ComponentRow {
+                name: format!("AVG&NORM ({name})"),
+                resources: avg,
+                utilization: avg.utilization(&ZCU216_CAPACITY),
+                stages: lat.avg_norm,
+            });
+            let net = hw.network_resources();
+            rows.push(ComponentRow {
+                name: format!("Network ({name})"),
+                resources: net,
+                utilization: net.utilization(&ZCU216_CAPACITY),
+                stages: lat.network,
+            });
+            total += avg.times(*count as u64);
+            total += net.times(*count as u64);
+            per_config_stages.push((name.clone(), lat.total_stages()));
+        }
+        Self {
+            rows,
+            total,
+            per_config_stages,
+        }
+    }
+
+    /// `true` if every configuration has the same end-to-end latency (the
+    /// paper's design-point property).
+    pub fn latencies_equal(&self) -> bool {
+        self.per_config_stages
+            .windows(2)
+            .all(|w| w[0].1 == w[1].1)
+    }
+
+    /// The worst-case (maximum) discrimination latency across configs.
+    pub fn discrimination_stages(&self) -> u32 {
+        self.per_config_stages
+            .iter()
+            .map(|&(_, s)| s)
+            .max()
+            .expect("report is never empty")
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<22} {:>9} {:>9} {:>6} {:>8} {:>8} {:>7} {:>7}",
+            "Component", "LUT", "FF", "DSP", "LUT%", "FF%", "DSP%", "Stages"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {:>9} {:>9} {:>6} {:>7.2}% {:>7.2}% {:>6.2}% {:>7}",
+                row.name,
+                row.resources.lut,
+                row.resources.ff,
+                row.resources.dsp,
+                row.utilization.lut_pct,
+                row.utilization.ff_pct,
+                row.utilization.dsp_pct,
+                row.stages
+            )?;
+        }
+        let u = self.total.utilization(&ZCU216_CAPACITY);
+        writeln!(
+            f,
+            "{:<22} {:>9} {:>9} {:>6} {:>7.2}% {:>7.2}% {:>6.2}%",
+            "TOTAL (5-qubit)", self.total.lut, self.total.ff, self.total.dsp,
+            u.lut_pct, u.ff_pct, u.dsp_pct
+        )?;
+        for (name, stages) in &self.per_config_stages {
+            writeln!(f, "discrimination latency ({name}): {stages} stages")?;
+        }
+        write!(
+            f,
+            "configurations {} in end-to-end latency",
+            if self.latencies_equal() { "agree" } else { "differ" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klinq_dsp::{FeaturePipeline, FeatureSpec};
+    use klinq_nn::network::FnnBuilder;
+    use klinq_nn::Activation;
+
+    fn pipeline(spec: FeatureSpec, len: usize) -> FeaturePipeline {
+        let make = |level: f32| -> Vec<(Vec<f32>, Vec<f32>)> {
+            (0..16)
+                .map(|k| {
+                    let jit = 0.05 * ((k % 5) as f32);
+                    (vec![level + jit; len], vec![-level; len])
+                })
+                .collect()
+        };
+        let g = make(1.0);
+        let e = make(-1.0);
+        let gr: Vec<(&[f32], &[f32])> = g.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+        let er: Vec<(&[f32], &[f32])> = e.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+        FeaturePipeline::fit(spec, &gr, &er).unwrap()
+    }
+
+    fn student(input: usize) -> klinq_nn::Fnn {
+        FnnBuilder::new(input)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .seed(0)
+            .build()
+    }
+
+    #[test]
+    fn five_qubit_report_mirrors_table3() {
+        let pipe_a = pipeline(FeatureSpec::fnn_a(), 500);
+        let pipe_b = pipeline(FeatureSpec::fnn_b(), 500);
+        let hw_a = FpgaDiscriminator::compile(&student(31), &pipe_a, 500).unwrap();
+        let hw_b = FpgaDiscriminator::compile(&student(201), &pipe_b, 500).unwrap();
+        let report = DesignReport::from_design(
+            &[
+                ("Q1,4,5".to_string(), &hw_a, 3),
+                ("Q2,3".to_string(), &hw_b, 2),
+            ],
+            500,
+        );
+        // One MF row + 2 rows per configuration.
+        assert_eq!(report.rows.len(), 5);
+        // Paper's structural facts: AVG&NORM 9 vs 6 stages, equal totals.
+        assert_eq!(report.rows[1].stages, 9);
+        assert_eq!(report.rows[3].stages, 6);
+        assert_eq!(report.rows[0].resources.dsp, 375);
+        // Total accounts for instance counts.
+        let manual = report.rows[0].resources
+            + report.rows[1].resources.times(3)
+            + report.rows[2].resources.times(3)
+            + report.rows[3].resources.times(2)
+            + report.rows[4].resources.times(2);
+        assert_eq!(report.total, manual);
+        let rendered = report.to_string();
+        assert!(rendered.contains("MF (shared)"), "{rendered}");
+        assert!(rendered.contains("TOTAL"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one discriminator")]
+    fn empty_design_rejected() {
+        let _ = DesignReport::from_design(&[], 500);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the FPGA datapath models.
+
+use klinq_fpga::latency::{adder_tree_stages, avg_norm_stages, ceil_log2, network_stages};
+use klinq_fpga::quant::{quantize_vec, QuantizedDense};
+use klinq_fpga::resources::{avg_norm_resources, mf_resources, network_resources};
+use klinq_nn::{Activation, Dense, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ceil_log2_bounds(n in 1usize..1_000_000) {
+        let e = ceil_log2(n);
+        prop_assert!(1usize << e >= n);
+        if e > 0 {
+            prop_assert!(1usize << (e - 1) < n);
+        }
+    }
+
+    #[test]
+    fn adder_tree_monotone(a in 1usize..4096, b in 1usize..4096) {
+        if a <= b {
+            prop_assert!(adder_tree_stages(a) <= adder_tree_stages(b));
+        }
+    }
+
+    #[test]
+    fn avg_norm_latency_within_one_of_tree_depth(group in 1usize..512) {
+        let stages = avg_norm_stages(group);
+        // Structure: tree + optional shift + register + 2 norm stages.
+        let lo = ceil_log2(group) + 3;
+        prop_assert!(stages >= lo && stages <= lo + 1);
+    }
+
+    #[test]
+    fn network_stages_sum_layerwise(
+        dims in prop::collection::vec(1usize..256, 1..5)
+    ) {
+        let total = network_stages(&dims);
+        let manual: u32 = dims.iter().map(|&n| network_stages(&[n])).sum();
+        prop_assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn resources_scale_monotonically(a in 1usize..2000, b in 1usize..2000) {
+        if a <= b {
+            prop_assert!(mf_resources(a).lut <= mf_resources(b).lut);
+            prop_assert!(mf_resources(a).dsp <= mf_resources(b).dsp);
+            prop_assert!(avg_norm_resources(a, 10).lut <= avg_norm_resources(b, 10).lut);
+            prop_assert!(
+                network_resources(&[a], a * 8).lut <= network_resources(&[b], b * 8).lut
+            );
+        }
+    }
+
+    /// Quantized layer output tracks the float layer within the error
+    /// budget of 16 fractional bits, for bounded weights and inputs.
+    #[test]
+    fn quantized_layer_tracks_float(
+        weights in prop::collection::vec(-2.0f32..2.0, 12),
+        bias in prop::collection::vec(-1.0f32..1.0, 4),
+        input in prop::collection::vec(-8.0f32..8.0, 3)
+    ) {
+        let w = Matrix::from_vec(4, 3, weights);
+        let layer = Dense::from_parts(w, bias, Activation::Relu);
+        let q = QuantizedDense::from_dense(&layer);
+        let mut float_out = [0.0f32; 4];
+        layer.forward_single(&input, &mut float_out);
+        let xq = quantize_vec(&input);
+        let mut q_out = [klinq_fixed::Q16_16::ZERO; 4];
+        let overflows = q.forward(&xq, &mut q_out);
+        prop_assert_eq!(overflows, 0);
+        for (a, b) in q_out.iter().zip(&float_out) {
+            // 3 products, each within ~|w|·2^-16 of exact, plus one
+            // rounding of the sum.
+            prop_assert!((a.to_f32() - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// The hardware ReLU never emits negative values regardless of input.
+    #[test]
+    fn quantized_relu_output_is_nonnegative(
+        weights in prop::collection::vec(-100.0f32..100.0, 8),
+        input in prop::collection::vec(-100.0f32..100.0, 4)
+    ) {
+        let w = Matrix::from_vec(2, 4, weights);
+        let layer = Dense::from_parts(w, vec![0.0; 2], Activation::Relu);
+        let q = QuantizedDense::from_dense(&layer);
+        let mut out = [klinq_fixed::Q16_16::ZERO; 2];
+        q.forward(&quantize_vec(&input), &mut out);
+        for v in out {
+            prop_assert!(!v.is_negative());
+        }
+    }
+}

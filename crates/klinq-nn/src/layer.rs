@@ -1,0 +1,399 @@
+//! Dense layers and activation functions.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// No non-linearity (used on output/logit layers).
+    #[default]
+    Identity,
+    /// Rectified linear unit, `max(0, x)` — the paper's hidden-layer
+    /// activation (it maps to a sign-bit check in hardware).
+    Relu,
+    /// Logistic sigmoid (used to form soft labels, not in the FPGA path).
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Self::Identity => x,
+            Self::Relu => x.max(0.0),
+            Self::Sigmoid => sigmoid(x),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, given the
+    /// pre-activation value `z`.
+    #[inline]
+    pub fn derivative(self, z: f32) -> f32 {
+        match self {
+            Self::Identity => 1.0,
+            Self::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::Sigmoid => {
+                let s = sigmoid(z);
+                s * (1.0 - s)
+            }
+        }
+    }
+
+    /// Applies in place over a matrix.
+    pub fn apply_matrix(self, m: &mut Matrix) {
+        if self == Self::Identity {
+            return;
+        }
+        for x in m.data_mut() {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A fully connected layer `y = act(W·x + b)` with `W` stored as
+/// `output_dim × input_dim` (each row is one neuron's weights, matching the
+/// FPGA's per-neuron weight memories).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Creates a layer with He-uniform initialized weights and zero biases.
+    ///
+    /// He initialization (`±sqrt(6/fan_in)`) suits the ReLU hidden layers;
+    /// it also behaves fine for the identity output layer at these sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "layer dimensions must be positive");
+        let bound = (6.0 / input_dim as f32).sqrt();
+        let data: Vec<f32> = (0..input_dim * output_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            weights: Matrix::from_vec(output_dim, input_dim, data),
+            bias: vec![0.0; output_dim],
+            activation,
+        }
+    }
+
+    /// Builds a layer from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.rows()`.
+    pub fn from_parts(weights: Matrix, bias: Vec<f32>, activation: Activation) -> Self {
+        assert_eq!(bias.len(), weights.rows(), "bias length must equal output dim");
+        Self {
+            weights,
+            bias,
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension (neuron count).
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Weight matrix (`output_dim × input_dim`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable weight matrix (for the optimizer).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector (for the optimizer).
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Parameter count (`weights + biases`).
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    /// Batch forward pass. Returns `(z, a)`: pre-activations and
+    /// activations, both `batch × output_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let mut z = x.matmul_bt(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        let mut a = z.clone();
+        self.activation.apply_matrix(&mut a);
+        (z, a)
+    }
+
+    /// Single-sample forward pass into a caller buffer (inference hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes do not match the layer dimensions.
+    pub fn forward_single(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        assert_eq!(out.len(), self.output_dim(), "output buffer mismatch");
+        for (o, (w_row, &b)) in out
+            .iter_mut()
+            .zip(self.weights.iter_rows().zip(&self.bias))
+        {
+            let mut acc = b;
+            for (&wi, &xi) in w_row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *o = self.activation.apply(acc);
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the cached input `x`, pre-activation `z`, and the upstream
+    /// gradient `grad_out = ∂L/∂a` (all batch-major), computes:
+    /// - `grad_w = ∂L/∂W`, `grad_b = ∂L/∂b` (averaged over the batch is the
+    ///   caller's choice — this returns sums; trainers divide by batch),
+    /// - `grad_in = ∂L/∂x` for the previous layer.
+    pub fn backward(
+        &self,
+        x: &Matrix,
+        z: &Matrix,
+        grad_out: &Matrix,
+    ) -> LayerGrads {
+        // dZ = dA ⊙ act'(Z)
+        let mut dz = grad_out.clone();
+        if self.activation != Activation::Identity {
+            for (g, &zv) in dz.data_mut().iter_mut().zip(z.data()) {
+                *g *= self.activation.derivative(zv);
+            }
+        }
+        let grad_w = dz.matmul_at(x); // (out × batch)·(batch × in) = out × in
+        let grad_b = dz.col_sums();
+        let grad_in = dz.matmul(&self.weights); // (batch × out)·(out × in)
+        LayerGrads {
+            weights: grad_w,
+            bias: grad_b,
+            input: grad_in,
+        }
+    }
+}
+
+/// Gradients produced by [`Dense::backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrads {
+    /// `∂L/∂W`, summed over the batch.
+    pub weights: Matrix,
+    /// `∂L/∂b`, summed over the batch.
+    pub bias: Vec<f32>,
+    /// `∂L/∂x`, per-sample.
+    pub input: Matrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_reference_values() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        assert!(Activation::Sigmoid.apply(20.0) > 0.999_99);
+        assert!(Activation::Sigmoid.apply(-20.0) < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(-200.0), 0.0);
+        assert_eq!(sigmoid(200.0), 1.0);
+        assert!(sigmoid(-200.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid] {
+            for z in [-2.0f32, -0.5, 0.3, 1.7] {
+                let num = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let ana = act.derivative(z);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{act:?} at {z}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]);
+        let layer = Dense::from_parts(w, vec![1.0, -1.0], Activation::Relu);
+        let x = Matrix::from_vec(1, 3, vec![2.0, 3.0, 4.0]);
+        let (z, a) = layer.forward(&x);
+        // z0 = 2 - 4 + 1 = -1 → relu 0; z1 = 1 + 1.5 + 2 - 1 = 3.5.
+        assert_eq!(z.row(0), &[-1.0, 3.5]);
+        assert_eq!(a.row(0), &[0.0, 3.5]);
+    }
+
+    #[test]
+    fn forward_single_matches_batch() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = Dense::new(5, 3, Activation::Relu, &mut rng);
+        let x = [0.3f32, -0.7, 1.2, 0.0, -2.5];
+        let xm = Matrix::from_rows(&[&x]);
+        let (_, a) = layer.forward(&xm);
+        let mut out = [0.0f32; 3];
+        layer.forward_single(&x, &mut out);
+        for (s, b) in out.iter().zip(a.row(0)) {
+            assert!((s - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn he_init_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l1 = Dense::new(100, 10, Activation::Relu, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(l1.weights().data().iter().all(|&w| w.abs() <= bound));
+        assert!(l1.bias().iter().all(|&b| b == 0.0));
+        // Same seed → same weights.
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let l2 = Dense::new(100, 10, Activation::Relu, &mut rng2);
+        assert_eq!(l1.weights(), l2.weights());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Dense::new(31, 16, Activation::Relu, &mut rng);
+        assert_eq!(l.num_params(), 31 * 16 + 16);
+    }
+
+    /// Numerical gradient check of the full layer backward pass.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut layer = Dense::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.3, -0.2, 0.8, -1.5, 1.1]);
+
+        // Scalar loss L = sum(a). Then dL/da = 1.
+        let loss = |layer: &Dense, x: &Matrix| -> f32 {
+            let (_, a) = layer.forward(x);
+            a.data().iter().sum()
+        };
+
+        let (z, a) = layer.forward(&x);
+        let ones = Matrix::from_vec(a.rows(), a.cols(), vec![1.0; a.rows() * a.cols()]);
+        let grads = layer.backward(&x, &z, &ones);
+
+        let eps = 1e-3f32;
+        // Check a few weight entries.
+        for (r, c) in [(0usize, 0usize), (1, 2), (2, 3)] {
+            let orig = layer.weights().get(r, c);
+            layer.weights_mut().set(r, c, orig + eps);
+            let lp = loss(&layer, &x);
+            layer.weights_mut().set(r, c, orig - eps);
+            let lm = loss(&layer, &x);
+            layer.weights_mut().set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.weights.get(r, c);
+            assert!((num - ana).abs() < 2e-2, "w[{r},{c}]: {num} vs {ana}");
+        }
+        // Check biases.
+        for i in 0..3 {
+            let orig = layer.bias()[i];
+            layer.bias_mut()[i] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.bias_mut()[i] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.bias_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grads.bias[i]).abs() < 2e-2, "b[{i}]");
+        }
+    }
+
+    #[test]
+    fn backward_input_grads_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::new(3, 2, Activation::Sigmoid, &mut rng);
+        let mut xv = vec![0.2f32, -0.4, 0.9];
+        let loss = |layer: &Dense, xv: &[f32]| -> f32 {
+            let (_, a) = layer.forward(&Matrix::from_rows(&[xv]));
+            a.data().iter().sum()
+        };
+        let x = Matrix::from_rows(&[&xv]);
+        let (z, a) = layer.forward(&x);
+        let ones = Matrix::from_vec(1, a.cols(), vec![1.0; a.cols()]);
+        let grads = layer.backward(&x, &z, &ones);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let orig = xv[i];
+            xv[i] = orig + eps;
+            let lp = loss(&layer, &xv);
+            xv[i] = orig - eps;
+            let lm = loss(&layer, &xv);
+            xv[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grads.input.get(0, i)).abs() < 1e-2, "x[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Dense::new(0, 4, Activation::Relu, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn from_parts_checks_bias_len() {
+        let _ = Dense::from_parts(Matrix::zeros(2, 3), vec![0.0; 3], Activation::Relu);
+    }
+}

@@ -1,0 +1,58 @@
+//! A from-scratch feed-forward neural network library for KLiNQ.
+//!
+//! The KLiNQ paper trains a large teacher FNN on raw readout traces and
+//! distills it into per-qubit student FNNs small enough for an FPGA. This
+//! crate provides everything those steps need, with no external ML
+//! dependencies:
+//!
+//! - [`matrix`] — a minimal row-major `f32` matrix with the GEMM variants
+//!   the forward/backward passes require.
+//! - [`layer`] — dense layers and activations (ReLU, sigmoid, identity).
+//! - [`loss`] — binary cross-entropy with logits, MSE, and the paper's
+//!   composite distillation loss `α·L_CE + (1−α)·L_KD`.
+//! - [`optim`] — SGD with momentum and Adam.
+//! - [`network`] — the [`Fnn`] container with forward,
+//!   backward, prediction and serde persistence.
+//! - [`train`] — mini-batch trainers for supervised and distillation
+//!   objectives, plus dataset containers.
+//!
+//! # Examples
+//!
+//! Train a tiny network on XOR:
+//!
+//! ```
+//! use klinq_nn::network::FnnBuilder;
+//! use klinq_nn::layer::Activation;
+//! use klinq_nn::train::{Dataset, TrainConfig, train_supervised};
+//!
+//! let x = vec![
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ];
+//! let y = vec![0.0, 1.0, 1.0, 0.0];
+//! let data = Dataset::from_rows(&x, &y)?;
+//! let mut net = FnnBuilder::new(2)
+//!     .hidden(8, Activation::Relu)
+//!     .output(1)
+//!     .seed(7)
+//!     .build();
+//! let cfg = TrainConfig { epochs: 800, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
+//! train_supervised(&mut net, &data, &cfg);
+//! assert!(net.predict(&[0.0, 1.0]));
+//! assert!(!net.predict(&[1.0, 1.0]));
+//! # Ok::<(), klinq_nn::train::DatasetError>(())
+//! ```
+
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod multi;
+pub mod network;
+pub mod optim;
+pub mod train;
+
+pub use layer::{Activation, Dense};
+pub use matrix::Matrix;
+pub use multi::{train_supervised_multi, MultiDataset};
+pub use network::{Fnn, FnnBuilder};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use train::{Dataset, TrainConfig, TrainReport};

@@ -1,0 +1,309 @@
+//! Loss functions: BCE-with-logits, MSE, and the KLiNQ distillation loss.
+//!
+//! The distillation objective is the paper's composite loss
+//! `L_distill = α·L_CE + (1−α)·L_KD` (Sec. III-C), where `L_CE` is binary
+//! cross-entropy between the student's predictions and the ground-truth
+//! labels and `L_KD` is the mean-squared error between the
+//! temperature-softened logits of teacher and student.
+
+use crate::layer::sigmoid;
+
+/// Binary cross-entropy with logits, numerically stable.
+///
+/// Returns `(mean_loss, per_sample_dL/dlogit)`. The gradient of the mean
+/// loss w.r.t. logit `z_i` is `(σ(z_i) − y_i) / n`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_nn::loss::bce_with_logits;
+/// let (loss, grad) = bce_with_logits(&[10.0, -10.0], &[1.0, 0.0]);
+/// assert!(loss < 1e-3);       // confident & correct → tiny loss
+/// assert!(grad[0].abs() < 1e-3);
+/// ```
+pub fn bce_with_logits(logits: &[f32], targets: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(logits.len(), targets.len(), "logits/targets length mismatch");
+    assert!(!logits.is_empty(), "bce_with_logits requires at least one sample");
+    let n = logits.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(logits.len());
+    for (&z, &y) in logits.iter().zip(targets) {
+        // max(z,0) − z·y + ln(1 + e^{−|z|})
+        loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+        grad.push((sigmoid(z) - y) / n);
+    }
+    (loss / n, grad)
+}
+
+/// Mean squared error. Returns `(mean_loss, per_sample_dL/dpred)` where the
+/// gradient is `2(p_i − t_i)/n`.
+///
+/// # Panics
+///
+/// Panics if slices differ in length or are empty.
+pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+    assert!(!pred.is_empty(), "mse requires at least one sample");
+    let n = pred.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(pred.len());
+    for (&p, &t) in pred.iter().zip(target) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+/// Hyper-parameters of the composite distillation loss.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistillParams {
+    /// Weight of the supervised (hard-label) term; `1 − alpha` weighs the
+    /// distillation term.
+    pub alpha: f32,
+    /// Softening temperature applied to both teacher and student logits.
+    pub temperature: f32,
+}
+
+impl Default for DistillParams {
+    fn default() -> Self {
+        // α = 0.3 leans on the teacher; T = 2.5 softens enough to expose
+        // the teacher's confidence structure on a binary task.
+        Self {
+            alpha: 0.3,
+            temperature: 2.5,
+        }
+    }
+}
+
+impl DistillParams {
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ [0, 1]` or `temperature ≤ 0`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be in [0, 1], got {}",
+            self.alpha
+        );
+        assert!(
+            self.temperature > 0.0,
+            "temperature must be positive, got {}",
+            self.temperature
+        );
+    }
+}
+
+/// The KLiNQ composite distillation loss.
+///
+/// `L = α·BCE(z_s, y) + (1−α)·MSE(σ(z_s/T), σ(z_t/T))`
+///
+/// Returns `(loss, dL/dz_s)`. The soft labels `σ(z_t/T)` are treated as
+/// constants (no gradient flows into the teacher).
+///
+/// # Panics
+///
+/// Panics on length mismatches, empty inputs, or invalid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_nn::loss::{distill_loss, DistillParams};
+/// let params = DistillParams { alpha: 0.5, temperature: 2.0 };
+/// // Student matching both labels and teacher → small loss.
+/// let (loss, _) = distill_loss(&[8.0, -8.0], &[8.0, -8.0], &[1.0, 0.0], params);
+/// assert!(loss < 1e-2);
+/// ```
+pub fn distill_loss(
+    student_logits: &[f32],
+    teacher_logits: &[f32],
+    targets: &[f32],
+    params: DistillParams,
+) -> (f32, Vec<f32>) {
+    params.validate();
+    assert_eq!(
+        student_logits.len(),
+        teacher_logits.len(),
+        "student/teacher length mismatch"
+    );
+    let (ce, ce_grad) = bce_with_logits(student_logits, targets);
+    let t = params.temperature;
+    let soft_s: Vec<f32> = student_logits.iter().map(|&z| sigmoid(z / t)).collect();
+    let soft_t: Vec<f32> = teacher_logits.iter().map(|&z| sigmoid(z / t)).collect();
+    let (kd, kd_grad_wrt_soft) = mse(&soft_s, &soft_t);
+    let a = params.alpha;
+    let loss = a * ce + (1.0 - a) * kd;
+    let grad = ce_grad
+        .iter()
+        .zip(kd_grad_wrt_soft.iter().zip(&soft_s))
+        .map(|(&g_ce, (&g_kd, &s))| {
+            // dσ(z/T)/dz = σ'(z/T)/T = s(1−s)/T
+            let dsoft_dz = s * (1.0 - s) / t;
+            a * g_ce + (1.0 - a) * g_kd * dsoft_dz
+        })
+        .collect();
+    (loss, grad)
+}
+
+/// Classification accuracy of logits against binary targets (threshold 0).
+///
+/// # Panics
+///
+/// Panics if slices differ in length or are empty.
+pub fn accuracy(logits: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(logits.len(), targets.len(), "logits/targets length mismatch");
+    assert!(!logits.is_empty(), "accuracy requires at least one sample");
+    let correct = logits
+        .iter()
+        .zip(targets)
+        .filter(|(&z, &y)| (z > 0.0) == (y > 0.5))
+        .count();
+    correct as f64 / logits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        f: &dyn Fn(&[f32]) -> f32,
+        x: &[f32],
+        analytic: &[f32],
+        tol: f32,
+    ) {
+        let eps = 1e-3f32;
+        let mut xv = x.to_vec();
+        for i in 0..x.len() {
+            let orig = xv[i];
+            xv[i] = orig + eps;
+            let lp = f(&xv);
+            xv[i] = orig - eps;
+            let lm = f(&xv);
+            xv[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[i]).abs() < tol,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bce_reference_values() {
+        // z = 0 → loss = ln 2 regardless of label.
+        let (loss, _) = bce_with_logits(&[0.0], &[1.0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+        // Confident wrong prediction → loss ≈ |z|.
+        let (loss, _) = bce_with_logits(&[-10.0], &[1.0]);
+        assert!((loss - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bce_is_stable_for_huge_logits() {
+        let (loss, grad) = bce_with_logits(&[500.0, -500.0], &[0.0, 1.0]);
+        assert!(loss.is_finite());
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_differences() {
+        let z = [0.7f32, -1.3, 2.0, 0.0];
+        let y = [1.0f32, 0.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&z, &y);
+        finite_diff_check(&|zv| bce_with_logits(zv, &y).0, &z, &grad, 1e-3);
+    }
+
+    #[test]
+    fn mse_reference_and_gradient() {
+        let (loss, grad) = mse(&[1.0, 3.0], &[0.0, 1.0]);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4)/2
+        assert_eq!(grad, vec![1.0, 2.0]); // 2d/n
+        let p = [0.3f32, -0.9, 1.5];
+        let t = [0.1f32, 0.2, -0.4];
+        let (_, g) = mse(&p, &t);
+        finite_diff_check(&|pv| mse(pv, &t).0, &p, &g, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bce_rejects_mismatch() {
+        let _ = bce_with_logits(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn mse_rejects_empty() {
+        let _ = mse(&[], &[]);
+    }
+
+    #[test]
+    fn distill_gradient_matches_finite_differences() {
+        let zs = [0.4f32, -0.8, 1.6, -2.2];
+        let zt = [2.0f32, -1.0, 0.5, -3.0];
+        let y = [1.0f32, 0.0, 1.0, 0.0];
+        let params = DistillParams {
+            alpha: 0.3,
+            temperature: 2.5,
+        };
+        let (_, grad) = distill_loss(&zs, &zt, &y, params);
+        finite_diff_check(
+            &|z| distill_loss(z, &zt, &y, params).0,
+            &zs,
+            &grad,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn alpha_extremes_reduce_to_components() {
+        let zs = [0.4f32, -0.8];
+        let zt = [2.0f32, -1.0];
+        let y = [1.0f32, 0.0];
+        // α = 1 → pure BCE.
+        let (l1, g1) = distill_loss(&zs, &zt, &y, DistillParams { alpha: 1.0, temperature: 2.0 });
+        let (ce, ce_g) = bce_with_logits(&zs, &y);
+        assert!((l1 - ce).abs() < 1e-6);
+        for (a, b) in g1.iter().zip(&ce_g) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // α = 0 → pure KD: loss is zero iff student matches teacher.
+        let (l0, _) = distill_loss(&zt, &zt, &y, DistillParams { alpha: 0.0, temperature: 2.0 });
+        assert!(l0 < 1e-9);
+    }
+
+    #[test]
+    fn temperature_softens_kd_gradients() {
+        let zs = [3.0f32];
+        let zt = [-3.0f32];
+        let y = [0.0f32];
+        let cold = distill_loss(&zs, &zt, &y, DistillParams { alpha: 0.0, temperature: 1.0 }).0;
+        let hot = distill_loss(&zs, &zt, &y, DistillParams { alpha: 0.0, temperature: 10.0 }).0;
+        // At high temperature both sigmoids approach 0.5 → smaller loss.
+        assert!(hot < cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn distill_rejects_bad_alpha() {
+        let _ = distill_loss(&[0.0], &[0.0], &[0.0], DistillParams { alpha: 1.5, temperature: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn distill_rejects_bad_temperature() {
+        let _ = distill_loss(&[0.0], &[0.0], &[0.0], DistillParams { alpha: 0.5, temperature: 0.0 });
+    }
+
+    #[test]
+    fn accuracy_reference() {
+        let acc = accuracy(&[1.0, -1.0, 2.0, -2.0], &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(acc, 0.75);
+    }
+}

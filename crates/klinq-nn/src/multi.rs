@@ -1,0 +1,306 @@
+//! Multi-output (multi-label) training: one network, one logit per qubit.
+//!
+//! The original Lienhard et al. discriminator — the paper's reference \[3\]
+//! — reads *all five qubits simultaneously* with a single network whose
+//! input is the multiplexed trace and whose five outputs are per-qubit
+//! logits. The joint model can learn cross-qubit structure (crosstalk
+//! compensation), which is why the paper reports it beating every
+//! independent scheme (F5Q 0.912) while noting it cannot serve mid-circuit
+//! measurement. This module adds the multi-label dataset and trainer the
+//! joint baseline needs.
+
+use crate::loss::bce_with_logits;
+use crate::matrix::Matrix;
+use crate::network::Fnn;
+use crate::train::{OptimizerKind, TrainConfig, TrainReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Error constructing a [`MultiDataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiDatasetError {
+    /// No samples.
+    Empty,
+    /// Feature and label row counts differ.
+    RowMismatch {
+        /// Feature rows.
+        features: usize,
+        /// Label rows.
+        labels: usize,
+    },
+    /// A label is outside {0, 1}.
+    InvalidLabel {
+        /// Sample index.
+        row: usize,
+        /// Output index.
+        output: usize,
+    },
+}
+
+impl fmt::Display for MultiDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "multi-label dataset has no samples"),
+            Self::RowMismatch { features, labels } => {
+                write!(f, "feature rows ({features}) and label rows ({labels}) differ")
+            }
+            Self::InvalidLabel { row, output } => {
+                write!(f, "label at sample {row}, output {output} is not 0 or 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiDatasetError {}
+
+/// A multi-label binary dataset: features plus a `samples × outputs` label
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDataset {
+    x: Matrix,
+    y: Matrix,
+}
+
+impl MultiDataset {
+    /// Builds from a feature matrix and a label matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiDatasetError`] on empty input, mismatched row
+    /// counts, or non-binary labels.
+    pub fn from_matrices(x: Matrix, y: Matrix) -> Result<Self, MultiDatasetError> {
+        if x.rows() == 0 {
+            return Err(MultiDatasetError::Empty);
+        }
+        if x.rows() != y.rows() {
+            return Err(MultiDatasetError::RowMismatch {
+                features: x.rows(),
+                labels: y.rows(),
+            });
+        }
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                let v = y.get(r, c);
+                if !(v == 0.0 || v == 1.0) {
+                    return Err(MultiDatasetError::InvalidLabel { row: r, output: c });
+                }
+            }
+        }
+        Ok(Self { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// `true` if empty (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of binary outputs.
+    pub fn outputs(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The label matrix.
+    pub fn labels(&self) -> &Matrix {
+        &self.y
+    }
+
+    fn batch(&self, indices: &[usize]) -> (Matrix, Vec<f32>) {
+        let rows: Vec<&[f32]> = indices.iter().map(|&i| self.x.row(i)).collect();
+        let mut labels = Vec::with_capacity(indices.len() * self.y.cols());
+        for &i in indices {
+            labels.extend_from_slice(self.y.row(i));
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+}
+
+/// Trains a multi-output network with per-output binary cross-entropy
+/// (mean over outputs and samples).
+///
+/// # Panics
+///
+/// Panics if the dataset dimensions do not match the network.
+pub fn train_supervised_multi(
+    net: &mut Fnn,
+    data: &MultiDataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert_eq!(data.dim(), net.input_dim(), "dataset/network input mismatch");
+    assert_eq!(
+        data.outputs(),
+        net.output_dim(),
+        "dataset/network output mismatch"
+    );
+    assert!(cfg.epochs > 0, "epochs must be positive");
+
+    let mut opt: Box<dyn crate::optim::Optimizer> = match cfg.optimizer {
+        OptimizerKind::Sgd { momentum } => Box::new(
+            crate::optim::Sgd::new(cfg.learning_rate).with_momentum(momentum),
+        ),
+        OptimizerKind::Adam => Box::new(crate::optim::Adam::new(cfg.learning_rate)),
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let batch_size = cfg.batch_size.min(data.len()).max(1);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        indices.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(batch_size) {
+            let (bx, by) = data.batch(chunk);
+            let trace = net.forward_trace(&bx);
+            let logits: Vec<f32> = trace.output().data().to_vec();
+            let (loss, grad) = bce_with_logits(&logits, &by);
+            let grad_m = Matrix::from_vec(chunk.len(), data.outputs(), grad);
+            let mut grads = net.backward(&trace, &grad_m);
+            if cfg.weight_decay > 0.0 {
+                for (g, layer) in grads.iter_mut().zip(net.layers()) {
+                    for (gw, &w) in g.weights.data_mut().iter_mut().zip(layer.weights().data()) {
+                        *gw += cfg.weight_decay * w;
+                    }
+                }
+            }
+            net.apply_grads(&grads, opt.as_mut());
+            epoch_loss += loss as f64;
+            batches += 1;
+        }
+        epoch_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+    }
+
+    let final_train_accuracy = evaluate_multi_accuracy(net, data)
+        .iter()
+        .sum::<f64>()
+        / data.outputs() as f64;
+    TrainReport {
+        epoch_losses,
+        final_train_accuracy,
+    }
+}
+
+/// Per-output classification accuracy of a multi-output network.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch.
+pub fn evaluate_multi_accuracy(net: &Fnn, data: &MultiDataset) -> Vec<f64> {
+    assert_eq!(data.dim(), net.input_dim(), "dataset/network input mismatch");
+    let out = net.forward_batch(data.features());
+    let k = data.outputs();
+    let mut correct = vec![0usize; k];
+    for r in 0..data.len() {
+        for c in 0..k {
+            if (out.get(r, c) > 0.0) == (data.labels().get(r, c) == 1.0) {
+                correct[c] += 1;
+            }
+        }
+    }
+    correct
+        .into_iter()
+        .map(|c| c as f64 / data.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use crate::network::FnnBuilder;
+
+    /// Two outputs with different linear rules over 3 features.
+    fn toy() -> MultiDataset {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..96 {
+            let a = ((k * 37 % 19) as f32 - 9.0) / 9.0;
+            let b = ((k * 53 % 17) as f32 - 8.0) / 8.0;
+            let c = ((k * 29 % 13) as f32 - 6.0) / 6.0;
+            xs.extend_from_slice(&[a, b, c]);
+            ys.push((a + b > 0.0) as u8 as f32);
+            ys.push((b - c > 0.0) as u8 as f32);
+        }
+        MultiDataset::from_matrices(Matrix::from_vec(96, 3, xs), Matrix::from_vec(96, 2, ys))
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            MultiDataset::from_matrices(Matrix::zeros(0, 3), Matrix::zeros(0, 2)),
+            Err(MultiDatasetError::Empty)
+        );
+        assert_eq!(
+            MultiDataset::from_matrices(Matrix::zeros(2, 3), Matrix::zeros(3, 2)),
+            Err(MultiDatasetError::RowMismatch {
+                features: 2,
+                labels: 3
+            })
+        );
+        let bad = Matrix::from_vec(1, 2, vec![0.0, 0.5]);
+        let err =
+            MultiDataset::from_matrices(Matrix::zeros(1, 3), bad).unwrap_err();
+        assert_eq!(err, MultiDatasetError::InvalidLabel { row: 0, output: 1 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn joint_network_learns_both_outputs() {
+        let data = toy();
+        let mut net = FnnBuilder::new(3)
+            .hidden(16, Activation::Relu)
+            .output(2)
+            .seed(3)
+            .build();
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 16,
+            learning_rate: 0.01,
+            ..TrainConfig::default()
+        };
+        let report = train_supervised_multi(&mut net, &data, &cfg);
+        let acc = evaluate_multi_accuracy(&net, &data);
+        assert!(acc[0] > 0.95, "output 0: {acc:?}");
+        assert!(acc[1] > 0.95, "output 1: {acc:?}");
+        assert!(report.final_train_accuracy > 0.95);
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn accessors_and_batching() {
+        let data = toy();
+        assert_eq!(data.len(), 96);
+        assert!(!data.is_empty());
+        assert_eq!(data.dim(), 3);
+        assert_eq!(data.outputs(), 2);
+        let (bx, by) = data.batch(&[0, 5]);
+        assert_eq!(bx.rows(), 2);
+        assert_eq!(by.len(), 4);
+        assert_eq!(by[2], data.labels().get(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "output mismatch")]
+    fn trainer_checks_output_dim() {
+        let data = toy();
+        let mut net = FnnBuilder::new(3).output(1).build();
+        let _ = train_supervised_multi(&mut net, &data, &TrainConfig::default());
+    }
+}

@@ -1,0 +1,460 @@
+//! The [`Fnn`] feed-forward network container and its builder.
+
+use crate::layer::{Activation, Dense, LayerGrads};
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// A feed-forward neural network: a stack of [`Dense`] layers.
+///
+/// Built via [`FnnBuilder`]. The KLiNQ architectures are:
+///
+/// - teacher: `input → 1000 → 500 → 250 → 1` (ReLU hidden, identity out)
+/// - student FNN-A: `31 → 16 → 8 → 1`
+/// - student FNN-B: `201 → 16 → 8 → 1`
+///
+/// # Examples
+///
+/// ```
+/// use klinq_nn::{FnnBuilder, Activation};
+/// let net = FnnBuilder::new(31)
+///     .hidden(16, Activation::Relu)
+///     .hidden(8, Activation::Relu)
+///     .output(1)
+///     .seed(1)
+///     .build();
+/// assert_eq!(net.num_params(), 31 * 16 + 16 + 16 * 8 + 8 + 8 + 1);
+/// let logit = net.logit(&vec![0.0; 31]);
+/// assert!(logit.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fnn {
+    layers: Vec<Dense>,
+}
+
+/// Cached intermediate values from a training forward pass.
+///
+/// `inputs[l]` is the input to layer `l` (so `inputs[0]` is the batch) and
+/// `zs[l]` its pre-activation; `inputs.last()` is the network output.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    inputs: Vec<Matrix>,
+    zs: Vec<Matrix>,
+}
+
+impl ForwardTrace {
+    /// The network output (activations of the last layer).
+    pub fn output(&self) -> &Matrix {
+        self.inputs.last().expect("trace always holds the input batch")
+    }
+}
+
+impl Fnn {
+    /// Builds from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions don't chain.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an Fnn needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].output_dim(),
+                w[1].input_dim(),
+                "layer dimension chain broken: {} -> {}",
+                w[0].output_dim(),
+                w[1].input_dim()
+            );
+        }
+        Self { layers }
+    }
+
+    /// Network input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Network output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Batch forward pass returning only the output.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for layer in &self.layers {
+            a = layer.forward(&a).1;
+        }
+        a
+    }
+
+    /// Batch forward pass caching everything backward needs.
+    pub fn forward_trace(&self, x: &Matrix) -> ForwardTrace {
+        let mut inputs = Vec::with_capacity(self.layers.len() + 1);
+        let mut zs = Vec::with_capacity(self.layers.len());
+        inputs.push(x.clone());
+        for layer in &self.layers {
+            let (z, a) = layer.forward(inputs.last().expect("pushed above"));
+            zs.push(z);
+            inputs.push(a);
+        }
+        ForwardTrace { inputs, zs }
+    }
+
+    /// Backpropagates `grad_output = ∂L/∂output` through the network,
+    /// returning per-layer gradients (first layer first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not belong to this network (shape mismatch).
+    pub fn backward(&self, trace: &ForwardTrace, grad_output: &Matrix) -> Vec<LayerGrads> {
+        assert_eq!(trace.zs.len(), self.layers.len(), "trace/network depth mismatch");
+        let mut grads = Vec::with_capacity(self.layers.len());
+        let mut upstream = grad_output.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let g = layer.backward(&trace.inputs[l], &trace.zs[l], &upstream);
+            upstream = g.input.clone();
+            grads.push(g);
+        }
+        grads.reverse();
+        grads
+    }
+
+    /// Applies per-layer gradients with the given optimizer.
+    ///
+    /// Parameter-tensor ids are `2*layer` (weights) and `2*layer + 1`
+    /// (bias), so one optimizer instance can train one network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the layer count.
+    pub fn apply_grads(&mut self, grads: &[LayerGrads], opt: &mut dyn Optimizer) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            opt.step(2 * l, layer.weights_mut().data_mut(), g.weights.data());
+            opt.step(2 * l + 1, layer.bias_mut(), &g.bias);
+        }
+    }
+
+    /// Single-sample forward pass returning the full output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward_single(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            next.resize(layer.output_dim(), 0.0);
+            layer.forward_single(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// The scalar logit of a single-output network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than one output.
+    pub fn logit(&self, x: &[f32]) -> f32 {
+        assert_eq!(self.output_dim(), 1, "logit requires a single-output network");
+        self.forward_single(x)[0]
+    }
+
+    /// Logits for a batch (single-output networks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than one output.
+    pub fn logits_batch(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(self.output_dim(), 1, "logits_batch requires a single-output network");
+        self.forward_batch(x).data().to_vec()
+    }
+
+    /// Binary prediction: `true` (excited, label 1) if the logit exceeds 0.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.logit(x) > 0.0
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O or serialization error.
+    pub fn save_json(&self, path: &Path) -> Result<(), std::io::Error> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a network previously written by [`Self::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O or deserialization error.
+    pub fn load_json(path: &Path) -> Result<Self, std::io::Error> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+impl fmt::Display for Fnn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fnn({}", self.input_dim())?;
+        for layer in &self.layers {
+            write!(f, " → {}", layer.output_dim())?;
+        }
+        write!(f, "; {} params)", self.num_params())
+    }
+}
+
+/// Builder for [`Fnn`] networks.
+#[derive(Debug, Clone)]
+pub struct FnnBuilder {
+    input_dim: usize,
+    specs: Vec<(usize, Activation)>,
+    seed: u64,
+}
+
+impl FnnBuilder {
+    /// Starts a builder for a network with the given input dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` is zero.
+    pub fn new(input_dim: usize) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        Self {
+            input_dim,
+            specs: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Appends a hidden layer.
+    pub fn hidden(mut self, neurons: usize, activation: Activation) -> Self {
+        self.specs.push((neurons, activation));
+        self
+    }
+
+    /// Appends the (identity-activation) output layer.
+    pub fn output(mut self, neurons: usize) -> Self {
+        self.specs.push((neurons, Activation::Identity));
+        self
+    }
+
+    /// Sets the weight-initialization seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added or any layer has zero neurons.
+    pub fn build(self) -> Fnn {
+        assert!(!self.specs.is_empty(), "network needs at least one layer");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layers = Vec::with_capacity(self.specs.len());
+        let mut in_dim = self.input_dim;
+        for &(n, act) in &self.specs {
+            layers.push(Dense::new(in_dim, n, act, &mut rng));
+            in_dim = n;
+        }
+        Fnn::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::bce_with_logits;
+
+    fn small_net(seed: u64) -> Fnn {
+        FnnBuilder::new(4)
+            .hidden(6, Activation::Relu)
+            .hidden(3, Activation::Relu)
+            .output(1)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let net = small_net(0);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.num_params(), 4 * 6 + 6 + 6 * 3 + 3 + 3 + 1);
+    }
+
+    #[test]
+    fn paper_student_param_counts() {
+        let fnn_a = FnnBuilder::new(31)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .build();
+        assert_eq!(fnn_a.num_params(), 657);
+        let fnn_b = FnnBuilder::new(201)
+            .hidden(16, Activation::Relu)
+            .hidden(8, Activation::Relu)
+            .output(1)
+            .build();
+        assert_eq!(fnn_b.num_params(), 3377);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(small_net(9), small_net(9));
+        assert_ne!(small_net(9), small_net(10));
+    }
+
+    #[test]
+    fn forward_single_matches_batch() {
+        let net = small_net(4);
+        let x = [0.5f32, -1.0, 0.25, 2.0];
+        let batch = Matrix::from_rows(&[&x]);
+        let out = net.forward_batch(&batch);
+        let single = net.forward_single(&x);
+        assert!((out.get(0, 0) - single[0]).abs() < 1e-6);
+        assert!((net.logit(&x) - single[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logits_batch_matches_per_sample() {
+        let net = small_net(4);
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..4).map(|j| (i * 4 + j) as f32 * 0.1 - 1.0).collect())
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let batch = Matrix::from_rows(&refs);
+        let logits = net.logits_batch(&batch);
+        for (row, &l) in rows.iter().zip(&logits) {
+            assert!((net.logit(row) - l).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut net = small_net(7);
+        let x = Matrix::from_vec(3, 4, vec![
+            0.5, -1.0, 0.25, 2.0,
+            1.5, 0.3, -0.7, -0.1,
+            -0.9, 0.6, 1.1, 0.4,
+        ]);
+        let y = [1.0f32, 0.0, 1.0];
+
+        let loss_of = |net: &Fnn| {
+            let logits = net.logits_batch(&x);
+            bce_with_logits(&logits, &y).0
+        };
+
+        let trace = net.forward_trace(&x);
+        let logits: Vec<f32> = trace.output().data().to_vec();
+        let (_, grad) = bce_with_logits(&logits, &y);
+        let grad_m = Matrix::from_vec(3, 1, grad);
+        let grads = net.backward(&trace, &grad_m);
+
+        let eps = 1e-3f32;
+        // Spot-check several weights in each layer.
+        for l in 0..3 {
+            let (r, c) = (0usize, 0usize);
+            let orig = net.layers()[l].weights().get(r, c);
+            net.layers[l].weights_mut().set(r, c, orig + eps);
+            let lp = loss_of(&net);
+            net.layers[l].weights_mut().set(r, c, orig - eps);
+            let lm = loss_of(&net);
+            net.layers[l].weights_mut().set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads[l].weights.get(r, c);
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "layer {l}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        use crate::optim::{Adam, Optimizer as _};
+        let mut net = small_net(21);
+        let x = Matrix::from_vec(4, 4, vec![
+            1.0, 1.0, 0.0, 0.0,
+            0.0, 0.0, 1.0, 1.0,
+            1.0, 0.0, 1.0, 0.0,
+            0.0, 1.0, 0.0, 1.0,
+        ]);
+        let y = [1.0f32, 0.0, 1.0, 0.0];
+        let mut opt = Adam::new(0.01);
+        let initial = {
+            let logits = net.logits_batch(&x);
+            bce_with_logits(&logits, &y).0
+        };
+        for _ in 0..200 {
+            let trace = net.forward_trace(&x);
+            let logits: Vec<f32> = trace.output().data().to_vec();
+            let (_, grad) = bce_with_logits(&logits, &y);
+            let grad_m = Matrix::from_vec(4, 1, grad);
+            let grads = net.backward(&trace, &grad_m);
+            net.apply_grads(&grads, &mut opt);
+        }
+        let final_loss = {
+            let logits = net.logits_batch(&x);
+            bce_with_logits(&logits, &y).0
+        };
+        assert!(final_loss < initial * 0.5, "{initial} → {final_loss}");
+        let _ = opt.learning_rate();
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let net = small_net(13);
+        let dir = std::env::temp_dir().join("klinq_nn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        net.save_json(&path).unwrap();
+        let loaded = Fnn::load_json(&path).unwrap();
+        assert_eq!(net, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_shows_architecture() {
+        let s = small_net(0).to_string();
+        assert!(s.contains("Fnn(4 → 6 → 3 → 1"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension chain broken")]
+    fn from_layers_checks_chain() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Dense::new(4, 6, Activation::Relu, &mut rng);
+        let b = Dense::new(5, 1, Activation::Identity, &mut rng);
+        let _ = Fnn::from_layers(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-output")]
+    fn logit_requires_single_output() {
+        let net = FnnBuilder::new(2).output(3).build();
+        let _ = net.logit(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the neural network library.
+
+use klinq_nn::loss::{accuracy, bce_with_logits, distill_loss, mse, DistillParams};
+use klinq_nn::{Activation, FnnBuilder, Matrix};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative((a, b, c) in (matrix(3, 4), matrix(4, 5), matrix(5, 2))) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b, c) in (matrix(3, 4), matrix(4, 2), matrix(4, 2))) {
+        let mut sum = b.clone();
+        for (s, &x) in sum.data_mut().iter_mut().zip(c.data()) {
+            *s += x;
+        }
+        let lhs = a.matmul(&sum);
+        let mut rhs = a.matmul(&b);
+        let rc = a.matmul(&c);
+        for (r, &x) in rhs.data_mut().iter_mut().zip(rc.data()) {
+            *r += x;
+        }
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_agree_with_plain_matmul((a, b) in (matrix(4, 6), matrix(6, 3))) {
+        // a.matmul(b) == a.matmul_bt(bᵀ-as-matrix) by building the
+        // transpose explicitly.
+        let mut bt = Matrix::zeros(b.cols(), b.rows());
+        for r in 0..b.rows() {
+            for c in 0..b.cols() {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let plain = a.matmul(&b);
+        let fused = a.matmul_bt(&bt);
+        for (x, y) in plain.data().iter().zip(fused.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite(x in prop::collection::vec(-10.0f32..10.0, 7)) {
+        let net = FnnBuilder::new(7)
+            .hidden(5, Activation::Relu)
+            .hidden(3, Activation::Sigmoid)
+            .output(1)
+            .seed(42)
+            .build();
+        let a = net.logit(&x);
+        let b = net.logit(&x);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.is_finite());
+    }
+
+    #[test]
+    fn relu_network_is_positive_homogeneous_in_first_layer(
+        x in prop::collection::vec(-5.0f32..5.0, 4),
+        scale in 0.1f32..3.0
+    ) {
+        // A single ReLU layer with zero bias satisfies f(s·x) = s·f(x) for
+        // s > 0 — checks the activation wiring.
+        use klinq_nn::Dense;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(4, 3, Activation::Relu, &mut rng); // zero bias init
+        let scaled: Vec<f32> = x.iter().map(|&v| v * scale).collect();
+        let mut out_a = [0.0f32; 3];
+        let mut out_b = [0.0f32; 3];
+        layer.forward_single(&x, &mut out_a);
+        layer.forward_single(&scaled, &mut out_b);
+        for (a, b) in out_a.iter().zip(&out_b) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn bce_loss_is_nonnegative_and_grad_bounded(
+        logits in prop::collection::vec(-30.0f32..30.0, 1..32),
+        bits in prop::collection::vec(prop::bool::ANY, 32)
+    ) {
+        let targets: Vec<f32> = bits.iter().take(logits.len()).map(|&b| b as u8 as f32).collect();
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        let n = logits.len() as f32;
+        for g in grad {
+            // |σ(z) − y|/n ≤ 1/n.
+            prop_assert!(g.abs() <= 1.0 / n + 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_zero_iff_equal(xs in prop::collection::vec(-10.0f32..10.0, 1..16)) {
+        let (loss, grad) = mse(&xs, &xs);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn distill_loss_interpolates_between_terms(
+        zs in prop::collection::vec(-5.0f32..5.0, 4..8),
+        zt in prop::collection::vec(-5.0f32..5.0, 8),
+        bits in prop::collection::vec(prop::bool::ANY, 8),
+        alpha in 0.0f32..1.0
+    ) {
+        let n = zs.len();
+        let zt = &zt[..n];
+        let y: Vec<f32> = bits.iter().take(n).map(|&b| b as u8 as f32).collect();
+        let t = 2.0f32;
+        let (l_mix, _) = distill_loss(&zs, zt, &y, DistillParams { alpha, temperature: t });
+        let (l_ce, _) = distill_loss(&zs, zt, &y, DistillParams { alpha: 1.0, temperature: t });
+        let (l_kd, _) = distill_loss(&zs, zt, &y, DistillParams { alpha: 0.0, temperature: t });
+        let expect = alpha * l_ce + (1.0 - alpha) * l_kd;
+        prop_assert!((l_mix - expect).abs() < 1e-4, "{l_mix} vs {expect}");
+    }
+
+    #[test]
+    fn accuracy_is_a_proportion(
+        logits in prop::collection::vec(-5.0f32..5.0, 1..64),
+        bits in prop::collection::vec(prop::bool::ANY, 64)
+    ) {
+        let targets: Vec<f32> = bits.iter().take(logits.len()).map(|&b| b as u8 as f32).collect();
+        let acc = accuracy(&logits, &targets);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // Flipping every logit flips the accuracy.
+        let flipped: Vec<f32> = logits.iter().map(|&z| -z).collect();
+        let acc_f = accuracy(&flipped, &targets);
+        // Zero logits classify as "ground" either way; exclude exact zeros.
+        if logits.iter().all(|&z| z != 0.0) {
+            prop_assert!((acc + acc_f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn builder_param_count_formula(
+        input in 1usize..32,
+        h1 in 1usize..16,
+        h2 in 1usize..16
+    ) {
+        let net = FnnBuilder::new(input)
+            .hidden(h1, Activation::Relu)
+            .hidden(h2, Activation::Relu)
+            .output(1)
+            .build();
+        prop_assert_eq!(
+            net.num_params(),
+            input * h1 + h1 + h1 * h2 + h2 + h2 + 1
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation timing configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a simulated readout.
+///
+/// Defaults match the paper's digitization: 2 ns per sample, 1 µs traces
+/// (500 samples per quadrature, flattened to 1000 network inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// ADC sample period in nanoseconds.
+    pub sample_period_ns: f64,
+    /// Readout-trace duration in nanoseconds.
+    pub trace_duration_ns: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            sample_period_ns: 2.0,
+            trace_duration_ns: 1000.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Creates a config with the default 2 ns sampling and the given trace
+    /// duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_duration_ns` is not positive.
+    pub fn with_duration_ns(trace_duration_ns: f64) -> Self {
+        assert!(trace_duration_ns > 0.0, "trace duration must be positive");
+        Self {
+            trace_duration_ns,
+            ..Self::default()
+        }
+    }
+
+    /// Samples per quadrature channel (`floor(duration / period)`).
+    pub fn samples(&self) -> usize {
+        (self.trace_duration_ns / self.sample_period_ns) as usize
+    }
+
+    /// Timestamp (ns) of sample `k`, at the interval midpoint.
+    pub fn sample_time_ns(&self, k: usize) -> f64 {
+        (k as f64 + 0.5) * self.sample_period_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.samples(), 500);
+        assert_eq!(c.sample_period_ns, 2.0);
+    }
+
+    #[test]
+    fn duration_sweep_sample_counts() {
+        // The paper's Table II durations.
+        for (ns, want) in [(1000.0, 500), (950.0, 475), (750.0, 375), (550.0, 275), (500.0, 250)] {
+            assert_eq!(SimConfig::with_duration_ns(ns).samples(), want, "{ns} ns");
+        }
+    }
+
+    #[test]
+    fn sample_times_are_midpoints() {
+        let c = SimConfig::default();
+        assert_eq!(c.sample_time_ns(0), 1.0);
+        assert_eq!(c.sample_time_ns(499), 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_duration() {
+        let _ = SimConfig::with_duration_ns(0.0);
+    }
+}

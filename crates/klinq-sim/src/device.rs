@@ -1,0 +1,334 @@
+//! The five-qubit device preset and crosstalk model.
+
+use crate::calibrate::calibrate_sigma;
+use crate::config::SimConfig;
+use crate::qubit::QubitCalibration;
+use crate::trajectory::{mean_trajectory_vec, StateEvolution};
+use serde::{Deserialize, Serialize};
+
+/// Number of qubits on the simulated processor.
+pub const NUM_QUBITS: usize = 5;
+
+/// A frequency-multiplexed five-qubit readout device.
+///
+/// `crosstalk[i][j]` is the fraction of qubit `j`'s clean resonator signal
+/// that leaks into qubit `i`'s digitized trace (diagonal is zero). In an
+/// independent (per-qubit) readout the neighbours' states are unknown, so
+/// this leakage acts as state-dependent interference — the mechanism
+/// behind the paper's observation that independent readout "always
+/// underperforms compared to the large network for the five-qubit system".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiveQubitDevice {
+    qubits: Vec<QubitCalibration>,
+    crosstalk: [[f64; NUM_QUBITS]; NUM_QUBITS],
+}
+
+impl FiveQubitDevice {
+    /// Builds a device from explicit calibrations and a crosstalk matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are not exactly [`NUM_QUBITS`] calibrations, any
+    /// calibration is invalid, or the crosstalk diagonal is non-zero.
+    pub fn new(
+        qubits: Vec<QubitCalibration>,
+        crosstalk: [[f64; NUM_QUBITS]; NUM_QUBITS],
+    ) -> Self {
+        assert_eq!(qubits.len(), NUM_QUBITS, "expected {NUM_QUBITS} qubits");
+        for q in &qubits {
+            q.validate();
+        }
+        for (i, row) in crosstalk.iter().enumerate() {
+            assert_eq!(row[i], 0.0, "crosstalk diagonal must be zero (qubit {i})");
+        }
+        Self { qubits, crosstalk }
+    }
+
+    /// The paper-calibrated preset.
+    ///
+    /// Per-qubit noise is solved analytically so the predicted
+    /// matched-filter fidelity at 1 µs matches the paper's Table I KLiNQ
+    /// row: `[0.968, 0.748, 0.929, 0.934, 0.959]`. The remaining physics
+    /// parameters shape the Table II duration behaviour:
+    ///
+    /// - **Q1**: slow ring-up, long T1 → fidelity rises with duration.
+    /// - **Q2**: small IQ separation plus the strongest incoming crosstalk
+    ///   → the noisy outlier around 0.75.
+    /// - **Q3**: fast ring-up, accuracy capped by preparation errors →
+    ///   nearly flat across durations.
+    /// - **Q4**: intermediate; mild decline at short traces.
+    /// - **Q5**: fast ring-up with a comparatively short T1 → best
+    ///   fidelity at *shorter* traces (the paper's green-highlighted
+    ///   optimum below 1 µs).
+    pub fn paper() -> Self {
+        let config = SimConfig::default();
+        // Calibration targets for the *analytic matched-filter* predictor.
+        // They differ from the paper's KLiNQ fidelities by fixed empirical
+        // offsets measured once at the `quick` experiment scale: a trained
+        // (empirical) discriminator gives a little back to the idealized
+        // filter on the crosstalk-heavy qubits, and wins a little on the
+        // decay-heavy qubit 5 by recognising mid-trace relaxation. With
+        // these offsets the measured KLiNQ row lands on the paper's
+        // [0.968, 0.748, 0.929, 0.934, 0.959].
+        let targets = [0.969, 0.762, 0.933, 0.945, 0.951];
+        let mut protos = vec![
+            QubitCalibration {
+                ground_iq: (1.0, 0.30),
+                excited_iq: (-1.0, -0.30),
+                ring_up_ns: 100.0,
+                noise_sigma: 1.0,
+                t1_ns: 40_000.0,
+                prep_error: 0.012,
+                signal_tau_ns: Some(1100.0),
+            },
+            QubitCalibration {
+                ground_iq: (0.45, 0.20),
+                excited_iq: (-0.45, -0.20),
+                ring_up_ns: 100.0,
+                noise_sigma: 1.0,
+                t1_ns: 20_000.0,
+                prep_error: 0.02,
+                signal_tau_ns: Some(900.0),
+            },
+            QubitCalibration {
+                ground_iq: (0.9, -0.5),
+                excited_iq: (-0.9, 0.5),
+                ring_up_ns: 40.0,
+                noise_sigma: 1.0,
+                t1_ns: 100_000.0,
+                prep_error: 0.065,
+                signal_tau_ns: Some(250.0),
+            },
+            QubitCalibration {
+                ground_iq: (0.8, 0.6),
+                excited_iq: (-0.8, -0.6),
+                ring_up_ns: 120.0,
+                noise_sigma: 1.0,
+                t1_ns: 18_000.0,
+                prep_error: 0.018,
+                signal_tau_ns: Some(700.0),
+            },
+            QubitCalibration {
+                ground_iq: (1.1, 0.2),
+                excited_iq: (-1.1, -0.2),
+                ring_up_ns: 45.0,
+                noise_sigma: 1.0,
+                t1_ns: 4_200.0,
+                prep_error: 0.004,
+                signal_tau_ns: Some(1500.0),
+            },
+        ];
+        // Nearest-neighbour-ish crosstalk; qubit 2 (index 1) receives the
+        // strongest interference, as in the measured device.
+        let mut crosstalk = [[0.0f64; NUM_QUBITS]; NUM_QUBITS];
+        let pairs: [(usize, usize, f64); 8] = [
+            (0, 1, 0.04),
+            (1, 0, 0.16),
+            (1, 2, 0.18),
+            (2, 1, 0.05),
+            (2, 3, 0.04),
+            (3, 2, 0.05),
+            (3, 4, 0.04),
+            (4, 3, 0.03),
+        ];
+        for (i, j, v) in pairs {
+            crosstalk[i][j] = v;
+        }
+
+        // Calibrate noise with the crosstalk interference of the
+        // *prototype* neighbours (their separations are fixed above, so
+        // this is self-consistent and order-independent).
+        let proto_device = Self {
+            qubits: protos.clone(),
+            crosstalk,
+        };
+        for (i, target) in targets.iter().enumerate() {
+            let betas = proto_device.crosstalk_interference(i, &config);
+            protos[i].noise_sigma = calibrate_sigma(&protos[i], &config, &betas, *target);
+        }
+        Self::new(protos, crosstalk)
+    }
+
+    /// Per-qubit calibrations.
+    pub fn qubits(&self) -> &[QubitCalibration] {
+        &self.qubits
+    }
+
+    /// One qubit's calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_QUBITS`.
+    pub fn qubit(&self, idx: usize) -> &QubitCalibration {
+        &self.qubits[idx]
+    }
+
+    /// The crosstalk matrix (`[into][from]`).
+    pub fn crosstalk(&self) -> &[[f64; NUM_QUBITS]; NUM_QUBITS] {
+        &self.crosstalk
+    }
+
+    /// Matched-filter interference projections from crosstalk into qubit
+    /// `into`, one entry per coupled neighbour.
+    ///
+    /// A neighbour `j` in a random state contributes `±λ·Δ_j(t)/2` on top
+    /// of a harmless deterministic midpoint. Projected onto qubit `into`'s
+    /// matched-filter axis (whose weights are its own separation signal
+    /// `Δ_own`), the statistic shift is
+    /// `β_j = λ_ij/2 · Σ_t [ΔI_own·ΔI_j + ΔQ_own·ΔQ_j]`.
+    ///
+    /// These feed [`crate::calibrate::predict_mf_fidelity`], which averages
+    /// the Gaussian error over all `±β_j` sign combinations.
+    pub fn crosstalk_interference(&self, into: usize, config: &SimConfig) -> Vec<f64> {
+        let n = config.samples();
+        if n == 0 {
+            return Vec::new();
+        }
+        let own = &self.qubits[into];
+        let (ogi, ogq) = mean_trajectory_vec(own, config, StateEvolution::Ground);
+        let (oei, oeq) = mean_trajectory_vec(own, config, StateEvolution::Excited);
+        let mut betas = Vec::new();
+        for (j, neighbour) in self.qubits.iter().enumerate() {
+            let lambda = self.crosstalk[into][j];
+            if lambda == 0.0 {
+                continue;
+            }
+            let (gi, gq) = mean_trajectory_vec(neighbour, config, StateEvolution::Ground);
+            let (ei, eq) = mean_trajectory_vec(neighbour, config, StateEvolution::Excited);
+            let mut proj = 0.0f64;
+            for k in 0..n {
+                let d_own_i = (oei[k] - ogi[k]) as f64;
+                let d_own_q = (oeq[k] - ogq[k]) as f64;
+                let d_j_i = (ei[k] - gi[k]) as f64;
+                let d_j_q = (eq[k] - gq[k]) as f64;
+                proj += d_own_i * d_j_i + d_own_q * d_j_q;
+            }
+            betas.push(lambda / 2.0 * proj);
+        }
+        betas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::predict_mf_fidelity;
+
+    #[test]
+    fn paper_preset_is_valid_and_deterministic() {
+        let d1 = FiveQubitDevice::paper();
+        let d2 = FiveQubitDevice::paper();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.qubits().len(), NUM_QUBITS);
+    }
+
+    #[test]
+    fn paper_preset_predicted_fidelities_match_calibration_targets() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::default();
+        // The analytic-predictor targets (paper Table I values plus the
+        // documented empirical offsets; see `paper()`).
+        let targets = [0.969, 0.762, 0.933, 0.945, 0.951];
+        for (i, &target) in targets.iter().enumerate() {
+            let betas = device.crosstalk_interference(i, &config);
+            let f = predict_mf_fidelity(device.qubit(i), &config, &betas);
+            assert!(
+                (f - target).abs() < 1e-3,
+                "qubit {}: predicted {f:.4}, target {target}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn qubit2_is_the_noisy_outlier() {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::default();
+        // Q2 has the lowest steady SNR and the most incoming crosstalk.
+        let _ = config;
+        let snr2 = device.qubit(1).steady_snr();
+        for i in [0, 2, 3, 4] {
+            let snr = device.qubit(i).steady_snr();
+            assert!(snr > snr2, "qubit {} SNR {snr} vs Q2 {snr2}", i + 1);
+        }
+        let xt_in: Vec<f64> = (0..NUM_QUBITS)
+            .map(|i| device.crosstalk()[i].iter().sum())
+            .collect();
+        assert!(xt_in[1] > xt_in[0] && xt_in[1] > xt_in[2]);
+    }
+
+    #[test]
+    fn qubit5_peaks_below_one_microsecond() {
+        let device = FiveQubitDevice::paper();
+        let f = |dur: f64| {
+            let cfg = SimConfig::with_duration_ns(dur);
+            let betas = device.crosstalk_interference(4, &cfg);
+            predict_mf_fidelity(device.qubit(4), &cfg, &betas)
+        };
+        let at_1000 = f(1000.0);
+        let best_short = [550.0, 750.0, 950.0]
+            .iter()
+            .map(|&d| f(d))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best_short > at_1000,
+            "Q5 should peak below 1 µs: best short {best_short:.4} vs 1 µs {at_1000:.4}"
+        );
+    }
+
+    #[test]
+    fn qubit1_improves_with_duration() {
+        let device = FiveQubitDevice::paper();
+        let f = |dur: f64| {
+            let cfg = SimConfig::with_duration_ns(dur);
+            let betas = device.crosstalk_interference(0, &cfg);
+            predict_mf_fidelity(device.qubit(0), &cfg, &betas)
+        };
+        assert!(f(1000.0) > f(500.0));
+    }
+
+    #[test]
+    fn qubit3_is_flat_across_durations() {
+        let device = FiveQubitDevice::paper();
+        let f = |dur: f64| {
+            let cfg = SimConfig::with_duration_ns(dur);
+            let betas = device.crosstalk_interference(2, &cfg);
+            predict_mf_fidelity(device.qubit(2), &cfg, &betas)
+        };
+        assert!((f(1000.0) - f(500.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn crosstalk_interference_is_empty_without_coupling() {
+        let device = FiveQubitDevice::new(
+            vec![QubitCalibration::default(); NUM_QUBITS],
+            [[0.0; NUM_QUBITS]; NUM_QUBITS],
+        );
+        let config = SimConfig::default();
+        for i in 0..NUM_QUBITS {
+            assert!(device.crosstalk_interference(i, &config).is_empty());
+        }
+        // The paper preset couples into every qubit.
+        let paper = FiveQubitDevice::paper();
+        for i in 0..NUM_QUBITS {
+            assert!(!paper.crosstalk_interference(i, &config).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must be zero")]
+    fn rejects_self_crosstalk() {
+        let mut xt = [[0.0; NUM_QUBITS]; NUM_QUBITS];
+        xt[2][2] = 0.1;
+        let _ = FiveQubitDevice::new(vec![QubitCalibration::default(); NUM_QUBITS], xt);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 5 qubits")]
+    fn rejects_wrong_qubit_count() {
+        let _ = FiveQubitDevice::new(
+            vec![QubitCalibration::default(); 3],
+            [[0.0; NUM_QUBITS]; NUM_QUBITS],
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Seeded Gaussian noise generation (Box–Muller).
+//!
+//! `rand` provides only uniform sampling without the `rand_distr`
+//! companion crate; the polar Box–Muller transform below is all the
+//! simulator needs and keeps the dependency footprint at the approved
+//! list.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A buffered standard-normal sampler over a seeded RNG.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_sim::noise::GaussianSource;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut src = GaussianSource::new(StdRng::seed_from_u64(1));
+/// let samples: Vec<f64> = (0..1000).map(|_| src.sample()).collect();
+/// let mean: f64 = samples.iter().sum::<f64>() / 1000.0;
+/// assert!(mean.abs() < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianSource {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianSource {
+    /// Wraps a seeded RNG.
+    pub fn new(rng: StdRng) -> Self {
+        Self { rng, spare: None }
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Polar (Marsaglia) Box–Muller: rejection-samples the unit disk.
+        loop {
+            let u: f64 = self.rng.gen_range(-1.0..1.0);
+            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Draws one sample scaled to the given standard deviation.
+    pub fn sample_scaled(&mut self, sigma: f64) -> f64 {
+        self.sample() * sigma
+    }
+
+    /// Adds `sigma`-scaled noise to every element of `buf`.
+    pub fn add_noise(&mut self, buf: &mut [f32], sigma: f64) {
+        for x in buf {
+            *x += (self.sample() * sigma) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut src = GaussianSource::new(StdRng::seed_from_u64(seed));
+        (0..n).map(|_| src.sample()).collect()
+    }
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let xs = samples(200_000, 42);
+        let n = xs.len() as f64;
+        let mean: f64 = xs.iter().sum::<f64>() / n;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let skew: f64 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
+        let kurt: f64 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n / (var * var);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.05, "skew {skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn tail_probabilities_are_gaussian() {
+        let xs = samples(200_000, 7);
+        let beyond_2sigma = xs.iter().filter(|x| x.abs() > 2.0).count() as f64 / xs.len() as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "{beyond_2sigma}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(samples(100, 5), samples(100, 5));
+        assert_ne!(samples(100, 5), samples(100, 6));
+    }
+
+    #[test]
+    fn scaled_sampling_and_buffer_noise() {
+        let mut src = GaussianSource::new(StdRng::seed_from_u64(9));
+        let xs: Vec<f64> = (0..50_000).map(|_| src.sample_scaled(3.0)).collect();
+        let var: f64 = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+
+        let mut buf = vec![10.0f32; 50_000];
+        let mut src2 = GaussianSource::new(StdRng::seed_from_u64(10));
+        src2.add_noise(&mut buf, 0.5);
+        let mean: f64 = buf.iter().map(|&x| x as f64).sum::<f64>() / buf.len() as f64;
+        assert!((mean - 10.0).abs() < 0.02);
+        let var: f64 = buf.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / buf.len() as f64;
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-qubit readout calibration parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical calibration of one qubit's dispersive readout.
+///
+/// The readout resonator's steady-state response sits at a different point
+/// in the IQ plane depending on the qubit state; the response approaches
+/// that point exponentially with time constant [`Self::ring_up_ns`]
+/// (resonator linewidth κ/2). White Gaussian noise of standard deviation
+/// [`Self::noise_sigma`] rides on every sample of both quadratures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QubitCalibration {
+    /// Steady-state (I, Q) response with the qubit in |0⟩ (arbitrary units).
+    pub ground_iq: (f64, f64),
+    /// Steady-state (I, Q) response with the qubit in |1⟩.
+    pub excited_iq: (f64, f64),
+    /// Resonator ring-up time constant in ns.
+    pub ring_up_ns: f64,
+    /// Per-sample white-noise standard deviation (each quadrature).
+    pub noise_sigma: f64,
+    /// Qubit energy-relaxation time T1 in ns (decay of |1⟩ during readout).
+    pub t1_ns: f64,
+    /// Probability that state preparation left the qubit in the wrong
+    /// state (label noise floor, symmetric).
+    pub prep_error: f64,
+    /// Optional exponential envelope (time constant, ns) applied to the
+    /// whole resonator response: `e^{−t/τ_sig}`.
+    ///
+    /// Models readout pulses whose discriminating signal is front-loaded
+    /// (e.g. transient chi-shift before the steady state washes out), which
+    /// is what makes some qubits' fidelity insensitive to — or even peak
+    /// below — the full trace duration (paper Table II). `None` disables
+    /// the envelope.
+    pub signal_tau_ns: Option<f64>,
+}
+
+impl QubitCalibration {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-physical (non-positive time
+    /// constants or noise, probabilities outside `[0, 0.5]`).
+    pub fn validate(&self) {
+        assert!(self.ring_up_ns > 0.0, "ring-up time must be positive");
+        assert!(self.noise_sigma > 0.0, "noise sigma must be positive");
+        assert!(self.t1_ns > 0.0, "T1 must be positive");
+        assert!(
+            (0.0..=0.5).contains(&self.prep_error),
+            "prep error must be in [0, 0.5]"
+        );
+        if let Some(tau) = self.signal_tau_ns {
+            assert!(tau > 0.0, "signal envelope time constant must be positive");
+        }
+    }
+
+    /// Euclidean separation of the steady-state IQ points.
+    pub fn steady_separation(&self) -> f64 {
+        let di = self.excited_iq.0 - self.ground_iq.0;
+        let dq = self.excited_iq.1 - self.ground_iq.1;
+        (di * di + dq * dq).sqrt()
+    }
+
+    /// Crude single-number SNR: steady separation over noise.
+    pub fn steady_snr(&self) -> f64 {
+        self.steady_separation() / self.noise_sigma
+    }
+}
+
+impl Default for QubitCalibration {
+    fn default() -> Self {
+        Self {
+            ground_iq: (1.0, 0.5),
+            excited_iq: (-1.0, -0.5),
+            ring_up_ns: 100.0,
+            noise_sigma: 1.0,
+            t1_ns: 10_000.0,
+            prep_error: 0.005,
+            signal_tau_ns: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        QubitCalibration::default().validate();
+    }
+
+    #[test]
+    fn separation_is_euclidean() {
+        let c = QubitCalibration {
+            ground_iq: (0.0, 0.0),
+            excited_iq: (3.0, 4.0),
+            ..QubitCalibration::default()
+        };
+        assert_eq!(c.steady_separation(), 5.0);
+        assert_eq!(c.steady_snr(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "T1 must be positive")]
+    fn rejects_bad_t1() {
+        QubitCalibration {
+            t1_ns: 0.0,
+            ..QubitCalibration::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "prep error")]
+    fn rejects_bad_prep_error() {
+        QubitCalibration {
+            prep_error: 0.7,
+            ..QubitCalibration::default()
+        }
+        .validate();
+    }
+}

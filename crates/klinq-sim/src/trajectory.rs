@@ -1,0 +1,195 @@
+//! Noise-free mean IQ trajectories, including mid-trace relaxation.
+//!
+//! With the qubit frozen in a state `s`, the resonator response approaches
+//! the state's steady-state IQ point exponentially:
+//! `μ_s(t) = P_s · (1 − e^{−t/τ})` (driving starts at t = 0 from the
+//! origin). If an excited qubit relaxes at time `t_d`, the response decays
+//! from its current value toward the ground steady state with the same
+//! resonator time constant — this produces the characteristic "bent"
+//! traces that make early decays hard to classify and motivates the
+//! paper's observation that longer traces do not always help.
+
+use crate::config::SimConfig;
+use crate::qubit::QubitCalibration;
+
+/// What happened to the qubit state during one readout shot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StateEvolution {
+    /// Qubit stayed in |0⟩ for the whole trace.
+    Ground,
+    /// Qubit stayed in |1⟩ for the whole trace.
+    Excited,
+    /// Qubit started in |1⟩ and relaxed to |0⟩ at the given time (ns).
+    DecayedAt(f64),
+}
+
+impl StateEvolution {
+    /// The state the trajectory started in.
+    pub fn initial_state(&self) -> bool {
+        !matches!(self, Self::Ground)
+    }
+}
+
+/// Writes the noise-free mean trajectory for the given evolution into
+/// `(i_out, q_out)`.
+///
+/// # Panics
+///
+/// Panics if the output slices differ in length from `config.samples()`.
+pub fn mean_trajectory(
+    calib: &QubitCalibration,
+    config: &SimConfig,
+    evolution: StateEvolution,
+    i_out: &mut [f32],
+    q_out: &mut [f32],
+) {
+    let n = config.samples();
+    assert_eq!(i_out.len(), n, "i buffer length mismatch");
+    assert_eq!(q_out.len(), n, "q buffer length mismatch");
+    let tau = calib.ring_up_ns;
+    let (gi, gq) = calib.ground_iq;
+    let (ei, eq) = calib.excited_iq;
+
+    match evolution {
+        // Envelope applied after the match; see the end of this function.
+        StateEvolution::Ground => {
+            for k in 0..n {
+                let r = 1.0 - (-config.sample_time_ns(k) / tau).exp();
+                i_out[k] = (gi * r) as f32;
+                q_out[k] = (gq * r) as f32;
+            }
+        }
+        StateEvolution::Excited => {
+            for k in 0..n {
+                let r = 1.0 - (-config.sample_time_ns(k) / tau).exp();
+                i_out[k] = (ei * r) as f32;
+                q_out[k] = (eq * r) as f32;
+            }
+        }
+        StateEvolution::DecayedAt(t_d) => {
+            // Response at the decay instant (still on the excited path).
+            let r_d = 1.0 - (-t_d / tau).exp();
+            let (id, qd) = (ei * r_d, eq * r_d);
+            for k in 0..n {
+                let t = config.sample_time_ns(k);
+                if t < t_d {
+                    let r = 1.0 - (-t / tau).exp();
+                    i_out[k] = (ei * r) as f32;
+                    q_out[k] = (eq * r) as f32;
+                } else {
+                    // Relax from (id, qd) toward the ground *transient*
+                    // target: the resonator now follows the ground-state
+                    // dynamics with a displaced initial condition.
+                    let dt = t - t_d;
+                    let decay = (-dt / tau).exp();
+                    let rg = 1.0 - (-t / tau).exp();
+                    let (g_i, g_q) = (gi * rg, gq * rg);
+                    let rg_d = 1.0 - (-t_d / tau).exp();
+                    let (g_id, g_qd) = (gi * rg_d, gq * rg_d);
+                    i_out[k] = (g_i + (id - g_id) * decay) as f32;
+                    q_out[k] = (g_q + (qd - g_qd) * decay) as f32;
+                }
+            }
+        }
+    }
+
+    if let Some(tau_sig) = calib.signal_tau_ns {
+        for k in 0..n {
+            let env = (-config.sample_time_ns(k) / tau_sig).exp() as f32;
+            i_out[k] *= env;
+            q_out[k] *= env;
+        }
+    }
+}
+
+/// Convenience allocation variant of [`mean_trajectory`].
+pub fn mean_trajectory_vec(
+    calib: &QubitCalibration,
+    config: &SimConfig,
+    evolution: StateEvolution,
+) -> (Vec<f32>, Vec<f32>) {
+    let n = config.samples();
+    let mut i = vec![0.0f32; n];
+    let mut q = vec![0.0f32; n];
+    mean_trajectory(calib, config, evolution, &mut i, &mut q);
+    (i, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calib() -> QubitCalibration {
+        QubitCalibration {
+            ground_iq: (2.0, 1.0),
+            excited_iq: (-2.0, -1.0),
+            ring_up_ns: 100.0,
+            ..QubitCalibration::default()
+        }
+    }
+
+    #[test]
+    fn ground_approaches_steady_state() {
+        let cfg = SimConfig::default();
+        let (i, q) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::Ground);
+        // Early: near zero (resonator empty).
+        assert!(i[0].abs() < 0.1);
+        // Late (t = 999 ns ≈ 10 τ): within 0.1% of steady state.
+        assert!((i[499] - 2.0).abs() < 0.01);
+        assert!((q[499] - 1.0).abs() < 0.01);
+        // Monotone ring-up.
+        assert!(i.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn excited_goes_the_other_way() {
+        let cfg = SimConfig::default();
+        let (i, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::Excited);
+        assert!((i[499] + 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn decay_bends_toward_ground() {
+        let cfg = SimConfig::default();
+        let (i_dec, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::DecayedAt(300.0));
+        let (i_exc, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::Excited);
+        let (i_gnd, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::Ground);
+        // Before decay: identical to excited path.
+        for k in 0..149 {
+            assert!((i_dec[k] - i_exc[k]).abs() < 1e-6, "k={k}");
+        }
+        // Long after decay (t − t_d ≳ 5 τ): close to ground path.
+        for k in 450..500 {
+            assert!((i_dec[k] - i_gnd[k]).abs() < 0.1, "k={k}");
+        }
+        // Transition is continuous (no jump at the decay sample).
+        let k_d = 150; // first sample past 300 ns
+        assert!((i_dec[k_d] - i_dec[k_d - 1]).abs() < 0.2);
+    }
+
+    #[test]
+    fn decay_at_trace_end_is_indistinguishable_from_excited() {
+        let cfg = SimConfig::default();
+        let (i_dec, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::DecayedAt(999.5));
+        let (i_exc, _) = mean_trajectory_vec(&calib(), &cfg, StateEvolution::Excited);
+        for k in 0..500 {
+            assert!((i_dec[k] - i_exc[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn initial_state_reporting() {
+        assert!(!StateEvolution::Ground.initial_state());
+        assert!(StateEvolution::Excited.initial_state());
+        assert!(StateEvolution::DecayedAt(10.0).initial_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn rejects_wrong_buffers() {
+        let cfg = SimConfig::default();
+        let mut i = vec![0.0; 10];
+        let mut q = vec![0.0; 500];
+        mean_trajectory(&calib(), &cfg, StateEvolution::Ground, &mut i, &mut q);
+    }
+}

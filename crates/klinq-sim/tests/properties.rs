@@ -1,0 +1,120 @@
+//! Property-based tests for the readout simulator.
+
+use klinq_sim::calibrate::predict_mf_fidelity;
+use klinq_sim::trajectory::{mean_trajectory_vec, StateEvolution};
+use klinq_sim::{QubitCalibration, SimConfig};
+use proptest::prelude::*;
+
+fn calibration() -> impl Strategy<Value = QubitCalibration> {
+    (
+        0.2f64..2.0,   // separation scale
+        -1.0f64..1.0,  // q component
+        20.0f64..300.0, // ring-up
+        0.5f64..20.0,  // noise
+        2_000.0f64..100_000.0, // t1
+        0.0f64..0.05,  // prep error
+    )
+        .prop_map(|(sep, q, ring, noise, t1, prep)| QubitCalibration {
+            ground_iq: (sep, q * sep),
+            excited_iq: (-sep, -q * sep),
+            ring_up_ns: ring,
+            noise_sigma: noise,
+            t1_ns: t1,
+            prep_error: prep,
+            signal_tau_ns: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predicted_fidelity_is_a_probability(calib in calibration()) {
+        let f = predict_mf_fidelity(&calib, &SimConfig::default(), &[]);
+        prop_assert!((0.5 - 1e-9..=1.0).contains(&f), "f = {f}");
+    }
+
+    #[test]
+    fn more_noise_never_helps_without_decay(calib in calibration()) {
+        // Monotonicity in noise holds in the decay-free regime. (With T1
+        // decay it genuinely can fail: extra noise turns confidently-wrong
+        // decayed shots into coin flips, raising the average.)
+        let calib = QubitCalibration { t1_ns: 1e9, prep_error: 0.0, ..calib };
+        let cfg = SimConfig::default();
+        let f1 = predict_mf_fidelity(&calib, &cfg, &[]);
+        let noisier = QubitCalibration {
+            noise_sigma: calib.noise_sigma * 2.0,
+            ..calib
+        };
+        let f2 = predict_mf_fidelity(&noisier, &cfg, &[]);
+        prop_assert!(f2 <= f1 + 1e-6, "{f1} -> {f2}");
+    }
+
+    #[test]
+    fn shorter_t1_never_helps(calib in calibration()) {
+        let cfg = SimConfig::default();
+        let f1 = predict_mf_fidelity(&calib, &cfg, &[]);
+        let decaying = QubitCalibration {
+            t1_ns: calib.t1_ns / 4.0,
+            ..calib
+        };
+        let f2 = predict_mf_fidelity(&decaying, &cfg, &[]);
+        prop_assert!(f2 <= f1 + 1e-6, "{f1} -> {f2}");
+    }
+
+    #[test]
+    fn interference_never_helps_without_decay(calib in calibration(), beta in 0.0f64..500.0) {
+        // Same caveat as noise monotonicity: restrict to the decay-free
+        // regime, where a symmetric statistic shift strictly blurs the
+        // class boundary.
+        let calib = QubitCalibration { t1_ns: 1e9, prep_error: 0.0, ..calib };
+        let cfg = SimConfig::default();
+        let clean = predict_mf_fidelity(&calib, &cfg, &[]);
+        let disturbed = predict_mf_fidelity(&calib, &cfg, &[beta]);
+        prop_assert!(disturbed <= clean + 1e-6);
+    }
+
+    #[test]
+    fn trajectories_are_bounded_by_steady_state(calib in calibration()) {
+        let cfg = SimConfig::default();
+        for evo in [StateEvolution::Ground, StateEvolution::Excited, StateEvolution::DecayedAt(400.0)] {
+            let (i, q) = mean_trajectory_vec(&calib, &cfg, evo);
+            let bound_i = calib.ground_iq.0.abs().max(calib.excited_iq.0.abs()) * 1.05 + 1e-6;
+            let bound_q = calib.ground_iq.1.abs().max(calib.excited_iq.1.abs()) * 1.05 + 1e-6;
+            for k in 0..i.len() {
+                prop_assert!((i[k] as f64).abs() <= bound_i, "{evo:?} i[{k}]={}", i[k]);
+                prop_assert!((q[k] as f64).abs() <= bound_q, "{evo:?} q[{k}]={}", q[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn decayed_trajectory_interpolates_between_pure_states(
+        calib in calibration(),
+        t_d in 100.0f64..900.0
+    ) {
+        let cfg = SimConfig::default();
+        let (gi, _) = mean_trajectory_vec(&calib, &cfg, StateEvolution::Ground);
+        let (ei, _) = mean_trajectory_vec(&calib, &cfg, StateEvolution::Excited);
+        let (di, _) = mean_trajectory_vec(&calib, &cfg, StateEvolution::DecayedAt(t_d));
+        for k in 0..di.len() {
+            let lo = gi[k].min(ei[k]) - 1e-3;
+            let hi = gi[k].max(ei[k]) + 1e-3;
+            prop_assert!(di[k] >= lo && di[k] <= hi, "sample {k}: {} outside [{lo}, {hi}]", di[k]);
+        }
+    }
+
+    #[test]
+    fn envelope_only_attenuates(calib in calibration(), tau in 100.0f64..2000.0) {
+        let cfg = SimConfig::default();
+        let (plain_i, _) = mean_trajectory_vec(&calib, &cfg, StateEvolution::Excited);
+        let enveloped = QubitCalibration {
+            signal_tau_ns: Some(tau),
+            ..calib
+        };
+        let (env_i, _) = mean_trajectory_vec(&enveloped, &cfg, StateEvolution::Excited);
+        for k in 0..plain_i.len() {
+            prop_assert!(env_i[k].abs() <= plain_i[k].abs() + 1e-6);
+        }
+    }
+}

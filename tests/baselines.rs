@@ -1,0 +1,79 @@
+//! Integration tests of the comparator systems against a shared dataset.
+
+use klinq::core::baselines::{
+    quantize_network, HerqulesConfig, HerqulesDiscriminator, MfThreshold,
+};
+use klinq::core::teacher::{Teacher, TeacherConfig};
+use klinq::sim::{FiveQubitDevice, ReadoutDataset, SimConfig};
+
+fn datasets() -> &'static (ReadoutDataset, ReadoutDataset) {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<(ReadoutDataset, ReadoutDataset)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let device = FiveQubitDevice::paper();
+        let config = SimConfig::with_duration_ns(300.0);
+        (
+            ReadoutDataset::generate(&device, &config, 512, 31),
+            ReadoutDataset::generate(&device, &config, 512, 32),
+        )
+    })
+}
+
+#[test]
+fn all_baselines_discriminate_the_easy_qubit() {
+    let (train, test) = datasets();
+    let qb = 0; // solid SNR at the shortened smoke duration
+    let samples = test.samples();
+
+    let mf = MfThreshold::train(train, qb).expect("mf trains");
+    let mf_f = mf.fidelity_at(test, samples);
+    assert!(mf_f > 0.78, "matched filter {mf_f}");
+
+    let hq = HerqulesDiscriminator::train(&HerqulesConfig::default(), train, qb)
+        .expect("herqules trains");
+    let hq_f = hq.fidelity_at(test, samples);
+    assert!(hq_f > 0.68, "herqules {hq_f}");
+
+    let teacher = Teacher::train(&TeacherConfig::smoke(), train, qb).expect("teacher trains");
+    let t_f = teacher.fidelity(test);
+    assert!(t_f > 0.70, "teacher {t_f}");
+}
+
+#[test]
+fn quantization_degrades_gracefully_with_bits() {
+    let (train, test) = datasets();
+    let teacher = Teacher::train(&TeacherConfig::smoke(), train, 0).expect("teacher trains");
+    let base = teacher.fidelity(test);
+    let f8 = teacher.fidelity_with_net(&quantize_network(teacher.net(), 8), test);
+    let f3 = teacher.fidelity_with_net(&quantize_network(teacher.net(), 3), test);
+    // 8-bit should track the float model closely; 3-bit visibly degrades
+    // (this is the reference-[10] trade-off the paper mentions).
+    assert!((base - f8).abs() < 0.05, "8-bit: {base} vs {f8}");
+    assert!(f3 <= f8 + 0.02, "3-bit {f3} should not beat 8-bit {f8}");
+}
+
+#[test]
+fn every_qubit_has_a_working_mf_threshold() {
+    let (train, test) = datasets();
+    let samples = test.samples();
+    for qb in 0..5 {
+        let mf = MfThreshold::train(train, qb).expect("mf trains");
+        let f = mf.fidelity_at(test, samples);
+        // Qubit 2 is heavily crosstalk-limited at 300 ns; everyone else
+        // is comfortably above 0.8.
+        let floor = if qb == 1 { 0.55 } else { 0.78 };
+        assert!(f > floor, "qubit {}: {f}", qb + 1);
+    }
+}
+
+#[test]
+fn herqules_truncated_training_matches_duration() {
+    let (train, test) = datasets();
+    let half = train.samples() / 2;
+    let h = HerqulesDiscriminator::train_at(&HerqulesConfig::default(), train, 0, half)
+        .expect("herqules trains at half duration");
+    let f = h.fidelity_at(test, half);
+    // 150 ns of trace leaves very little signal mass on qubit 1 — only
+    // demand a usable discriminator, not an accurate one.
+    assert!(f > 0.55, "half-duration herqules {f}");
+}

@@ -1,0 +1,94 @@
+//! Smoke runs of every experiment through the public facade: one shared
+//! trained system, every table/figure generated from it.
+
+use klinq::core::experiments::{fig4, fig5, table1, table2, table3, ExperimentConfig};
+use klinq::core::KlinqSystem;
+
+fn system() -> &'static KlinqSystem {
+    use std::sync::OnceLock;
+    static SYSTEM: OnceLock<KlinqSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
+    })
+}
+
+#[test]
+fn table1_rows_and_orderings() {
+    let config = ExperimentConfig::smoke();
+    let t = table1::run_with_system(system(), &config).expect("table1");
+    assert_eq!(t.rows.len(), 5);
+    for row in &t.rows {
+        assert_eq!(row.per_qubit.len(), 5);
+        assert!(row.f5q > 0.5 && row.f5q <= 1.0, "{}: {}", row.design, row.f5q);
+        assert!(row.f4q >= row.f5q, "{}: f4q {} < f5q {}", row.design, row.f4q, row.f5q);
+    }
+    // The distilled students must at least match the 8-bit quantized
+    // big network on the geometric mean (the paper's point vs ref [10]).
+    let klinq = t.row("KLiNQ").unwrap();
+    assert!(klinq.f5q > 0.7);
+}
+
+#[test]
+fn table2_rows_and_optima() {
+    let t = table2::run_with_system(system());
+    assert_eq!(t.rows.len(), 5);
+    // Mixing per-qubit optimal durations can only help.
+    for row in &t.rows {
+        assert!(t.best_f5q >= row.f5q - 1e-12);
+    }
+    for (qb, &best) in t.best_per_qubit.iter().enumerate() {
+        for row in &t.rows {
+            assert!(best >= row.per_qubit[qb]);
+        }
+    }
+}
+
+#[test]
+fn fig4_sweep_is_complete() {
+    let config = ExperimentConfig::smoke();
+    let f = fig4::run_with_system(system(), &config).expect("fig4");
+    assert_eq!(f.points.len(), 11);
+    assert_eq!(f.points[0].duration_ns, 500.0);
+    assert_eq!(f.points[10].duration_ns, 1000.0);
+    for p in &f.points {
+        assert!(p.klinq_f5q > 0.5);
+        assert!(p.herqules_f5q > 0.5);
+    }
+    assert!(f.klinq_wins() <= f.points.len());
+}
+
+#[test]
+fn fig5_is_exact() {
+    let f = fig5::run();
+    assert_eq!(f.report.fnn_a_group_total, 1971);
+    assert_eq!(f.report.fnn_b_group_total, 6754);
+    assert!((f.report.ncr_vs_teacher - 0.9989).abs() < 2e-4);
+}
+
+#[test]
+fn table3_report_structure() {
+    let t = table3::run_with_system(system());
+    assert_eq!(t.report.rows.len(), 5);
+    // The shared MF unit scales with the design trace length (375 DSPs at
+    // the paper's 1 µs; the smoke system deploys at 300 ns).
+    let samples = system().test_data().samples();
+    assert_eq!(
+        t.report.rows[0].resources,
+        klinq::fpga::resources::mf_resources(2 * samples)
+    );
+    assert!(t.report.total.lut > 0);
+    let u = t.report.total.utilization(&klinq::fpga::ZCU216_CAPACITY);
+    assert!(u.lut_pct < 100.0 && u.dsp_pct < 100.0);
+    assert!(t.discrimination_stages > 0);
+}
+
+#[test]
+fn experiment_results_serialize() {
+    let config = ExperimentConfig::smoke();
+    let t1 = table1::run_with_system(system(), &config).expect("table1");
+    let json = serde_json::to_string(&t1).expect("serialize");
+    assert!(json.contains("KLiNQ"));
+    let t3 = table3::run_with_system(system());
+    let json = serde_json::to_string(&t3).expect("serialize");
+    assert!(json.contains("MF (shared)"));
+}
