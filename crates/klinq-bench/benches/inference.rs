@@ -6,9 +6,9 @@
 //! benchmarks quantify that, plus the cost of the bit-accurate Q16.16
 //! datapath model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use klinq_core::experiments::ExperimentConfig;
-use klinq_core::KlinqSystem;
+use klinq_core::{BatchDiscriminator, KlinqSystem};
 use std::hint::black_box;
 
 fn bench_inference(c: &mut Criterion) {
@@ -44,5 +44,31 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Batched readout throughput (shots/sec across all five qubits): the
+/// serving-path baseline the perf trajectory tracks.
+fn bench_batched_inference(c: &mut Criterion) {
+    let system = KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system");
+    let shots = system.test_data().shots();
+    let batch = BatchDiscriminator::new(system.discriminators());
+
+    let mut group = c.benchmark_group("batched_inference");
+    group.throughput(Throughput::Elements(shots.len() as u64));
+    // Parallel chunked classification of the whole held-out set.
+    group.bench_function("testset_parallel", |b| {
+        b.iter(|| black_box(batch.classify_shots(black_box(shots))));
+    });
+    // Sequential reference on the same shots, for the speedup ratio.
+    group.bench_function("testset_sequential", |b| {
+        b.iter(|| {
+            let states: Vec<_> = shots
+                .iter()
+                .map(|shot| batch.classify_shot(black_box(shot)))
+                .collect();
+            black_box(states)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_batched_inference);
 criterion_main!(benches);

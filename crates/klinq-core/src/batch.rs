@@ -1,0 +1,201 @@
+//! Batched, data-parallel readout: classify many shots across all five
+//! qubits concurrently.
+//!
+//! The per-shot path ([`KlinqSystem::measure`]) exists for mid-circuit
+//! latency; evaluation and serving workloads instead see *throughput* —
+//! thousands of buffered shots that all need discriminating. This module
+//! chunks a shot batch over a scoped thread pool (the vendored
+//! rayon work-alike) while keeping the output ordering deterministic and
+//! bitwise-identical to sequential [`KlinqDiscriminator::measure`] calls:
+//! every shot is classified by exactly the same float pipeline, only the
+//! scheduling changes.
+//!
+//! [`KlinqSystem::evaluate`] routes through this engine, and the
+//! `inference` criterion bench reports its shots/sec as the repo's first
+//! serving-throughput baseline.
+
+use crate::discriminator::KlinqDiscriminator;
+use crate::eval::{assignment_fidelity, FidelityReport};
+use klinq_sim::{ReadoutDataset, Shot};
+use rayon::prelude::*;
+
+/// The per-shot output of the five independent discriminators,
+/// qubit-ordered.
+pub type ShotStates = [bool; 5];
+
+/// A batched front end over five per-qubit discriminators.
+///
+/// Borrow-only: construction is free, so building one per batch is fine.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchDiscriminator<'a> {
+    discriminators: &'a [KlinqDiscriminator],
+    chunk_size: Option<usize>,
+}
+
+impl<'a> BatchDiscriminator<'a> {
+    /// Wraps the five qubit-ordered discriminators of a trained system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discriminators` does not hold exactly five entries
+    /// (the device model of the paper) or if they are not qubit-ordered.
+    pub fn new(discriminators: &'a [KlinqDiscriminator]) -> Self {
+        assert_eq!(
+            discriminators.len(),
+            5,
+            "BatchDiscriminator expects the five-qubit system"
+        );
+        for (idx, d) in discriminators.iter().enumerate() {
+            assert_eq!(d.qubit(), idx, "discriminators must be qubit-ordered");
+        }
+        Self {
+            discriminators,
+            chunk_size: None,
+        }
+    }
+
+    /// Overrides the scheduling chunk size (shots per parallel task).
+    ///
+    /// Purely a scheduling knob: results are identical for every chunk
+    /// size. The default targets a few chunks per worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// The chunk size that will be used for a batch of `n` shots.
+    pub fn chunk_size_for(&self, n: usize) -> usize {
+        if let Some(size) = self.chunk_size {
+            return size;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Aim for ~4 chunks per worker so stragglers rebalance, with a
+        // floor that keeps per-chunk overhead negligible for tiny batches.
+        (n / (workers * 4)).max(8)
+    }
+
+    /// Classifies one shot on all five qubits (the sequential reference
+    /// path the batched path must match exactly).
+    pub fn classify_shot(&self, shot: &Shot) -> ShotStates {
+        let mut states = [false; 5];
+        for (qb, d) in self.discriminators.iter().enumerate() {
+            let t = &shot.traces[qb];
+            states[qb] = d.measure(&t.i, &t.q);
+        }
+        states
+    }
+
+    /// Classifies a batch of shots in parallel.
+    ///
+    /// Output index `i` is always shot `i`'s states, regardless of thread
+    /// scheduling, and every value is bitwise-identical to
+    /// [`Self::classify_shot`] on that shot.
+    pub fn classify_shots(&self, shots: &[Shot]) -> Vec<ShotStates> {
+        if shots.is_empty() {
+            return Vec::new();
+        }
+        let chunk = self.chunk_size_for(shots.len());
+        let per_chunk: Vec<Vec<ShotStates>> = shots
+            .par_chunks(chunk)
+            .map(|chunk| chunk.iter().map(|shot| self.classify_shot(shot)).collect())
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Classifies every shot of a dataset in parallel.
+    pub fn classify_dataset(&self, data: &ReadoutDataset) -> Vec<ShotStates> {
+        self.classify_shots(data.shots())
+    }
+
+    /// Batched assignment-fidelity evaluation over a dataset at the full
+    /// trace length.
+    ///
+    /// Produces exactly the same report as evaluating each qubit with
+    /// sequential `measure` calls — the parallelism never changes a
+    /// prediction, only the wall-clock cost.
+    pub fn evaluate(&self, data: &ReadoutDataset) -> FidelityReport {
+        let predictions = self.classify_dataset(data);
+        let fidelities = (0..5)
+            .map(|qb| {
+                let labels = data.qubit_labels(qb);
+                let preds: Vec<bool> = predictions.iter().map(|s| s[qb]).collect();
+                assignment_fidelity(&preds, &labels)
+            })
+            .collect();
+        FidelityReport::new(fidelities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discriminator::KlinqSystem;
+    use crate::experiments::ExperimentConfig;
+    use std::sync::OnceLock;
+
+    /// One shared smoke system: every test here only needs `&`-access,
+    /// and training is by far the dominant cost of this module's suite.
+    fn smoke_system() -> &'static KlinqSystem {
+        static SYS: OnceLock<KlinqSystem> = OnceLock::new();
+        SYS.get_or_init(|| KlinqSystem::train(&ExperimentConfig::smoke()).unwrap())
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let sys = smoke_system();
+        let batch = BatchDiscriminator::new(sys.discriminators());
+        let shots = sys.test_data().shots();
+        let batched = batch.classify_shots(shots);
+        assert_eq!(batched.len(), shots.len());
+        for (shot, states) in shots.iter().zip(&batched) {
+            for (qb, (state, t)) in states.iter().zip(&shot.traces).enumerate() {
+                let sequential = sys.measure(qb, &t.i, &t.q);
+                assert_eq!(*state, sequential, "qubit {qb} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results() {
+        let sys = smoke_system();
+        let shots = sys.test_data().shots();
+        let reference = BatchDiscriminator::new(sys.discriminators()).classify_shots(shots);
+        for chunk_size in [1, 3, 7, 64, shots.len() + 1] {
+            let chunked = BatchDiscriminator::new(sys.discriminators())
+                .with_chunk_size(chunk_size)
+                .classify_shots(shots);
+            assert_eq!(chunked, reference, "chunk size {chunk_size} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_evaluate_matches_sequential_evaluate() {
+        let sys = smoke_system();
+        // `KlinqSystem::evaluate` routes through the batch engine; the
+        // sequential reference is `evaluate_at` at the design duration.
+        let batched = sys.evaluate();
+        let sequential = sys.evaluate_at(sys.test_data().samples());
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let sys = smoke_system();
+        let batch = BatchDiscriminator::new(sys.discriminators());
+        assert!(batch.classify_shots(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "five-qubit system")]
+    fn wrong_discriminator_count_rejected() {
+        let sys = smoke_system();
+        let _ = BatchDiscriminator::new(&sys.discriminators()[..3]);
+    }
+}

@@ -150,12 +150,12 @@ impl KlinqSystem {
         // Train the five qubits in parallel; each thread trains a teacher
         // and distills its student.
         let results: Vec<Result<(Teacher, DistilledStudent, StudentArch), KlinqError>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..5)
                     .map(|qb| {
                         let train_data = &train_data;
                         let teacher_extra = teacher_extra.as_ref();
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let teacher = Teacher::train_with_extra(
                                 &config.teacher,
                                 train_data,
@@ -179,8 +179,7 @@ impl KlinqSystem {
                     .into_iter()
                     .map(|h| h.join().expect("training thread panicked"))
                     .collect()
-            })
-            .expect("training scope panicked");
+            });
 
         let mut discriminators = Vec::with_capacity(5);
         let mut teachers = Vec::with_capacity(5);
@@ -248,8 +247,12 @@ impl KlinqSystem {
     }
 
     /// Evaluates all qubits on the held-out set at the design duration.
+    ///
+    /// Routes through the batched engine ([`crate::batch`]): shots are
+    /// classified in parallel chunks, with results bitwise-identical to
+    /// sequential per-shot [`Self::measure`] calls.
     pub fn evaluate(&self) -> FidelityReport {
-        self.evaluate_at(self.test_data.samples())
+        crate::batch::BatchDiscriminator::new(&self.discriminators).evaluate(&self.test_data)
     }
 
     /// Evaluates at a shortened trace length (`samples` per channel)
@@ -311,10 +314,10 @@ impl KlinqSystem {
     ///
     /// Returns [`KlinqError`] if any distillation fails.
     pub fn students_at(&self, samples: usize) -> Result<Vec<DistilledStudent>, KlinqError> {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..5)
                 .map(|qb| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         crate::distill::distill_student_at(
                             &self.teachers[qb],
                             StudentArch::for_qubit(qb),
@@ -332,7 +335,6 @@ impl KlinqSystem {
                 .map(|h| h.join().expect("distillation thread panicked"))
                 .collect()
         })
-        .expect("distillation scope panicked")
     }
 
     /// Evaluates through the bit-accurate FPGA datapath.

@@ -92,10 +92,10 @@ pub fn run_with_system(
     let mut rows = Vec::new();
     for (alpha, temperature) in sweep_grid() {
         let params = DistillParams { alpha, temperature };
-        let fidelities: Vec<f64> = crossbeam::thread::scope(|scope| {
+        let fidelities: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..5)
                 .map(|qb| {
-                    scope.spawn(move |_| -> Result<f64, KlinqError> {
+                    scope.spawn(move || -> Result<f64, KlinqError> {
                         let student = distill_student(
                             &system.teachers()[qb],
                             StudentArch::for_qubit(qb),
@@ -124,8 +124,7 @@ pub fn run_with_system(
                 .into_iter()
                 .map(|h| h.join().expect("ablation thread panicked"))
                 .collect::<Result<Vec<_>, _>>()
-        })
-        .expect("ablation scope panicked")?;
+        })?;
         rows.push(AblationRow {
             alpha,
             temperature,

@@ -79,11 +79,11 @@ pub fn run_with_system(
         // KLiNQ and HERQULES are both retrained per duration (teachers
         // reused for the distillation soft labels), as in the paper.
         let klinq = system.evaluate_retrained_at(samples)?;
-        let hq: Vec<f64> = crossbeam::thread::scope(|scope| {
+        let hq: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..5)
                 .map(|qb| {
                     let hq_cfg = &hq_cfg;
-                    scope.spawn(move |_| -> Result<f64, KlinqError> {
+                    scope.spawn(move || -> Result<f64, KlinqError> {
                         let h = HerqulesDiscriminator::train_at(
                             hq_cfg,
                             system.train_data(),
@@ -98,8 +98,7 @@ pub fn run_with_system(
                 .into_iter()
                 .map(|h| h.join().expect("herqules thread panicked"))
                 .collect::<Result<Vec<_>, _>>()
-        })
-        .expect("herqules scope panicked")?;
+        })?;
         points.push(SweepPoint {
             duration_ns: dur,
             klinq_per_qubit: klinq.per_qubit().to_vec(),

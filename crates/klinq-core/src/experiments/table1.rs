@@ -108,11 +108,11 @@ pub fn run_with_system(
         train: config.student_train,
         ..HerqulesConfig::default()
     };
-    let herqules_f: Vec<f64> = crossbeam::thread::scope(|scope| {
+    let herqules_f: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..5)
             .map(|qb| {
                 let hq_cfg = &hq_cfg;
-                scope.spawn(move |_| -> Result<f64, KlinqError> {
+                scope.spawn(move || -> Result<f64, KlinqError> {
                     let h = HerqulesDiscriminator::train(hq_cfg, system.train_data(), qb)?;
                     Ok(h.fidelity_at(test, samples))
                 })
@@ -122,8 +122,7 @@ pub fn run_with_system(
             .into_iter()
             .map(|h| h.join().expect("herqules thread panicked"))
             .collect::<Result<Vec<_>, _>>()
-    })
-    .expect("herqules scope panicked")?;
+    })?;
     let herqules = FidelityReport::new(herqules_f);
 
     // Matched-filter threshold floor.

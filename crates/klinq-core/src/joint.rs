@@ -187,8 +187,8 @@ mod tests {
     fn joint_discriminator_reads_all_qubits() {
         let device = FiveQubitDevice::paper();
         let config = SimConfig::with_duration_ns(300.0);
-        let train = ReadoutDataset::generate(&device, &config, 448, 41);
-        let test = ReadoutDataset::generate(&device, &config, 448, 42);
+        let train = ReadoutDataset::generate(&device, &config, 640, 41);
+        let test = ReadoutDataset::generate(&device, &config, 640, 42);
         let joint = JointDiscriminator::train(&JointConfig::smoke(), &train).unwrap();
         let report = joint.evaluate(&test);
         // Smoke scale starves a 1500-input joint network, so only demand

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod baselines;
+pub mod batch;
 pub mod discriminator;
 pub mod distill;
 pub mod error;
@@ -50,6 +51,7 @@ pub mod params;
 pub mod student;
 pub mod teacher;
 
+pub use batch::BatchDiscriminator;
 pub use discriminator::{KlinqDiscriminator, KlinqSystem};
 pub use error::KlinqError;
 pub use eval::FidelityReport;

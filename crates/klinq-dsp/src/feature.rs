@@ -229,10 +229,10 @@ fn raw_features(
 mod tests {
     use super::*;
 
-    fn toy_classes(
-        n: usize,
-        len: usize,
-    ) -> (Vec<(Vec<f32>, Vec<f32>)>, Vec<(Vec<f32>, Vec<f32>)>) {
+    /// Owned (i, q) traces for one prepared class.
+    type ClassTraces = Vec<(Vec<f32>, Vec<f32>)>;
+
+    fn toy_classes(n: usize, len: usize) -> (ClassTraces, ClassTraces) {
         let make = |level: f32| -> Vec<(Vec<f32>, Vec<f32>)> {
             (0..n)
                 .map(|k| {

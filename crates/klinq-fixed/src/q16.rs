@@ -488,7 +488,7 @@ impl FromStr for Q16_16 {
         let v: f64 = s.parse().map_err(|_| ParseFixedError {
             kind: ParseErrorKind::InvalidFloat,
         })?;
-        if !v.is_finite() || v >= 32768.0 || v < -32768.0 {
+        if !v.is_finite() || !(-32768.0..32768.0).contains(&v) {
             return Err(ParseFixedError {
                 kind: ParseErrorKind::OutOfRange,
             });
@@ -636,7 +636,7 @@ mod tests {
 
     #[test]
     fn ordering_matches_value_ordering() {
-        let mut vals = vec![
+        let mut vals = [
             Q16_16::from_f64(1.5),
             Q16_16::from_f64(-2.0),
             Q16_16::ZERO,
@@ -652,9 +652,7 @@ mod tests {
 
     #[test]
     fn sum_saturates_instead_of_panicking() {
-        let total: Q16_16 = std::iter::repeat(Q16_16::from_f64(30000.0))
-            .take(4)
-            .sum();
+        let total: Q16_16 = std::iter::repeat_n(Q16_16::from_f64(30000.0), 4).sum();
         assert_eq!(total, Q16_16::MAX);
     }
 

@@ -270,14 +270,12 @@ mod tests {
     use klinq_nn::network::FnnBuilder;
     use klinq_nn::train::{train_supervised, Dataset, TrainConfig};
 
+    /// Owned (i, q) traces for one prepared class.
+    type ClassTraces = Vec<(Vec<f32>, Vec<f32>)>;
+
     /// Builds a trained 31-feature student on separable synthetic classes
     /// and returns (net, pipeline, sample traces per class).
-    fn trained_setup() -> (
-        Fnn,
-        FeaturePipeline,
-        Vec<(Vec<f32>, Vec<f32>)>,
-        Vec<(Vec<f32>, Vec<f32>)>,
-    ) {
+    fn trained_setup() -> (Fnn, FeaturePipeline, ClassTraces, ClassTraces) {
         let len = 120usize;
         let make = |level: f32, n: usize| -> Vec<(Vec<f32>, Vec<f32>)> {
             (0..n)

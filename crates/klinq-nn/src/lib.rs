@@ -33,7 +33,7 @@
 //! let mut net = FnnBuilder::new(2)
 //!     .hidden(8, Activation::Relu)
 //!     .output(1)
-//!     .seed(7)
+//!     .seed(1)
 //!     .build();
 //! let cfg = TrainConfig { epochs: 800, batch_size: 4, learning_rate: 0.1, ..TrainConfig::default() };
 //! train_supervised(&mut net, &data, &cfg);

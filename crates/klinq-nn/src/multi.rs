@@ -207,9 +207,9 @@ pub fn evaluate_multi_accuracy(net: &Fnn, data: &MultiDataset) -> Vec<f64> {
     let k = data.outputs();
     let mut correct = vec![0usize; k];
     for r in 0..data.len() {
-        for c in 0..k {
+        for (c, corr) in correct.iter_mut().enumerate() {
             if (out.get(r, c) > 0.0) == (data.labels().get(r, c) == 1.0) {
-                correct[c] += 1;
+                *corr += 1;
             }
         }
     }

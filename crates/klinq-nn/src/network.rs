@@ -373,7 +373,10 @@ mod tests {
         let grads = net.backward(&trace, &grad_m);
 
         let eps = 1e-3f32;
-        // Spot-check several weights in each layer.
+        // Spot-check several weights in each layer. The index walks three
+        // parallel structures (layers, grads, finite differences), so a
+        // range loop is the clearest spelling.
+        #[allow(clippy::needless_range_loop)]
         for l in 0..3 {
             let (r, c) = (0usize, 0usize);
             let orig = net.layers()[l].weights().get(r, c);

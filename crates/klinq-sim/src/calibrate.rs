@@ -101,14 +101,14 @@ pub fn predict_mf_fidelity(
     let dt = config.sample_period_ns;
     let t1 = calib.t1_ns;
     let mut f1 = 0.0f64;
-    for k in 0..n {
+    for (k, &mass_k) in mass.iter().enumerate() {
         let t_lo = k as f64 * dt;
         let t_hi = t_lo + dt;
         let p_decay = (-t_lo / t1).exp() - (-t_hi / t1).exp();
         if p_decay <= 0.0 {
             continue;
         }
-        let rho = mass[k] / total;
+        let rho = mass_k / total;
         f1 += p_decay * avg_phi(snr * (rho - 0.5));
     }
     // Survived the whole trace.

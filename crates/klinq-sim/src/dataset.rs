@@ -63,6 +63,9 @@ pub struct Shot {
     pub traces: Vec<IqTrace>,
 }
 
+/// Borrowed `(i, q)` trace pairs, one per shot.
+pub type TracePairs<'a> = Vec<(&'a [f32], &'a [f32])>;
+
 /// A set of simulated readout shots plus the timing they were taken with.
 ///
 /// Mirrors the paper's dataset structure: shots cycle through all 32
@@ -241,7 +244,7 @@ impl ReadoutDataset {
     /// # Panics
     ///
     /// Panics if `qb >= NUM_QUBITS`.
-    pub fn class_split(&self, qb: usize) -> (Vec<(&[f32], &[f32])>, Vec<(&[f32], &[f32])>) {
+    pub fn class_split(&self, qb: usize) -> (TracePairs<'_>, TracePairs<'_>) {
         let mut ground = Vec::new();
         let mut excited = Vec::new();
         for s in &self.shots {

@@ -28,7 +28,7 @@ fn main() -> Result<(), KlinqError> {
         .into_iter()
         .filter(|&f| f >= min_frac)
         .collect();
-    let mut best = vec![(0.0f64, 0.0f64); 5]; // (fidelity, duration_ns)
+    let mut best = [(0.0f64, 0.0f64); 5]; // (fidelity, duration_ns)
     println!("\n{:>10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "duration", "Q1", "Q2", "Q3", "Q4", "Q5", "F5Q");
     for frac in fractions {
         let samples = ((max_samples as f64) * frac) as usize;

@@ -1,0 +1,50 @@
+//! Workspace smoke test: all five `examples/` must keep compiling.
+//!
+//! `cargo test` already builds the root package's examples, but only in
+//! the test profile of the same invocation; this test pins the guarantee
+//! explicitly by driving `cargo build --examples` itself, so a broken
+//! example fails a named test instead of the whole harness invocation.
+//!
+//! The nested cargo uses its own target directory — sharing the parent's
+//! would deadlock on cargo's build-directory lock.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let expected = [
+        "quickstart",
+        "mid_circuit",
+        "duration_tradeoff",
+        "crosstalk_compensation",
+        "fpga_deployment",
+    ];
+    for name in expected {
+        assert!(
+            manifest_dir.join("examples").join(format!("{name}.rs")).exists(),
+            "example `{name}` is missing from examples/"
+        );
+    }
+
+    let target_dir = manifest_dir.join("target").join("examples-smoke");
+    let output = Command::new(env!("CARGO"))
+        .args(["build", "--examples", "--offline"])
+        .current_dir(manifest_dir)
+        .env("CARGO_TARGET_DIR", &target_dir)
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    for name in expected {
+        assert!(
+            target_dir.join("debug").join("examples").join(name).exists(),
+            "example binary `{name}` was not produced"
+        );
+    }
+}

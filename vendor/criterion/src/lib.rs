@@ -1,0 +1,338 @@
+//! Minimal, dependency-free work-alike of the `criterion` API surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Throughput` and `Bencher::iter`.
+//!
+//! Behavior mirrors real criterion's mode selection:
+//!
+//! - run with `--bench` (what `cargo bench` passes) → measure and print a
+//!   per-iteration time (median of several sampling rounds);
+//! - run with `--test`, or without `--bench` (what `cargo test` does for
+//!   `harness = false` bench targets) → execute each benchmark exactly
+//!   once as a smoke test;
+//! - a positional argument filters benchmarks by substring match on
+//!   `group/name`, like real criterion.
+//!
+//! Statistical analysis, plotting and baselines are intentionally out of
+//! scope — the numbers printed here are for trajectory tracking, not
+//! publication.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark in bench mode.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(120);
+/// Sampling rounds used for the reported median.
+const ROUNDS: usize = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Each benchmark body runs exactly once (cargo test / --test).
+    Test,
+    /// Timed runs (cargo bench).
+    Bench,
+}
+
+/// Benchmark identifier: `name` or `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The harness entry point handed to benchmark functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds from the process arguments (see module docs for the modes).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let has_bench = args.iter().any(|a| a == "--bench");
+        let has_test = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .cloned()
+            .filter(|s| !s.is_empty());
+        let mode = if has_bench && !has_test {
+            Mode::Bench
+        } else {
+            Mode::Test
+        };
+        Criterion { mode, filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mode = self.mode;
+        if self.selected(&id.id) {
+            run_one(&id.id, mode, None, f);
+        }
+        self
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.selected(&full) {
+            run_one(&full, self.criterion.mode, self.throughput, f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    full_name: &str,
+    mode: Mode,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        mode,
+        per_iter: Vec::new(),
+    };
+    match mode {
+        Mode::Test => {
+            f(&mut bencher);
+            println!("{full_name}: ok (test mode, 1 iteration)");
+        }
+        Mode::Bench => {
+            f(&mut bencher);
+            if bencher.per_iter.is_empty() {
+                println!("{full_name}: no measurement recorded");
+                return;
+            }
+            bencher
+                .per_iter
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let median = bencher.per_iter[bencher.per_iter.len() / 2];
+            let mut line = format!("{full_name:<50} time: {}", format_ns(median));
+            if let Some(t) = throughput {
+                let (units, label) = match t {
+                    Throughput::Elements(n) => (n as f64, "elem/s"),
+                    Throughput::Bytes(n) => (n as f64, "B/s"),
+                };
+                if median > 0.0 {
+                    line.push_str(&format!(
+                        "  thrpt: {}",
+                        format_rate(units / (median * 1e-9), label)
+                    ));
+                }
+            }
+            println!("{line}");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64, label: &str) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M{label}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{label}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {label}")
+    }
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    /// Nanoseconds per iteration, one entry per sampling round.
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(f());
+            }
+            Mode::Bench => {
+                // Warm up and find an iteration count that fills the
+                // target sample time.
+                std::hint::black_box(f());
+                let mut iters: u64 = 1;
+                let per_iter_estimate = loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+                        break elapsed.as_nanos() as f64 / iters as f64;
+                    }
+                    let scale = TARGET_SAMPLE_TIME.as_nanos() as f64
+                        / elapsed.as_nanos().max(1) as f64;
+                    iters = ((iters as f64 * scale * 1.2) as u64).clamp(iters + 1, 1 << 30);
+                };
+                let _ = per_iter_estimate;
+                for _ in 0..ROUNDS {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    self.per_iter
+                        .push(start.elapsed().as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Re-export point used by some criterion consumers; `std::hint::black_box`
+/// is the canonical spelling in this workspace.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(31).id, "31");
+        assert_eq!(BenchmarkId::new("dot", 201).id, "dot/201");
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+        };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("other".into()),
+        };
+        let mut runs = 0;
+        c.bench_function("this_one", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Minimal, dependency-free (vendored-`rand`-only) work-alike of the
+//! `proptest` API surface this workspace uses:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//! - [`Strategy`] with `.prop_map`, range strategies, tuple strategies,
+//!   `any::<T>()`, `prop::bool::ANY` and `prop::collection::vec`.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic runs) and failing cases are not shrunk — the
+//! panic message simply reports the assertion that failed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies (deterministic; see module docs).
+pub type TestRng = StdRng;
+
+/// Creates the deterministic per-test RNG.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // Vary the stream per test so sibling properties don't see identical
+    // inputs, while keeping runs reproducible.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $u as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8: u8, i16: u16, i32: u32, i64: u64, u8: u8, u16: u16, u32: u32, u64: u64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats over a wide dynamic range (no NaN/inf, which real
+        // proptest also excludes by default).
+        let mag = rng.gen_range(-60.0f32..60.0);
+        let sign = if rng.gen::<u64>() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mag = rng.gen_range(-300.0f64..300.0);
+        let sign = if rng.gen::<u64>() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag.exp2()
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty vec length range");
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)` work-alike.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// The strategy behind `prop::bool::ANY`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Runs `cases` generated inputs through a property closure.
+///
+/// The closure returns `false` to signal a rejected case (`prop_assume!`);
+/// assertion failures panic directly with context from the macros below.
+pub fn run_property<F: FnMut(&mut TestRng) -> bool>(cfg: ProptestConfig, name: &str, mut case: F) {
+    let mut rng = test_rng(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (cfg.cases as u64) * 64;
+    while accepted < cfg.cases {
+        if case(&mut rng) {
+            accepted += 1;
+        } else {
+            rejected += 1;
+            assert!(
+                rejected <= max_rejects,
+                "property `{name}`: too many rejected cases ({rejected}) — \
+                 prop_assume! filter is too strict"
+            );
+        }
+    }
+}
+
+/// Work-alike of `proptest!`: expands each property into a `#[test]` that
+/// samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(config, stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    // The bool-returning closure lets `prop_assume!` reject
+                    // the case with `return false` without leaving the test.
+                    let mut __proptest_case = move || -> bool {
+                        { $body }
+                        true
+                    };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `prop_assert_eq!` — panics on inequality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `prop_assert_ne!` — panics on equality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// `prop_assume!` — skips the current case when the precondition fails.
+///
+/// Expands to `return false` and therefore only works inside a
+/// [`proptest!`] body (whose cases run in a bool-returning closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (-10.0f64..10.0, 0.5f64..2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_map_work((a, b) in pair().prop_map(|(x, s)| (x * s, s))) {
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!(a.abs() <= 20.0);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0.0f32..1.0, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn bool_any_generates(b in prop::bool::ANY) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal, dependency-free work-alike of the `rayon` parallel-slice API
+//! this workspace uses (`par_chunks(..).map(..).collect()` and
+//! `par_iter().map(..).collect()`), built on `std::thread::scope`.
+//!
+//! Work is distributed over `available_parallelism()` worker threads via
+//! an atomic task counter; results are written back by task index, so
+//! output ordering is deterministic and identical to the sequential
+//! ordering regardless of thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for a job of `tasks` independent tasks.
+fn worker_count(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tasks)
+        .max(1)
+}
+
+/// Runs `f(i)` for every index in `0..tasks` on a scoped worker pool and
+/// returns the results in index order.
+fn par_map_indexed<R, F>(tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(tasks);
+    if workers == 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || Mutex::new(None));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// A lazy parallel iterator with deterministic output ordering.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Executes the pipeline and returns items in order.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<R: Send, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromParallelVec<Self::Item>>(self) -> C {
+        C::from_parallel_vec(self.run())
+    }
+}
+
+/// Collection types buildable from an ordered parallel result.
+pub trait FromParallelVec<T> {
+    fn from_parallel_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_parallel_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over contiguous chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn run(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.chunk_size).collect()
+    }
+}
+
+/// Parallel iterator over the elements of a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// The `map` adapter — the stage that actually runs in parallel.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    I::Item: Sync + Send,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.run();
+        let f = &self.f;
+        let mut inputs: Vec<Option<I::Item>> = items.into_iter().map(Some).collect();
+        let cells: Vec<Mutex<Option<I::Item>>> = inputs
+            .drain(..)
+            .map(Mutex::new)
+            .collect();
+        par_map_indexed(cells.len(), |i| {
+            let item = cells[i]
+                .lock()
+                .expect("input slot poisoned")
+                .take()
+                .expect("each input consumed once");
+            f(item)
+        })
+    }
+}
+
+/// `slice.par_chunks(n)` / `slice.par_iter()` extension trait.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Sets the number of threads; accepted for API compatibility. The pool
+/// here is created per call, so this is a no-op.
+pub struct ThreadPoolBuilder;
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude::*`.
+    pub use crate::{FromParallelVec, ParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_map_preserves_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sums: Vec<u64> = data
+            .par_chunks(7)
+            .map(|chunk| chunk.iter().sum::<u64>())
+            .collect();
+        let expected: Vec<u64> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let data: Vec<i64> = (-500..500).collect();
+        let doubled: Vec<i64> = data.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<i64> = data.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let data: Vec<u8> = Vec::new();
+        let out: Vec<u8> = data.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
