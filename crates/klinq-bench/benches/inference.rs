@@ -1,18 +1,37 @@
-//! Inference-latency benchmarks: student vs teacher vs FPGA datapath.
+//! Inference benchmarks: per-stage costs plus end-to-end serving
+//! throughput for the float and Q16.16 paths.
 //!
 //! The paper's hardware point is that the distilled students are small
 //! enough for a 32 ns FPGA pipeline. In software the same effect shows up
 //! as orders-of-magnitude lower inference cost than the teacher; these
-//! benchmarks quantify that, plus the cost of the bit-accurate Q16.16
-//! datapath model.
+//! benchmarks quantify that, break the hot path into its stages
+//! (feature extraction / network forward / hardware datapath), and report
+//! the batched engine's shots/sec — the serving-trajectory headline that
+//! `BENCH_inference.json` records for CI (see the criterion work-alike).
+//!
+//! Baselines on the 1-core reference container: PR 1 measured
+//! `batched_inference/testset_parallel` at ~134K shots/s with the
+//! allocating per-shot path; the pooled, zero-allocation, GEMM-chunked
+//! engine of this PR is the number to compare against it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use klinq_core::experiments::ExperimentConfig;
 use klinq_core::{BatchDiscriminator, KlinqSystem};
+use klinq_fpga::HwScratch;
+use klinq_nn::InferenceScratch;
 use std::hint::black_box;
+use std::sync::OnceLock;
 
+/// One trained smoke system shared by every benchmark in this binary
+/// (training dominates setup cost).
+fn system() -> &'static KlinqSystem {
+    static SYS: OnceLock<KlinqSystem> = OnceLock::new();
+    SYS.get_or_init(|| KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system"))
+}
+
+/// End-to-end single-shot inference (the mid-circuit latency view).
 fn bench_inference(c: &mut Criterion) {
-    let system = KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system");
+    let system = system();
     let shot = system.test_data().shot(0).clone();
 
     let mut group = c.benchmark_group("inference");
@@ -44,20 +63,73 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// Stage-level costs of the zero-allocation hot path: feature extraction,
+/// network forward, and the fixed-point datapath, each through reusable
+/// scratch buffers exactly as the batched engine runs them.
+fn bench_stages(c: &mut Criterion) {
+    let system = system();
+    let shot = system.test_data().shot(0).clone();
+
+    let mut group = c.benchmark_group("inference_stages");
+    // Feature extraction into a reused buffer, FNN-A (31) and FNN-B (201).
+    group.bench_function("extract_fnn_a", |b| {
+        let pipe = &system.discriminator(0).student().pipeline;
+        let t = &shot.traces[0];
+        let mut out = vec![0.0f32; pipe.input_dim()];
+        b.iter(|| {
+            pipe.extract_into(black_box(&t.i), black_box(&t.q), &mut out);
+            black_box(out[0])
+        });
+    });
+    group.bench_function("extract_fnn_b", |b| {
+        let pipe = &system.discriminator(1).student().pipeline;
+        let t = &shot.traces[1];
+        let mut out = vec![0.0f32; pipe.input_dim()];
+        b.iter(|| {
+            pipe.extract_into(black_box(&t.i), black_box(&t.q), &mut out);
+            black_box(out[0])
+        });
+    });
+    // Network forward on pre-extracted features through scratch buffers.
+    group.bench_function("forward_fnn_a", |b| {
+        let student = system.discriminator(0).student();
+        let t = &shot.traces[0];
+        let features = student.pipeline.extract(&t.i, &t.q);
+        let mut scratch = InferenceScratch::new();
+        b.iter(|| black_box(student.net.logit_with(black_box(&features), &mut scratch)));
+    });
+    group.bench_function("forward_fnn_b", |b| {
+        let student = system.discriminator(1).student();
+        let t = &shot.traces[1];
+        let features = student.pipeline.extract(&t.i, &t.q);
+        let mut scratch = InferenceScratch::new();
+        b.iter(|| black_box(student.net.logit_with(black_box(&features), &mut scratch)));
+    });
+    // Q16.16 datapath through a reused fixed-point scratch.
+    group.bench_function("hw_fnn_a", |b| {
+        let hw = system.discriminator(0).hardware();
+        let t = &shot.traces[0];
+        let mut scratch = HwScratch::new();
+        b.iter(|| black_box(hw.infer_with(black_box(&t.i), black_box(&t.q), &mut scratch)));
+    });
+    group.finish();
+}
+
 /// Batched readout throughput (shots/sec across all five qubits): the
-/// serving-path baseline the perf trajectory tracks.
+/// serving-path trajectory tracked in `BENCH_inference.json`.
 fn bench_batched_inference(c: &mut Criterion) {
-    let system = KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system");
+    let system = system();
     let shots = system.test_data().shots();
     let batch = BatchDiscriminator::new(system.discriminators());
 
     let mut group = c.benchmark_group("batched_inference");
     group.throughput(Throughput::Elements(shots.len() as u64));
-    // Parallel chunked classification of the whole held-out set.
+    // Pooled, GEMM-chunked classification of the whole held-out set.
     group.bench_function("testset_parallel", |b| {
         b.iter(|| black_box(batch.classify_shots(black_box(shots))));
     });
-    // Sequential reference on the same shots, for the speedup ratio.
+    // Sequential scratch-path reference on the same shots, for the
+    // pool/GEMM speedup ratio.
     group.bench_function("testset_sequential", |b| {
         b.iter(|| {
             let states: Vec<_> = shots
@@ -67,8 +139,12 @@ fn bench_batched_inference(c: &mut Criterion) {
             black_box(states)
         });
     });
+    // The batched Q16.16 datapath.
+    group.bench_function("testset_parallel_hw", |b| {
+        b.iter(|| black_box(batch.classify_shots_hw(black_box(shots))));
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_batched_inference);
+criterion_group!(benches, bench_inference, bench_stages, bench_batched_inference);
 criterion_main!(benches);

@@ -1,27 +1,76 @@
 //! Batched, data-parallel readout: classify many shots across all five
-//! qubits concurrently.
+//! qubits concurrently, with zero heap allocations on the hot path.
 //!
 //! The per-shot path ([`KlinqSystem::measure`]) exists for mid-circuit
 //! latency; evaluation and serving workloads instead see *throughput* —
 //! thousands of buffered shots that all need discriminating. This module
-//! chunks a shot batch over a scoped thread pool (the vendored
-//! rayon work-alike) while keeping the output ordering deterministic and
-//! bitwise-identical to sequential [`KlinqDiscriminator::measure`] calls:
-//! every shot is classified by exactly the same float pipeline, only the
-//! scheduling changes.
+//! chunks a shot batch over the persistent worker pool of the vendored
+//! rayon work-alike and classifies each chunk with a **GEMM per qubit**:
+//! the chunk's feature rows are packed into a reusable [`Matrix`] and run
+//! through [`klinq_nn::Fnn::logits_batch_with`] in one batched forward
+//! pass per discriminator, instead of one network traversal per shot.
+//!
+//! Every buffer the chunk path touches lives in a per-worker
+//! [`ShotScratch`] (the pool keeps its threads — and therefore these warm
+//! buffers — alive across batches), so after warmup a batch classifies
+//! with no allocator traffic at all. Scheduling never changes results:
+//! outputs are written back in shot order and every prediction is
+//! bitwise-identical to sequential [`KlinqDiscriminator::measure`] calls,
+//! because the GEMM kernel replays the exact single-sample summation
+//! order (see `Dense::forward_infer_into`).
+//!
+//! The bit-accurate Q16.16 datapath gets the same treatment:
+//! [`BatchDiscriminator::classify_shots_hw`] runs `measure_hw` over
+//! parallel chunks through per-worker [`klinq_fpga::HwScratch`] buffers,
+//! and [`KlinqSystem::evaluate_hw`] routes through it.
 //!
 //! [`KlinqSystem::evaluate`] routes through this engine, and the
-//! `inference` criterion bench reports its shots/sec as the repo's first
-//! serving-throughput baseline.
+//! `inference` criterion bench reports its shots/sec as the repo's
+//! serving-throughput trajectory (see `BENCH_inference.json`).
 
 use crate::discriminator::KlinqDiscriminator;
 use crate::eval::{assignment_fidelity, FidelityReport};
+use klinq_fpga::HwScratch;
+use klinq_nn::{BatchScratch, InferenceScratch, Matrix};
 use klinq_sim::{ReadoutDataset, Shot};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// The per-shot output of the five independent discriminators,
 /// qubit-ordered.
 pub type ShotStates = [bool; 5];
+
+/// Per-worker reusable buffers for the batched hot paths.
+///
+/// Workers of the persistent pool each own one (thread-local), so the
+/// float and Q16.16 classification paths perform zero heap allocations
+/// once the buffers have warmed up to the batch shape.
+#[derive(Debug, Default)]
+pub struct ShotScratch {
+    /// One shot's feature row (per-shot float path).
+    features: Vec<f32>,
+    /// Network ping-pong buffers for the per-shot float path.
+    nn: InferenceScratch,
+    /// Packed feature rows of one chunk (GEMM path).
+    x: Matrix,
+    /// Network ping-pong matrices for the chunked GEMM path.
+    batch: BatchScratch,
+    /// Fixed-point buffers for the Q16.16 path.
+    hw: HwScratch,
+}
+
+impl ShotScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// The calling thread's scratch. Pool workers persist across batches,
+    /// so these warm buffers are reused by every subsequent call.
+    static SCRATCH: RefCell<ShotScratch> = RefCell::new(ShotScratch::new());
+}
 
 /// A batched front end over five per-qubit discriminators.
 ///
@@ -73,40 +122,136 @@ impl<'a> BatchDiscriminator<'a> {
         if let Some(size) = self.chunk_size {
             return size;
         }
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let workers = rayon::current_num_threads();
         // Aim for ~4 chunks per worker so stragglers rebalance, with a
-        // floor that keeps per-chunk overhead negligible for tiny batches.
-        (n / (workers * 4)).max(8)
+        // floor that keeps per-chunk overhead negligible for tiny batches
+        // and a cap that bounds the per-worker scratch (the thread-local
+        // buffers warm to one chunk's feature matrix and persist with the
+        // pool) while keeping the GEMM working set cache-friendly.
+        (n / (workers * 4)).clamp(8, 4096)
     }
 
-    /// Classifies one shot on all five qubits (the sequential reference
-    /// path the batched path must match exactly).
+    /// Classifies one shot on all five qubits through the calling
+    /// thread's reusable scratch (zero allocations after warmup).
+    ///
+    /// Bitwise-identical to per-qubit [`KlinqDiscriminator::measure`]
+    /// calls.
     pub fn classify_shot(&self, shot: &Shot) -> ShotStates {
+        SCRATCH.with(|s| self.classify_shot_with(shot, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::classify_shot`] with an explicit scratch (for callers
+    /// managing their own buffers).
+    pub fn classify_shot_with(&self, shot: &Shot, scratch: &mut ShotScratch) -> ShotStates {
         let mut states = [false; 5];
         for (qb, d) in self.discriminators.iter().enumerate() {
             let t = &shot.traces[qb];
-            states[qb] = d.measure(&t.i, &t.q);
+            let student = d.student();
+            scratch.features.clear();
+            scratch.features.resize(student.pipeline.input_dim(), 0.0);
+            student.pipeline.extract_into(&t.i, &t.q, &mut scratch.features);
+            states[qb] = student.net.predict_with(&scratch.features, &mut scratch.nn);
         }
         states
     }
 
-    /// Classifies a batch of shots in parallel.
+    /// Classifies one shot through the bit-accurate Q16.16 datapath
+    /// (zero allocations after warmup).
     ///
-    /// Output index `i` is always shot `i`'s states, regardless of thread
-    /// scheduling, and every value is bitwise-identical to
-    /// [`Self::classify_shot`] on that shot.
-    pub fn classify_shots(&self, shots: &[Shot]) -> Vec<ShotStates> {
+    /// Bitwise-identical to per-qubit [`KlinqDiscriminator::measure_hw`]
+    /// calls.
+    pub fn classify_shot_hw(&self, shot: &Shot) -> ShotStates {
+        SCRATCH.with(|s| self.classify_shot_hw_with(shot, &mut s.borrow_mut()))
+    }
+
+    /// [`Self::classify_shot_hw`] with an explicit scratch.
+    pub fn classify_shot_hw_with(&self, shot: &Shot, scratch: &mut ShotScratch) -> ShotStates {
+        let mut states = [false; 5];
+        for (qb, d) in self.discriminators.iter().enumerate() {
+            let t = &shot.traces[qb];
+            states[qb] = d.hardware().infer_with(&t.i, &t.q, &mut scratch.hw);
+        }
+        states
+    }
+
+    /// Classifies one chunk with a batched forward pass per qubit: all of
+    /// the chunk's feature rows for a qubit are extracted four shots at a
+    /// time (interleaved matched-filter chains), packed into one matrix,
+    /// and pushed through that qubit's student in a single GEMM.
+    fn classify_chunk_into(&self, shots: &[Shot], out: &mut [ShotStates], scratch: &mut ShotScratch) {
+        debug_assert_eq!(shots.len(), out.len());
+        for (qb, d) in self.discriminators.iter().enumerate() {
+            let student = d.student();
+            scratch.x.resize(shots.len(), student.pipeline.input_dim());
+            let mut rows = scratch.x.iter_rows_mut();
+            let mut quads = shots.chunks_exact(4);
+            for quad in &mut quads {
+                let t = [&quad[0].traces[qb], &quad[1].traces[qb], &quad[2].traces[qb], &quad[3].traces[qb]];
+                let rs: [&mut [f32]; 4] = std::array::from_fn(|_| {
+                    rows.next().expect("matrix rows match the shot count")
+                });
+                student.pipeline.extract_into_x4(
+                    [(&t[0].i, &t[0].q), (&t[1].i, &t[1].q), (&t[2].i, &t[2].q), (&t[3].i, &t[3].q)],
+                    rs,
+                );
+            }
+            for (shot, row) in quads.remainder().iter().zip(rows) {
+                let t = &shot.traces[qb];
+                student.pipeline.extract_into(&t.i, &t.q, row);
+            }
+            let logits = student.net.logits_batch_with(&scratch.x, &mut scratch.batch);
+            for (states, &logit) in out.iter_mut().zip(logits) {
+                states[qb] = klinq_nn::Fnn::decide(logit);
+            }
+        }
+    }
+
+    /// Shared parallel driver: chunks the batch over the pool and lets
+    /// `per_chunk` fill each output chunk through the worker's scratch.
+    /// Writeback is index-ordered, so output `i` is always shot `i`.
+    fn classify_batch<F>(&self, shots: &[Shot], per_chunk: F) -> Vec<ShotStates>
+    where
+        F: Fn(&[Shot], &mut [ShotStates], &mut ShotScratch) + Sync,
+    {
         if shots.is_empty() {
             return Vec::new();
         }
         let chunk = self.chunk_size_for(shots.len());
-        let per_chunk: Vec<Vec<ShotStates>> = shots
-            .par_chunks(chunk)
-            .map(|chunk| chunk.iter().map(|shot| self.classify_shot(shot)).collect())
-            .collect();
-        per_chunk.into_iter().flatten().collect()
+        let mut out = vec![[false; 5]; shots.len()];
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, out_chunk)| {
+                let start = ci * chunk;
+                let in_chunk = &shots[start..start + out_chunk.len()];
+                SCRATCH.with(|s| per_chunk(in_chunk, out_chunk, &mut s.borrow_mut()));
+            });
+        out
+    }
+
+    /// Classifies a batch of shots in parallel (float pipeline).
+    ///
+    /// Output index `i` is always shot `i`'s states, regardless of thread
+    /// scheduling, and every value is bitwise-identical to
+    /// [`Self::classify_shot`] (and therefore to sequential
+    /// [`KlinqDiscriminator::measure`]) on that shot.
+    pub fn classify_shots(&self, shots: &[Shot]) -> Vec<ShotStates> {
+        self.classify_batch(shots, |chunk, out, scratch| {
+            self.classify_chunk_into(chunk, out, scratch);
+        })
+    }
+
+    /// Classifies a batch of shots in parallel through the bit-accurate
+    /// Q16.16 datapath.
+    ///
+    /// Same ordering and equivalence guarantees as
+    /// [`Self::classify_shots`], against per-shot
+    /// [`KlinqDiscriminator::measure_hw`].
+    pub fn classify_shots_hw(&self, shots: &[Shot]) -> Vec<ShotStates> {
+        self.classify_batch(shots, |chunk, out, scratch| {
+            for (shot, states) in chunk.iter().zip(out.iter_mut()) {
+                *states = self.classify_shot_hw_with(shot, scratch);
+            }
+        })
     }
 
     /// Classifies every shot of a dataset in parallel.
@@ -114,14 +259,8 @@ impl<'a> BatchDiscriminator<'a> {
         self.classify_shots(data.shots())
     }
 
-    /// Batched assignment-fidelity evaluation over a dataset at the full
-    /// trace length.
-    ///
-    /// Produces exactly the same report as evaluating each qubit with
-    /// sequential `measure` calls — the parallelism never changes a
-    /// prediction, only the wall-clock cost.
-    pub fn evaluate(&self, data: &ReadoutDataset) -> FidelityReport {
-        let predictions = self.classify_dataset(data);
+    /// Per-qubit assignment fidelities of a prediction set over a dataset.
+    fn report_from(predictions: &[ShotStates], data: &ReadoutDataset) -> FidelityReport {
         let fidelities = (0..5)
             .map(|qb| {
                 let labels = data.qubit_labels(qb);
@@ -131,21 +270,29 @@ impl<'a> BatchDiscriminator<'a> {
             .collect();
         FidelityReport::new(fidelities)
     }
+
+    /// Batched assignment-fidelity evaluation over a dataset at the full
+    /// trace length.
+    ///
+    /// Produces exactly the same report as evaluating each qubit with
+    /// sequential `measure` calls — the parallelism never changes a
+    /// prediction, only the wall-clock cost.
+    pub fn evaluate(&self, data: &ReadoutDataset) -> FidelityReport {
+        Self::report_from(&self.classify_dataset(data), data)
+    }
+
+    /// Batched assignment-fidelity evaluation through the Q16.16
+    /// datapath, with the same guarantees against sequential
+    /// `measure_hw` calls.
+    pub fn evaluate_hw(&self, data: &ReadoutDataset) -> FidelityReport {
+        Self::report_from(&self.classify_shots_hw(data.shots()), data)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::discriminator::KlinqSystem;
-    use crate::experiments::ExperimentConfig;
-    use std::sync::OnceLock;
-
-    /// One shared smoke system: every test here only needs `&`-access,
-    /// and training is by far the dominant cost of this module's suite.
-    fn smoke_system() -> &'static KlinqSystem {
-        static SYS: OnceLock<KlinqSystem> = OnceLock::new();
-        SYS.get_or_init(|| KlinqSystem::train(&ExperimentConfig::smoke()).unwrap())
-    }
+    use crate::testutil::smoke_system;
 
     #[test]
     fn batch_matches_sequential_bitwise() {
@@ -155,9 +302,28 @@ mod tests {
         let batched = batch.classify_shots(shots);
         assert_eq!(batched.len(), shots.len());
         for (shot, states) in shots.iter().zip(&batched) {
+            // The GEMM-chunked result, the scratch per-shot path, and the
+            // sequential allocating reference must all agree exactly.
+            assert_eq!(*states, batch.classify_shot(shot));
             for (qb, (state, t)) in states.iter().zip(&shot.traces).enumerate() {
                 let sequential = sys.measure(qb, &t.i, &t.q);
                 assert_eq!(*state, sequential, "qubit {qb} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn hw_batch_matches_sequential_measure_hw() {
+        let sys = smoke_system();
+        let batch = BatchDiscriminator::new(sys.discriminators());
+        let shots = sys.test_data().shots();
+        let batched = batch.classify_shots_hw(shots);
+        assert_eq!(batched.len(), shots.len());
+        for (shot, states) in shots.iter().zip(&batched) {
+            assert_eq!(*states, batch.classify_shot_hw(shot));
+            for (qb, (state, t)) in states.iter().zip(&shot.traces).enumerate() {
+                let sequential = sys.discriminator(qb).measure_hw(&t.i, &t.q);
+                assert_eq!(*state, sequential, "qubit {qb} hw diverged");
             }
         }
     }
@@ -167,11 +333,15 @@ mod tests {
         let sys = smoke_system();
         let shots = sys.test_data().shots();
         let reference = BatchDiscriminator::new(sys.discriminators()).classify_shots(shots);
+        let reference_hw = BatchDiscriminator::new(sys.discriminators()).classify_shots_hw(shots);
         for chunk_size in [1, 3, 7, 64, shots.len() + 1] {
-            let chunked = BatchDiscriminator::new(sys.discriminators())
-                .with_chunk_size(chunk_size)
-                .classify_shots(shots);
-            assert_eq!(chunked, reference, "chunk size {chunk_size} diverged");
+            let batch = BatchDiscriminator::new(sys.discriminators()).with_chunk_size(chunk_size);
+            assert_eq!(batch.classify_shots(shots), reference, "chunk size {chunk_size} diverged");
+            assert_eq!(
+                batch.classify_shots_hw(shots),
+                reference_hw,
+                "chunk size {chunk_size} diverged (hw)"
+            );
         }
     }
 
@@ -186,10 +356,23 @@ mod tests {
     }
 
     #[test]
+    fn batched_evaluate_hw_matches_per_qubit_fidelity_hw() {
+        let sys = smoke_system();
+        // `KlinqSystem::evaluate_hw` routes through the batch engine; the
+        // sequential reference is the per-discriminator hw fidelity.
+        let batched = sys.evaluate_hw();
+        for qb in 0..5 {
+            let sequential = sys.discriminator(qb).fidelity_hw(sys.test_data());
+            assert_eq!(batched.qubit(qb), sequential, "qubit {qb} hw fidelity diverged");
+        }
+    }
+
+    #[test]
     fn empty_batch_is_empty() {
         let sys = smoke_system();
         let batch = BatchDiscriminator::new(sys.discriminators());
         assert!(batch.classify_shots(&[]).is_empty());
+        assert!(batch.classify_shots_hw(&[]).is_empty());
     }
 
     #[test]
@@ -197,5 +380,23 @@ mod tests {
     fn wrong_discriminator_count_rejected() {
         let sys = smoke_system();
         let _ = BatchDiscriminator::new(&sys.discriminators()[..3]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn any_chunk_size_is_bitwise_identical_to_per_shot(chunk in 1usize..512) {
+            // The GEMM packs `chunk`-row matrices whose x4/remainder
+            // extraction split depends on the chunk size; none of it may
+            // ever change a prediction.
+            let sys = smoke_system();
+            let batch = BatchDiscriminator::new(sys.discriminators()).with_chunk_size(chunk);
+            let shots = sys.test_data().shots();
+            let chunked = batch.classify_shots(shots);
+            for (shot, states) in shots.iter().zip(&chunked) {
+                proptest::prop_assert_eq!(*states, batch.classify_shot(shot));
+            }
+        }
     }
 }

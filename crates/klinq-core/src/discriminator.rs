@@ -338,13 +338,13 @@ impl KlinqSystem {
     }
 
     /// Evaluates through the bit-accurate FPGA datapath.
+    ///
+    /// Routes through the batched engine ([`crate::batch`]) like
+    /// [`Self::evaluate`]: the Q16.16 shots are classified in parallel
+    /// chunks with per-worker scratch buffers, bitwise-identical to
+    /// sequential per-shot [`KlinqDiscriminator::measure_hw`] calls.
     pub fn evaluate_hw(&self) -> FidelityReport {
-        FidelityReport::new(
-            self.discriminators
-                .iter()
-                .map(|d| d.fidelity_hw(&self.test_data))
-                .collect(),
-        )
+        crate::batch::BatchDiscriminator::new(&self.discriminators).evaluate_hw(&self.test_data)
     }
 
     /// Baseline-FNN (= teacher) fidelities on the held-out set.
@@ -361,10 +361,7 @@ impl KlinqSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn smoke_system() -> KlinqSystem {
-        KlinqSystem::train(&ExperimentConfig::smoke()).unwrap()
-    }
+    use crate::testutil::smoke_system;
 
     #[test]
     fn system_trains_and_evaluates() {

@@ -169,7 +169,8 @@ mod tests {
 
     #[test]
     fn ablation_covers_the_grid_and_identifies_rows() {
-        let a = run(&ExperimentConfig::smoke()).unwrap();
+        let a =
+            run_with_system(crate::testutil::smoke_system(), &ExperimentConfig::smoke()).unwrap();
         assert_eq!(a.rows.len(), sweep_grid().len());
         assert_eq!(a.supervised().alpha, 1.0);
         assert!(a.best_distilled().alpha < 1.0);

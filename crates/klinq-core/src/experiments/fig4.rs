@@ -139,7 +139,8 @@ mod tests {
 
     #[test]
     fn smoke_sweep_produces_all_points() {
-        let fig = run(&ExperimentConfig::smoke()).unwrap();
+        let fig =
+            run_with_system(crate::testutil::smoke_system(), &ExperimentConfig::smoke()).unwrap();
         assert_eq!(fig.points.len(), 11);
         for p in &fig.points {
             assert_eq!(p.klinq_per_qubit.len(), 5);

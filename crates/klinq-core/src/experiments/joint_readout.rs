@@ -123,7 +123,8 @@ mod tests {
 
     #[test]
     fn joint_comparison_runs_and_reports() {
-        let cmp = run(&ExperimentConfig::smoke()).unwrap();
+        let cmp =
+            run_with_system(crate::testutil::smoke_system(), &ExperimentConfig::smoke()).unwrap();
         assert_eq!(cmp.joint_per_qubit.len(), 5);
         assert_eq!(cmp.independent_per_qubit.len(), 5);
         assert!(cmp.joint_f5q > 0.5 && cmp.joint_f5q <= 1.0);

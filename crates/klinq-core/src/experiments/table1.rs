@@ -184,7 +184,8 @@ mod tests {
 
     #[test]
     fn smoke_table1_has_expected_structure_and_ordering() {
-        let table = run(&ExperimentConfig::smoke()).unwrap();
+        let table =
+            run_with_system(crate::testutil::smoke_system(), &ExperimentConfig::smoke()).unwrap();
         assert_eq!(table.rows.len(), 5);
         let klinq = table.row("KLiNQ").unwrap();
         let baseline = table.row("Baseline FNN").unwrap();

@@ -133,9 +133,8 @@ mod tests {
     #[test]
     fn smoke_sweep_structure() {
         // The smoke config runs 200 ns traces, so sweep the same structure
-        // at reduced durations by training at the smoke scale and slicing.
-        let system = KlinqSystem::train(&ExperimentConfig::smoke()).unwrap();
-        let table = run_with_system(&system);
+        // at reduced durations by slicing the shared smoke-scale system.
+        let table = run_with_system(crate::testutil::smoke_system());
         assert_eq!(table.rows.len(), PAPER_DURATIONS_NS.len());
         assert_eq!(table.best_per_qubit.len(), 5);
         // Best-per-qubit dominates every individual row.

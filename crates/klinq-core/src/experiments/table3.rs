@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn table3_structure_matches_paper() {
-        let table = run(&ExperimentConfig::smoke()).unwrap();
+        let table = run_with_system(crate::testutil::smoke_system());
         let rows = &table.report.rows;
         assert_eq!(rows.len(), 5);
         // Smoke config runs 200 ns traces (100 samples): per-qubit rows

@@ -51,8 +51,28 @@ pub mod params;
 pub mod student;
 pub mod teacher;
 
-pub use batch::BatchDiscriminator;
+pub use batch::{BatchDiscriminator, ShotScratch};
 pub use discriminator::{KlinqDiscriminator, KlinqSystem};
 pub use error::KlinqError;
 pub use eval::FidelityReport;
 pub use student::StudentArch;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for this crate's unit-test binary.
+
+    use crate::discriminator::KlinqSystem;
+    use crate::experiments::ExperimentConfig;
+    use std::sync::OnceLock;
+
+    /// One smoke-scale system shared across every test module
+    /// (discriminator, batch, experiments): training dominates the
+    /// suite's wall clock, and all consumers take `&`-access, so each
+    /// test binary trains exactly once.
+    pub(crate) fn smoke_system() -> &'static KlinqSystem {
+        static SYS: OnceLock<KlinqSystem> = OnceLock::new();
+        SYS.get_or_init(|| {
+            KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
+        })
+    }
+}

@@ -192,7 +192,27 @@ impl FeaturePipeline {
     ///
     /// Panics if the traces are shorter than the averager output count.
     pub fn extract_raw(&self, i: &[f32], q: &[f32]) -> Vec<f32> {
-        raw_features(&self.averager, &self.filter, i, q)
+        let mut out = vec![0.0; self.input_dim()];
+        self.extract_raw_into(i, q, &mut out);
+        out
+    }
+
+    /// Writes the raw (pre-normalization) features into a caller buffer —
+    /// the allocation-free form of [`Self::extract_raw`], bitwise-identical
+    /// to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.input_dim()` or the traces are shorter
+    /// than the averager output count.
+    pub fn extract_raw_into(&self, i: &[f32], q: &[f32], out: &mut [f32]) {
+        let m = self.averager.outputs();
+        assert_eq!(out.len(), 2 * m + 1, "feature buffer size mismatch");
+        let (avg_i, rest) = out.split_at_mut(m);
+        let (avg_q, mf) = rest.split_at_mut(m);
+        self.averager.average_into(i, avg_i);
+        self.averager.average_into(q, avg_q);
+        mf[0] = self.filter.apply_prefix(i, q) as f32;
     }
 
     /// The full feature vector the student network consumes.
@@ -205,9 +225,51 @@ impl FeaturePipeline {
     ///
     /// Panics if the traces are shorter than the averager output count.
     pub fn extract(&self, i: &[f32], q: &[f32]) -> Vec<f32> {
-        let mut raw = self.extract_raw(i, q);
-        self.normalizer.apply_in_place(&mut raw);
-        raw
+        let mut out = vec![0.0; self.input_dim()];
+        self.extract_into(i, q, &mut out);
+        out
+    }
+
+    /// Writes the full normalized feature vector into a caller buffer —
+    /// the allocation-free form of [`Self::extract`], bitwise-identical to
+    /// it (the serving hot path reuses one buffer across shots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.input_dim()` or the traces are shorter
+    /// than the averager output count.
+    pub fn extract_into(&self, i: &[f32], q: &[f32], out: &mut [f32]) {
+        self.extract_raw_into(i, q, out);
+        self.normalizer.apply_in_place(out);
+    }
+
+    /// Four-shot interleaved form of [`Self::extract_into`] for the
+    /// batched serving path: the matched-filter dot products of the four
+    /// shots run as independent interleaved accumulator chains (hiding
+    /// their FP latency), while every row stays bitwise-identical to
+    /// `extract_into` on that shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::extract_into`] on any
+    /// of the four shots.
+    pub fn extract_into_x4(&self, traces: [(&[f32], &[f32]); 4], mut rows: [&mut [f32]; 4]) {
+        let m = self.averager.outputs();
+        for ((i, q), row) in traces.iter().zip(rows.iter_mut()) {
+            assert_eq!(row.len(), 2 * m + 1, "feature buffer size mismatch");
+            let (avg_i, rest) = row.split_at_mut(m);
+            let (avg_q, _) = rest.split_at_mut(m);
+            self.averager.average_into(i, avg_i);
+            self.averager.average_into(q, avg_q);
+        }
+        let mf = self.filter.apply_prefix_x4(
+            [traces[0].0, traces[1].0, traces[2].0, traces[3].0],
+            [traces[0].1, traces[1].1, traces[2].1, traces[3].1],
+        );
+        for (row, v) in rows.iter_mut().zip(mf) {
+            row[2 * m] = v as f32;
+            self.normalizer.apply_in_place(row);
+        }
     }
 }
 
@@ -217,11 +279,11 @@ fn raw_features(
     i: &[f32],
     q: &[f32],
 ) -> Vec<f32> {
-    let out = averager.outputs();
-    let mut raw = Vec::with_capacity(2 * out + 1);
-    raw.extend(averager.average(i));
-    raw.extend(averager.average(q));
-    raw.push(filter.apply_prefix(i, q) as f32);
+    let m = averager.outputs();
+    let mut raw = vec![0.0; 2 * m + 1];
+    averager.average_into(i, &mut raw[..m]);
+    averager.average_into(q, &mut raw[m..2 * m]);
+    raw[2 * m] = filter.apply_prefix(i, q) as f32;
     raw
 }
 
@@ -291,6 +353,28 @@ mod tests {
         // Evaluate at 60% of the training duration.
         let f = pipe.extract(&g[0].0[..72], &g[0].1[..72]);
         assert_eq!(f.len(), 31);
+    }
+
+    #[test]
+    fn extract_into_is_bitwise_identical_to_extract() {
+        let (g, e) = toy_classes(24, 120);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        let mut buf = vec![0.0f32; pipe.input_dim()];
+        for (i, q) in g.iter().chain(&e) {
+            pipe.extract_into(i, q, &mut buf);
+            assert_eq!(buf, pipe.extract(i, q));
+            pipe.extract_raw_into(i, q, &mut buf);
+            assert_eq!(buf, pipe.extract_raw(i, q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer size mismatch")]
+    fn extract_into_rejects_wrong_buffer() {
+        let (g, e) = toy_classes(8, 60);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        let mut buf = vec![0.0f32; 7];
+        pipe.extract_into(&g[0].0, &g[0].1, &mut buf);
     }
 
     #[test]

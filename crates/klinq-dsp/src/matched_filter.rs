@@ -178,6 +178,36 @@ impl MatchedFilter {
             .sum()
     }
 
+    /// Four-trace interleaved form of [`Self::apply_prefix`].
+    ///
+    /// The four accumulator chains are independent, so the FP-add latency
+    /// of the dot product overlaps 4× on the batched serving path, while
+    /// each lane still sums in exactly the single-trace order — every
+    /// output is bitwise-identical to `apply_prefix` on that trace.
+    pub fn apply_prefix_x4(&self, traces: [&[f32]; 4]) -> [f64; 4] {
+        let len = traces[0].len();
+        if traces.iter().any(|t| t.len() != len) {
+            // Ragged batches take the scalar path (identical results).
+            return traces.map(|t| self.apply_prefix(t));
+        }
+        let n = len.min(self.envelope.len());
+        let (t0, t1, t2, t3) = (
+            &traces[0][..n],
+            &traces[1][..n],
+            &traces[2][..n],
+            &traces[3][..n],
+        );
+        let mut acc = [0.0f64; 4];
+        for (k, &e) in self.envelope[..n].iter().enumerate() {
+            let e = e as f64;
+            acc[0] += e * t0[k] as f64;
+            acc[1] += e * t1[k] as f64;
+            acc[2] += e * t2[k] as f64;
+            acc[3] += e * t3[k] as f64;
+        }
+        acc
+    }
+
     /// Windowed partial outputs: splits the trace into `windows` contiguous
     /// chunks and returns the filter's partial dot product over each.
     ///
@@ -290,6 +320,15 @@ impl IqMatchedFilter {
     /// [`MatchedFilter::apply_prefix`]).
     pub fn apply_prefix(&self, i: &[f32], q: &[f32]) -> f64 {
         self.i.apply_prefix(i) + self.q.apply_prefix(q)
+    }
+
+    /// Four-shot interleaved form of [`Self::apply_prefix`]
+    /// (see [`MatchedFilter::apply_prefix_x4`]); lane `l` is
+    /// bitwise-identical to `apply_prefix(i[l], q[l])`.
+    pub fn apply_prefix_x4(&self, i: [&[f32]; 4], q: [&[f32]; 4]) -> [f64; 4] {
+        let ii = self.i.apply_prefix_x4(i);
+        let qq = self.q.apply_prefix_x4(q);
+        [ii[0] + qq[0], ii[1] + qq[1], ii[2] + qq[2], ii[3] + qq[3]]
     }
 
     /// Windowed variant returning `2 * windows` features (I windows then Q

@@ -1,12 +1,43 @@
 //! Property-based tests for the DSP blocks.
 
 use klinq_dsp::{
-    geometric_mean, mean, population_variance, IntervalAverager, MatchedFilter, VecNormalizer,
+    geometric_mean, mean, population_variance, FeaturePipeline, FeatureSpec, IntervalAverager,
+    MatchedFilter, VecNormalizer,
 };
 use proptest::prelude::*;
 
 fn trace(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+/// Fits a small pipeline on deterministic toy classes (`m` averaged
+/// points per channel, training traces of `train_len` samples).
+fn fitted_pipeline(m: usize, train_len: usize) -> FeaturePipeline {
+    let make = |level: f32| -> Vec<(Vec<f32>, Vec<f32>)> {
+        (0..12)
+            .map(|k| {
+                let ripple = 0.07 * ((k % 5) as f32 - 2.0);
+                let i: Vec<f32> = (0..train_len)
+                    .map(|t| level + ripple + 0.03 * ((t % 7) as f32))
+                    .collect();
+                let q: Vec<f32> = (0..train_len)
+                    .map(|t| -level + 0.02 * ((t % 3) as f32))
+                    .collect();
+                (i, q)
+            })
+            .collect()
+    };
+    let (g, e) = (make(1.0), make(-1.0));
+    let gr: Vec<(&[f32], &[f32])> = g.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+    let er: Vec<(&[f32], &[f32])> = e.iter().map(|(i, q)| (i.as_slice(), q.as_slice())).collect();
+    FeaturePipeline::fit(
+        FeatureSpec {
+            avg_outputs_per_channel: m,
+        },
+        &gr,
+        &er,
+    )
+    .expect("toy pipeline fits")
 }
 
 proptest! {
@@ -118,6 +149,64 @@ proptest! {
         let full = mf.apply(&x);
         let scale = 1.0 + full.abs();
         prop_assert!(((total - full) / scale).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extract_into_is_bitwise_identical_across_trace_lengths(
+        m in 2usize..10,
+        extra in 0usize..120,
+        (ia, qa) in (trace(256), trace(256))
+    ) {
+        // Train at one duration, extract at another (the mid-circuit
+        // pattern): the zero-copy path must match the allocating one
+        // bit for bit at every length.
+        let pipe = fitted_pipeline(m, 3 * m + 24);
+        let len = (m + extra).min(256);
+        let (i, q) = (&ia[..len], &qa[..len]);
+        let reference = pipe.extract(i, q);
+        let mut buf = vec![0.0f32; pipe.input_dim()];
+        pipe.extract_into(i, q, &mut buf);
+        prop_assert_eq!(&buf, &reference);
+        pipe.extract_raw_into(i, q, &mut buf);
+        prop_assert_eq!(&buf, &pipe.extract_raw(i, q));
+    }
+
+    #[test]
+    fn extract_into_x4_is_bitwise_identical_per_lane(
+        m in 2usize..10,
+        extra in 0usize..60,
+        traces in prop::collection::vec(trace(128), 8)
+    ) {
+        let pipe = fitted_pipeline(m, 3 * m + 12);
+        let len = (m + extra).min(128);
+        let pairs: [(&[f32], &[f32]); 4] =
+            core::array::from_fn(|s| (&traces[2 * s][..len], &traces[2 * s + 1][..len]));
+        let mut rows = vec![vec![0.0f32; pipe.input_dim()]; 4];
+        {
+            let [r0, r1, r2, r3] = &mut rows[..] else { unreachable!() };
+            pipe.extract_into_x4(pairs, [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]]);
+        }
+        for (row, &(i, q)) in rows.iter().zip(&pairs) {
+            prop_assert_eq!(row, &pipe.extract(i, q));
+        }
+    }
+
+    #[test]
+    fn matched_filter_x4_matches_scalar_even_ragged(
+        lens in (8usize..64, 8usize..64, 8usize..64, 8usize..64),
+        xs in prop::collection::vec(trace(64), 4),
+        (g, e) in (prop::collection::vec(trace(48), 4..8), prop::collection::vec(trace(48), 4..8))
+    ) {
+        let gr: Vec<&[f32]> = g.iter().map(|t| t.as_slice()).collect();
+        let er: Vec<&[f32]> = e.iter().map(|t| t.as_slice()).collect();
+        let mf = MatchedFilter::train(&gr, &er).unwrap();
+        let lens = [lens.0, lens.1, lens.2, lens.3];
+        let cut: [&[f32]; 4] = core::array::from_fn(|s| &xs[s][..lens[s]]);
+        let batched = mf.apply_prefix_x4(cut);
+        for (s, t) in cut.iter().enumerate() {
+            // Bitwise equality (f64), uniform and ragged lengths alike.
+            prop_assert_eq!(batched[s], mf.apply_prefix(t));
+        }
     }
 
     #[test]

@@ -65,6 +65,28 @@ pub struct InferenceDetail {
     pub overflow_count: usize,
 }
 
+/// Reusable fixed-point buffers for allocation-free hardware inference
+/// ([`FpgaDiscriminator::infer_with`] /
+/// [`FpgaDiscriminator::infer_detailed_with`]).
+///
+/// One scratch serves any number of compiled designs: buffers grow to the
+/// largest trace/layer seen and are reused afterwards, so the batched
+/// Q16.16 serving path performs zero heap allocations after warmup.
+#[derive(Debug, Clone, Default)]
+pub struct HwScratch {
+    i_q: Vec<Q16_16>,
+    q_q: Vec<Q16_16>,
+    features: Vec<Q16_16>,
+    work: Vec<Q16_16>,
+}
+
+impl HwScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A compiled per-qubit discriminator, bit-accurate to the FPGA design.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FpgaDiscriminator {
@@ -150,6 +172,17 @@ impl FpgaDiscriminator {
         self.infer_detailed(i, q).excited
     }
 
+    /// Runs one inference through reusable scratch buffers — the
+    /// zero-allocation form of [`Self::infer`], bitwise-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count or
+    /// differ in length.
+    pub fn infer_with(&self, i: &[f32], q: &[f32], scratch: &mut HwScratch) -> bool {
+        self.infer_detailed_with(i, q, scratch).excited
+    }
+
     /// Runs one inference with the full fixed-point detail.
     ///
     /// # Panics
@@ -157,28 +190,51 @@ impl FpgaDiscriminator {
     /// Panics if the traces are shorter than the averager output count or
     /// differ in length.
     pub fn infer_detailed(&self, i: &[f32], q: &[f32]) -> InferenceDetail {
+        self.infer_detailed_with(i, q, &mut HwScratch::new())
+    }
+
+    /// Runs one detailed inference through reusable scratch buffers
+    /// (zero-allocation form of [`Self::infer_detailed`],
+    /// bitwise-identical to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the averager output count or
+    /// differ in length.
+    pub fn infer_detailed_with(
+        &self,
+        i: &[f32],
+        q: &[f32],
+        scratch: &mut HwScratch,
+    ) -> InferenceDetail {
         assert_eq!(i.len(), q.len(), "I and Q traces must have equal length");
         let m = self.outputs_per_channel;
-        let mut features = Vec::with_capacity(2 * m + 1);
 
         // ADC quantization of the raw samples.
-        let i_q: Vec<Q16_16> = i.iter().map(|&v| Q16_16::from_f32(v)).collect();
-        let q_q: Vec<Q16_16> = q.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        scratch.i_q.clear();
+        scratch.i_q.extend(i.iter().map(|&v| Q16_16::from_f32(v)));
+        scratch.q_q.clear();
+        scratch.q_q.extend(q.iter().map(|&v| Q16_16::from_f32(v)));
 
         // Averaging unit: adder tree per group, then shift (power-of-two
         // group) or reciprocal multiply.
-        self.average_into(&i_q, &mut features);
-        self.average_into(&q_q, &mut features);
+        scratch.features.clear();
+        scratch.features.resize(2 * m + 1, Q16_16::ZERO);
+        let (avg_i, rest) = scratch.features.split_at_mut(m);
+        let (avg_q, mf_slot) = rest.split_at_mut(m);
+        self.average_into(&scratch.i_q, avg_i);
+        self.average_into(&scratch.q_q, avg_q);
 
         // Matched-filter MAC over the available envelope prefix.
-        let n_i = i_q.len().min(self.mf_env_i.len());
-        let n_q = q_q.len().min(self.mf_env_q.len());
-        let mut mf_acc = dot_wide(&self.mf_env_i[..n_i], &i_q[..n_i]);
-        mf_acc.merge(dot_wide(&self.mf_env_q[..n_q], &q_q[..n_q]));
-        features.push(mf_acc.to_fixed_saturating());
+        let n_i = scratch.i_q.len().min(self.mf_env_i.len());
+        let n_q = scratch.q_q.len().min(self.mf_env_q.len());
+        let mut mf_acc = dot_wide(&self.mf_env_i[..n_i], &scratch.i_q[..n_i]);
+        mf_acc.merge(dot_wide(&self.mf_env_q[..n_q], &scratch.q_q[..n_q]));
+        mf_slot[0] = mf_acc.to_fixed_saturating();
 
         // Shift normalization: (x − min) >> e.
-        for ((f, &mn), &e) in features
+        for ((f, &mn), &e) in scratch
+            .features
             .iter_mut()
             .zip(&self.norm_min)
             .zip(&self.norm_exp)
@@ -186,17 +242,15 @@ impl FpgaDiscriminator {
             *f = shift_divide(f.saturating_sub(mn), e);
         }
 
-        // Fully connected pipeline.
+        // Fully connected pipeline, ping-ponging the two scratch buffers.
         let mut overflow_count = 0;
-        let mut cur = features;
-        let mut next = Vec::new();
         for layer in &self.layers {
-            next.clear();
-            next.resize(layer.output_dim(), Q16_16::ZERO);
-            overflow_count += layer.forward(&cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
+            scratch.work.clear();
+            scratch.work.resize(layer.output_dim(), Q16_16::ZERO);
+            overflow_count += layer.forward(&scratch.features, &mut scratch.work);
+            std::mem::swap(&mut scratch.features, &mut scratch.work);
         }
-        let logit = cur[0];
+        let logit = scratch.features[0];
         InferenceDetail {
             excited: !logit.is_negative() && logit != Q16_16::ZERO,
             logit,
@@ -204,8 +258,9 @@ impl FpgaDiscriminator {
         }
     }
 
-    fn average_into(&self, channel: &[Q16_16], out: &mut Vec<Q16_16>) {
+    fn average_into(&self, channel: &[Q16_16], out: &mut [Q16_16]) {
         let m = self.outputs_per_channel;
+        debug_assert_eq!(out.len(), m);
         assert!(
             channel.len() >= m,
             "trace too short: {} samples for {} outputs",
@@ -215,21 +270,21 @@ impl FpgaDiscriminator {
         let group = (channel.len() / m).max(1);
         if group.is_power_of_two() {
             let shift = group.trailing_zeros() as i32;
-            for k in 0..m {
+            for (k, slot) in out.iter_mut().enumerate() {
                 let mut acc = WideAccumulator::new();
                 for &s in &channel[k * group..(k + 1) * group] {
                     acc.add_fixed(s);
                 }
-                out.push(shift_divide(acc.to_fixed_saturating(), shift));
+                *slot = shift_divide(acc.to_fixed_saturating(), shift);
             }
         } else {
             let recip = Q16_16::from_f64(1.0 / group as f64);
-            for k in 0..m {
+            for (k, slot) in out.iter_mut().enumerate() {
                 let mut acc = WideAccumulator::new();
                 for &s in &channel[k * group..(k + 1) * group] {
                     acc.add_fixed(s);
                 }
-                out.push(acc.to_fixed_saturating().saturating_mul(recip));
+                *slot = acc.to_fixed_saturating().saturating_mul(recip);
             }
         }
     }
@@ -370,6 +425,24 @@ mod tests {
             // decision must survive but logits only agree loosely.
             assert_eq!(detail.excited, float_logit > 0.0);
         }
+    }
+
+    #[test]
+    fn scratch_inference_is_bitwise_identical() {
+        let (net, pipeline, ground, excited) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        let mut scratch = HwScratch::new();
+        for (i, q) in ground.iter().chain(&excited) {
+            // Full detail (logit included) must match exactly, and the
+            // scratch must stay valid across consecutive shots.
+            assert_eq!(hw.infer_detailed_with(i, q, &mut scratch), hw.infer_detailed(i, q));
+            assert_eq!(hw.infer_with(i, q, &mut scratch), hw.infer(i, q));
+        }
+        // Truncated traces shrink the buffers in place without issue.
+        assert_eq!(
+            hw.infer_with(&ground[0].0[..72], &ground[0].1[..72], &mut scratch),
+            hw.infer(&ground[0].0[..72], &ground[0].1[..72])
+        );
     }
 
     #[test]

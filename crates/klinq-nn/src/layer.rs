@@ -191,6 +191,71 @@ impl Dense {
         }
     }
 
+    /// Neuron-lane width of the batched inference kernel. One lane block
+    /// holds 16 `f32` accumulators — two AVX2 registers — so the fixed
+    /// inner loop vectorizes while each lane keeps its own exact
+    /// summation order.
+    const LANES: usize = 16;
+
+    /// Batched inference forward pass into a caller matrix (resized to
+    /// `x.rows() × output_dim`) — the GEMM kernel of the serving path.
+    ///
+    /// `wt` is a reusable scratch buffer that receives a lane-blocked,
+    /// input-major transposition of the weights once per call; the
+    /// per-row kernel then accumulates all neurons of a lane block
+    /// simultaneously from contiguous loads. The neuron accumulators are
+    /// mutually independent, so this vectorizes, while *each* accumulator
+    /// still sums in exactly the single-sample order (bias first, then
+    /// products in input order). Every output row is therefore
+    /// bitwise-identical to [`Self::forward_single`] on the matching
+    /// input row, for any batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward_infer_into(&self, x: &Matrix, out: &mut Matrix, wt: &mut Vec<f32>) {
+        let input_dim = self.input_dim();
+        let n = self.output_dim();
+        assert_eq!(x.cols(), input_dim, "input dimension mismatch");
+        out.resize(x.rows(), n);
+
+        // Lane-blocked transpose: wt[(jb·input_dim + k)·LANES + l] holds
+        // the weight of neuron `jb·LANES + l` for input `k` (zero in the
+        // padding lanes of the last block). Cost is one pass over the
+        // weights, amortized over every row of the batch.
+        let lanes = Self::LANES;
+        let blocks = n.div_ceil(lanes);
+        wt.clear();
+        wt.resize(blocks * input_dim * lanes, 0.0);
+        for (j, w_row) in self.weights.iter_rows().enumerate() {
+            let (jb, l) = (j / lanes, j % lanes);
+            let block = &mut wt[jb * input_dim * lanes..(jb + 1) * input_dim * lanes];
+            for (k, &w) in w_row.iter().enumerate() {
+                block[k * lanes + l] = w;
+            }
+        }
+
+        for (x_row, out_row) in x.iter_rows().zip(out.iter_rows_mut()) {
+            for jb in 0..blocks {
+                let live = (n - jb * lanes).min(lanes);
+                // Bias seeds each accumulator, exactly as forward_single;
+                // padding lanes accumulate zeros and are discarded.
+                let mut acc = [0.0f32; Self::LANES];
+                acc[..live].copy_from_slice(&self.bias[jb * lanes..jb * lanes + live]);
+                let block = &wt[jb * input_dim * lanes..(jb + 1) * input_dim * lanes];
+                for (k, &xv) in x_row.iter().enumerate() {
+                    let w_lane = &block[k * lanes..k * lanes + lanes];
+                    for l in 0..lanes {
+                        acc[l] += xv * w_lane[l];
+                    }
+                }
+                for (slot, &a) in out_row[jb * lanes..jb * lanes + live].iter_mut().zip(&acc) {
+                    *slot = self.activation.apply(a);
+                }
+            }
+        }
+    }
+
     /// Backward pass.
     ///
     /// Given the cached input `x`, pre-activation `z`, and the upstream
@@ -292,6 +357,37 @@ mod tests {
         layer.forward_single(&x, &mut out);
         for (s, b) in out.iter().zip(a.row(0)) {
             assert!((s - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn forward_infer_into_is_bitwise_identical_to_forward_single() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let layer = Dense::new(11, 5, Activation::Relu, &mut rng);
+        // Cover lane-partial outputs and assorted batch sizes.
+        let mut wt = Vec::new();
+        for rows in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 21] {
+            let data: Vec<f32> = (0..rows * 11).map(|i| ((i * 37) as f32 * 0.01).sin()).collect();
+            let x = Matrix::from_vec(rows, 11, data);
+            let mut out = Matrix::zeros(0, 0);
+            layer.forward_infer_into(&x, &mut out, &mut wt);
+            assert_eq!(out.rows(), rows);
+            let mut reference = vec![0.0f32; 5];
+            for r in 0..rows {
+                layer.forward_single(x.row(r), &mut reference);
+                assert_eq!(out.row(r), &reference[..], "row {r} of {rows} diverged");
+            }
+        }
+        // Multi-block outputs (37 neurons spans two full lane blocks plus
+        // a partial one).
+        let wide = Dense::new(7, 37, Activation::Identity, &mut rng);
+        let x = Matrix::from_vec(3, 7, (0..21).map(|i| (i as f32 * 0.3).cos()).collect());
+        let mut out = Matrix::zeros(0, 0);
+        wide.forward_infer_into(&x, &mut out, &mut wt);
+        let mut reference = vec![0.0f32; 37];
+        for r in 0..3 {
+            wide.forward_single(x.row(r), &mut reference);
+            assert_eq!(out.row(r), &reference[..], "wide row {r} diverged");
         }
     }
 

@@ -53,6 +53,6 @@ pub mod train;
 pub use layer::{Activation, Dense};
 pub use matrix::Matrix;
 pub use multi::{train_supervised_multi, MultiDataset};
-pub use network::{Fnn, FnnBuilder};
+pub use network::{BatchScratch, Fnn, FnnBuilder, InferenceScratch};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use train::{Dataset, TrainConfig, TrainReport};

@@ -153,6 +153,21 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
+    /// Iterator over mutable row slices.
+    pub fn iter_rows_mut(&mut self) -> impl Iterator<Item = &mut [f32]> {
+        self.data.chunks_exact_mut(self.cols)
+    }
+
+    /// Reshapes in place to `rows × cols`, zero-filled, keeping any
+    /// existing allocation (the inference hot path reuses one matrix
+    /// across batches).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `C = A · B`.
     ///
     /// # Panics
@@ -273,6 +288,13 @@ impl Matrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (useful as a lazily-grown scratch buffer).
+    fn default() -> Self {
+        Self::zeros(0, 0)
     }
 }
 

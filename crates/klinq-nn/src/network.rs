@@ -53,6 +53,47 @@ impl ForwardTrace {
     }
 }
 
+/// Reusable buffers for allocation-free single-sample inference
+/// ([`Fnn::forward_single_with`] / [`Fnn::logit_with`]).
+///
+/// One scratch serves any number of networks of any shape: buffers grow to
+/// the widest layer seen and are reused afterwards, so the serving hot
+/// path performs zero heap allocations after warmup.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl InferenceScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable matrices for allocation-free batched inference
+/// ([`Fnn::logits_batch_with`]).
+///
+/// Like [`InferenceScratch`] but holding whole activation batches: the
+/// GEMM-chunked serving path runs every layer of a chunk through these two
+/// ping-pong matrices.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    a: Matrix,
+    b: Matrix,
+    /// Lane-blocked transposed weights of the layer currently executing
+    /// (see `Dense::forward_infer_into`).
+    wt: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// An empty scratch (matrices grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl Fnn {
     /// Builds from explicit layers.
     ///
@@ -166,6 +207,31 @@ impl Fnn {
         cur
     }
 
+    /// Single-sample forward pass through reusable scratch buffers.
+    ///
+    /// Bitwise-identical to [`Self::forward_single`] (same per-layer
+    /// kernel, same summation order) but allocation-free after the scratch
+    /// has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward_single_with<'s>(
+        &self,
+        x: &[f32],
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f32] {
+        scratch.a.clear();
+        scratch.a.extend_from_slice(x);
+        for layer in &self.layers {
+            scratch.b.clear();
+            scratch.b.resize(layer.output_dim(), 0.0);
+            layer.forward_single(&scratch.a, &mut scratch.b);
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        &scratch.a
+    }
+
     /// The scalar logit of a single-output network.
     ///
     /// # Panics
@@ -174,6 +240,48 @@ impl Fnn {
     pub fn logit(&self, x: &[f32]) -> f32 {
         assert_eq!(self.output_dim(), 1, "logit requires a single-output network");
         self.forward_single(x)[0]
+    }
+
+    /// The scalar logit through reusable scratch buffers (zero-allocation
+    /// form of [`Self::logit`], bitwise-identical to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than one output.
+    pub fn logit_with(&self, x: &[f32], scratch: &mut InferenceScratch) -> f32 {
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "logit_with requires a single-output network"
+        );
+        self.forward_single_with(x, scratch)[0]
+    }
+
+    /// Batched logits through reusable scratch matrices — the GEMM kernel
+    /// of the chunked serving path.
+    ///
+    /// Every returned logit is bitwise-identical to [`Self::logit`] on the
+    /// matching input row (see [`crate::layer::Dense::forward_infer_into`]
+    /// for the summation-order argument), and nothing is allocated once
+    /// the scratch has warmed up to this batch shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than one output or
+    /// `x.cols() != self.input_dim()`.
+    pub fn logits_batch_with<'s>(&self, x: &Matrix, scratch: &'s mut BatchScratch) -> &'s [f32] {
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "logits_batch_with requires a single-output network"
+        );
+        let (first, rest) = self.layers.split_first().expect("non-empty");
+        first.forward_infer_into(x, &mut scratch.a, &mut scratch.wt);
+        for layer in rest {
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+            layer.forward_infer_into(&scratch.b, &mut scratch.a, &mut scratch.wt);
+        }
+        scratch.a.data()
     }
 
     /// Logits for a batch (single-output networks).
@@ -186,9 +294,21 @@ impl Fnn {
         self.forward_batch(x).data().to_vec()
     }
 
+    /// The decision rule shared by every inference path: `true` (excited,
+    /// label 1) if the logit exceeds 0.
+    #[inline]
+    pub fn decide(logit: f32) -> bool {
+        logit > 0.0
+    }
+
     /// Binary prediction: `true` (excited, label 1) if the logit exceeds 0.
     pub fn predict(&self, x: &[f32]) -> bool {
-        self.logit(x) > 0.0
+        Self::decide(self.logit(x))
+    }
+
+    /// Zero-allocation form of [`Self::predict`] (see [`Self::logit_with`]).
+    pub fn predict_with(&self, x: &[f32], scratch: &mut InferenceScratch) -> bool {
+        Self::decide(self.logit_with(x, scratch))
     }
 
     /// Serializes to pretty JSON.
@@ -349,6 +469,51 @@ mod tests {
         for (row, &l) in rows.iter().zip(&logits) {
             assert!((net.logit(row) - l).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn scratch_paths_are_bitwise_identical_to_allocating_paths() {
+        let net = small_net(4);
+        let mut single = InferenceScratch::new();
+        let mut batch = BatchScratch::new();
+        let rows: Vec<Vec<f32>> = (0..9)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f32).sin()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let logits = net.logits_batch_with(&x, &mut batch).to_vec();
+        assert_eq!(logits.len(), rows.len());
+        for (row, &l) in rows.iter().zip(&logits) {
+            // Bitwise, not approximate: the scratch kernels replay the
+            // exact single-sample summation order.
+            assert_eq!(net.logit(row), l);
+            assert_eq!(net.logit_with(row, &mut single), l);
+            assert_eq!(net.forward_single_with(row, &mut single), &net.forward_single(row)[..]);
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_network_shapes() {
+        let narrow = small_net(1);
+        let wide = FnnBuilder::new(8)
+            .hidden(32, Activation::Relu)
+            .output(1)
+            .seed(2)
+            .build();
+        let mut scratch = InferenceScratch::new();
+        let a = narrow.logit_with(&[0.1, 0.2, 0.3, 0.4], &mut scratch);
+        let b = wide.logit_with(&[0.5; 8], &mut scratch);
+        let c = narrow.logit_with(&[0.1, 0.2, 0.3, 0.4], &mut scratch);
+        assert_eq!(a, c);
+        assert_eq!(b, wide.logit(&[0.5; 8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-output")]
+    fn logits_batch_with_requires_single_output() {
+        let net = FnnBuilder::new(2).output(3).build();
+        let x = Matrix::zeros(1, 2);
+        let _ = net.logits_batch_with(&x, &mut BatchScratch::new());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the neural network library.
 
 use klinq_nn::loss::{accuracy, bce_with_logits, distill_loss, mse, DistillParams};
-use klinq_nn::{Activation, FnnBuilder, Matrix};
+use klinq_nn::{Activation, BatchScratch, FnnBuilder, InferenceScratch, Matrix};
 use proptest::prelude::*;
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -65,6 +65,33 @@ proptest! {
         let b = net.logit(&x);
         prop_assert_eq!(a, b);
         prop_assert!(a.is_finite());
+    }
+
+    #[test]
+    fn scratch_and_gemm_inference_are_bitwise_identical(
+        (in_dim, hidden, rows) in (1usize..24, 1usize..20, 1usize..12),
+        data in prop::collection::vec(-3.0f32..3.0, 24 * 12),
+        seed in 0u64..1000
+    ) {
+        // Random shapes cover lane-partial blocks (hidden < 16) and
+        // multi-block layers; random batch sizes cover the x4/remainder
+        // split of chunked callers.
+        let net = FnnBuilder::new(in_dim)
+            .hidden(hidden, Activation::Relu)
+            .output(1)
+            .seed(seed)
+            .build();
+        let x = Matrix::from_vec(rows, in_dim, data[..rows * in_dim].to_vec());
+        let mut batch = BatchScratch::new();
+        let mut single = InferenceScratch::new();
+        let logits = net.logits_batch_with(&x, &mut batch).to_vec();
+        prop_assert_eq!(logits.len(), rows);
+        for (r, &l) in logits.iter().enumerate() {
+            // Bitwise: the GEMM and scratch paths replay the exact
+            // allocating summation order.
+            prop_assert_eq!(l, net.logit(x.row(r)));
+            prop_assert_eq!(l, net.logit_with(x.row(r), &mut single));
+        }
     }
 
     #[test]

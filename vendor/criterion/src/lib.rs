@@ -13,11 +13,18 @@
 //! - a positional argument filters benchmarks by substring match on
 //!   `group/name`, like real criterion.
 //!
+//! In bench mode every measurement is also recorded and, at exit
+//! (`criterion_main!` calls [`write_json_report`]), written to
+//! `BENCH_<bench>.json` in the working directory — a machine-readable
+//! `{id, ns_per_iter, per_sec}` listing that CI uploads so the perf
+//! trajectory is tracked across PRs.
+//!
 //! Statistical analysis, plotting and baselines are intentionally out of
 //! scope — the numbers printed here are for trajectory tracking, not
 //! publication.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark in bench mode.
@@ -165,6 +172,92 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One measured benchmark, for the JSON report.
+struct BenchRecord {
+    id: String,
+    ns_per_iter: f64,
+    /// Derived throughput: `(units per second, unit label)`.
+    per_sec: Option<(f64, &'static str)>,
+}
+
+/// Bench-mode measurements accumulated for [`write_json_report`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Writes `BENCH_<bench>.json` with every measurement recorded so far.
+///
+/// Called by `criterion_main!` after all groups have run; a no-op in test
+/// mode (nothing recorded) or when nothing matched the filter.
+pub fn write_json_report() {
+    let records = RESULTS.lock().expect("bench results poisoned");
+    if records.is_empty() {
+        return;
+    }
+    let name = bench_binary_name();
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n  \"results\": [\n", escape_json(&name)));
+    for (idx, r) in records.iter().enumerate() {
+        let sep = if idx + 1 < records.len() { "," } else { "" };
+        let per_sec = match r.per_sec {
+            Some((rate, unit)) => {
+                format!("{rate:.1}, \"unit\": \"{unit}\"")
+            }
+            None => "null".to_string(),
+        };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_sec\": {}}}{sep}\n",
+            escape_json(&r.id),
+            r.ns_per_iter,
+            per_sec
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = report_dir().join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Where reports land: the workspace root (nearest ancestor of the
+/// working directory holding a `Cargo.lock`), so `cargo bench` drops the
+/// JSON in one predictable place regardless of which package ran. Falls
+/// back to the working directory itself.
+fn report_dir() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    cwd.ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(cwd)
+}
+
+/// The bench target's name: the executable stem with cargo's trailing
+/// `-<hash>` stripped (e.g. `inference-0a1b…` → `inference`).
+fn bench_binary_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty() && hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     full_name: &str,
     mode: Mode,
@@ -191,19 +284,24 @@ fn run_one<F: FnMut(&mut Bencher)>(
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
             let median = bencher.per_iter[bencher.per_iter.len() / 2];
             let mut line = format!("{full_name:<50} time: {}", format_ns(median));
+            let mut per_sec = None;
             if let Some(t) = throughput {
                 let (units, label) = match t {
                     Throughput::Elements(n) => (n as f64, "elem/s"),
                     Throughput::Bytes(n) => (n as f64, "B/s"),
                 };
                 if median > 0.0 {
-                    line.push_str(&format!(
-                        "  thrpt: {}",
-                        format_rate(units / (median * 1e-9), label)
-                    ));
+                    let rate = units / (median * 1e-9);
+                    per_sec = Some((rate, label));
+                    line.push_str(&format!("  thrpt: {}", format_rate(rate, label)));
                 }
             }
             println!("{line}");
+            RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+                id: full_name.to_string(),
+                ns_per_iter: median,
+                per_sec,
+            });
         }
     }
 }
@@ -296,6 +394,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut criterion = $crate::Criterion::from_args();
             $($group(&mut criterion);)+
+            $crate::write_json_report();
         }
     };
 }

@@ -1,25 +1,256 @@
 //! Minimal, dependency-free work-alike of the `rayon` parallel-slice API
-//! this workspace uses (`par_chunks(..).map(..).collect()` and
-//! `par_iter().map(..).collect()`), built on `std::thread::scope`.
+//! this workspace uses (`par_chunks(..)`, `par_chunks_mut(..)`,
+//! `par_iter()`, with `map`/`enumerate`/`for_each`/`collect`), built on a
+//! **persistent worker pool**.
 //!
-//! Work is distributed over `available_parallelism()` worker threads via
-//! an atomic task counter; results are written back by task index, so
-//! output ordering is deterministic and identical to the sequential
-//! ordering regardless of thread scheduling.
+//! The pool is created lazily on the first parallel call (`OnceLock`) and
+//! holds `available_parallelism() - 1` workers parked on a shared channel;
+//! the submitting thread always participates in its own job, so a
+//! single-core host runs everything inline with zero scheduling overhead
+//! and no job ever waits for a thread to spawn. Work is distributed via an
+//! atomic task counter; results are written back **lock-free** into
+//! write-once slots owned by task index, so output ordering is
+//! deterministic and identical to the sequential ordering regardless of
+//! thread scheduling.
+//!
+//! A panic inside a task is caught on the worker, the remaining tasks
+//! still drain (workers stay alive for the next job), and the panic is
+//! re-raised on the submitting thread once the job completes. Results
+//! already written when a job panics are leaked rather than dropped.
 
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads for a job of `tasks` independent tasks.
-fn worker_count(tasks: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(tasks)
-        .max(1)
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased `&(dyn Fn(usize) + Sync)`.
+///
+/// Safety contract: the pointee must outlive every call through it.
+/// [`run_tasks`] guarantees this by blocking the submitting thread until
+/// the job's `pending` count reaches zero, and workers never touch the
+/// pointer after completing their last claimed task.
+#[derive(Clone, Copy)]
+struct TaskFn(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskFn {}
+unsafe impl Sync for TaskFn {}
+
+/// One parallel job: an atomic-counter work queue over `0..tasks`.
+struct JobCore {
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    tasks: usize,
+    /// Tasks not yet completed (claimed-and-finished decrements this).
+    pending: AtomicUsize,
+    func: TaskFn,
+    /// First captured panic payload; doubles as the completion-condvar
+    /// guard so notify/wait cannot race.
+    state: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Condvar,
 }
 
-/// Runs `f(i)` for every index in `0..tasks` on a scoped worker pool and
+impl JobCore {
+    /// Claims and runs tasks until the counter is exhausted.
+    fn execute(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                return;
+            }
+            // Safety: `run_tasks` keeps the closure alive until `pending`
+            // hits zero, which cannot happen before this call returns.
+            let f = unsafe { &*self.func.0 };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+            if let Err(payload) = result {
+                self.state
+                    .lock()
+                    .expect("job state poisoned")
+                    .get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::Release) == 1 {
+                // Last task done: wake the submitter. Taking the lock
+                // orders this notify after the waiter's check-then-wait.
+                let _guard = self.state.lock().expect("job state poisoned");
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task has completed, re-raising the first panic.
+    fn wait(&self) {
+        let mut guard = self.state.lock().expect("job state poisoned");
+        while self.pending.load(Ordering::Acquire) != 0 {
+            guard = self.done.wait(guard).expect("job state poisoned");
+        }
+        if let Some(payload) = guard.take() {
+            drop(guard);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The persistent pool: worker threads parked on a shared job channel.
+struct Pool {
+    injector: Mutex<Sender<Arc<JobCore>>>,
+    workers: usize,
+}
+
+/// The process-wide pool, spawned lazily on the first parallel call.
+/// `None` on single-core hosts (every job then runs inline on the caller).
+fn pool() -> &'static Option<Pool> {
+    static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let (tx, rx) = channel::<Arc<JobCore>>();
+        let rx = Arc::new(Mutex::new(rx));
+        for n in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{n}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only while dequeueing; jobs
+                    // run unlocked so idle workers can keep dequeueing.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    match job {
+                        Ok(job) => job.execute(),
+                        Err(_) => break,
+                    }
+                })
+                .expect("failed to spawn pool worker");
+        }
+        Some(Pool {
+            injector: Mutex::new(tx),
+            workers,
+        })
+    })
+}
+
+/// Number of threads the pool schedules over (workers + the caller).
+pub fn current_num_threads() -> usize {
+    pool().as_ref().map_or(1, |p| p.workers + 1)
+}
+
+/// Runs `f(i)` for every `i in 0..tasks` across the pool, returning once
+/// all tasks have completed. The calling thread always participates.
+fn run_tasks(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    let helpers = pool().as_ref().map_or(0, |p| p.workers).min(tasks - 1);
+    if helpers == 0 {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    // Safety: erase the closure's lifetime; `wait()` below blocks until no
+    // task (hence no worker) can still call through the pointer.
+    let func = TaskFn(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+    });
+    let job = Arc::new(JobCore {
+        next: AtomicUsize::new(0),
+        tasks,
+        pending: AtomicUsize::new(tasks),
+        func,
+        state: Mutex::new(None),
+        done: Condvar::new(),
+    });
+    {
+        let pool = pool().as_ref().expect("helpers > 0 implies a pool");
+        let injector = pool.injector.lock().expect("injector poisoned");
+        for _ in 0..helpers {
+            // Send fails only if every worker exited (process teardown);
+            // the caller's own execute() below still completes the job.
+            let _ = injector.send(Arc::clone(&job));
+        }
+    }
+    job.execute();
+    job.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free index-ordered writeback
+// ---------------------------------------------------------------------------
+
+/// Write-once result slots, one per task index. Lock-free: exclusivity
+/// comes from the atomic work counter handing each index to exactly one
+/// task, not from per-slot locks.
+struct Slots<R> {
+    cells: Vec<UnsafeCell<MaybeUninit<R>>>,
+}
+
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || UnsafeCell::new(MaybeUninit::uninit()));
+        Self { cells }
+    }
+
+    /// # Safety
+    ///
+    /// Each index must be written at most once, by the task that claimed
+    /// it from the work counter.
+    unsafe fn write(&self, i: usize, value: R) {
+        unsafe { (*self.cells[i].get()).write(value) };
+    }
+
+    /// # Safety
+    ///
+    /// Every index must have been written exactly once.
+    unsafe fn into_vec(self) -> Vec<R> {
+        let mut cells = ManuallyDrop::new(self.cells);
+        // `UnsafeCell<MaybeUninit<R>>` and `R` have identical layouts, so
+        // the buffer can be reinterpreted without copying.
+        unsafe { Vec::from_raw_parts(cells.as_mut_ptr().cast::<R>(), cells.len(), cells.capacity()) }
+    }
+}
+
+/// Input slots consumed by-value, one per task index (same exclusivity
+/// argument as [`Slots`]).
+struct ItemSlots<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for ItemSlots<T> {}
+
+impl<T> ItemSlots<T> {
+    fn new(items: Vec<T>) -> Self {
+        Self {
+            cells: items.into_iter().map(|x| UnsafeCell::new(Some(x))).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// # Safety
+    ///
+    /// Each index must be taken at most once, by the task that claimed it.
+    unsafe fn take(&self, i: usize) -> T {
+        unsafe { (*self.cells[i].get()).take() }.expect("each input consumed once")
+    }
+}
+
+/// Runs `f(i)` for every index in `0..tasks` on the persistent pool and
 /// returns the results in index order.
 fn par_map_indexed<R, F>(tasks: usize, f: F) -> Vec<R>
 where
@@ -29,34 +260,17 @@ where
     if tasks == 0 {
         return Vec::new();
     }
-    let workers = worker_count(tasks);
-    if workers == 1 {
-        return (0..tasks).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(tasks);
-    slots.resize_with(tasks, || Mutex::new(None));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
+    let slots = Slots::new(tasks);
+    // Safety: the work counter hands each index to exactly one task, and
+    // `run_tasks` re-raises panics only after all tasks finished (written
+    // slots are then leaked, never double-dropped or read).
+    run_tasks(tasks, &|i| unsafe { slots.write(i, f(i)) });
+    unsafe { slots.into_vec() }
 }
+
+// ---------------------------------------------------------------------------
+// Iterator façade
+// ---------------------------------------------------------------------------
 
 /// A lazy parallel iterator with deterministic output ordering.
 pub trait ParallelIterator: Sized {
@@ -70,6 +284,20 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> R + Sync,
     {
         ParMap { inner: self, f }
+    }
+
+    /// Pairs every item with its index (deterministic, like the input
+    /// ordering).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Runs `f` over every item in parallel, discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
     }
 
     fn collect<C: FromParallelVec<Self::Item>>(self) -> C {
@@ -102,6 +330,20 @@ impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
     }
 }
 
+/// Parallel iterator over contiguous mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn run(self) -> Vec<&'a mut [T]> {
+        self.slice.chunks_mut(self.chunk_size).collect()
+    }
+}
+
 /// Parallel iterator over the elements of a slice.
 pub struct ParIter<'a, T> {
     slice: &'a [T],
@@ -124,28 +366,32 @@ pub struct ParMap<I, F> {
 impl<I, R, F> ParallelIterator for ParMap<I, F>
 where
     I: ParallelIterator,
-    I::Item: Sync + Send,
     R: Send,
     F: Fn(I::Item) -> R + Sync,
 {
     type Item = R;
 
     fn run(self) -> Vec<R> {
-        let items = self.inner.run();
+        let items = ItemSlots::new(self.inner.run());
         let f = &self.f;
-        let mut inputs: Vec<Option<I::Item>> = items.into_iter().map(Some).collect();
-        let cells: Vec<Mutex<Option<I::Item>>> = inputs
-            .drain(..)
-            .map(Mutex::new)
-            .collect();
-        par_map_indexed(cells.len(), |i| {
-            let item = cells[i]
-                .lock()
-                .expect("input slot poisoned")
-                .take()
-                .expect("each input consumed once");
-            f(item)
-        })
+        // Safety: each index claimed (hence taken) exactly once.
+        par_map_indexed(items.len(), |i| f(unsafe { items.take(i) }))
+    }
+}
+
+/// The `enumerate` adapter.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn run(self) -> Vec<(usize, I::Item)> {
+        self.inner.run().into_iter().enumerate().collect()
     }
 }
 
@@ -169,13 +415,28 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// `slice.par_chunks_mut(n)` extension trait.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
 /// Sets the number of threads; accepted for API compatibility. The pool
-/// here is created per call, so this is a no-op.
+/// here is sized from `available_parallelism()`, so this is a no-op.
 pub struct ThreadPoolBuilder;
 
 pub mod prelude {
     //! One-stop import, mirroring `rayon::prelude::*`.
-    pub use crate::{FromParallelVec, ParallelIterator, ParallelSlice};
+    pub use crate::{FromParallelVec, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -206,5 +467,53 @@ mod tests {
         let data: Vec<u8> = Vec::new();
         let out: Vec<u8> = data.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Exercise many small jobs back-to-back: with a persistent pool
+        // this is cheap; with per-call spawning it would thrash. The
+        // assertion is on correctness — the perf shows up in benches.
+        for round in 0..50u64 {
+            let data: Vec<u64> = (0..64).collect();
+            let out: Vec<u64> = data.par_iter().map(|&x| x + round).collect();
+            assert_eq!(out[63], 63 + round);
+        }
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint_chunks() {
+        let mut out = vec![0usize; 100];
+        out.par_chunks_mut(9)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ci * 9 + k;
+                }
+            });
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn moved_items_are_consumed_once() {
+        let data: Vec<String> = (0..40).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = data
+            .par_chunks(3)
+            .map(|chunk| chunk.iter().map(String::len).sum())
+            .collect();
+        let expected: Vec<usize> = data.chunks(3).map(|c| c.iter().map(String::len).sum()).collect();
+        assert_eq!(lens, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panic_propagates_to_caller() {
+        let data: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = data
+            .par_iter()
+            .map(|&x| if x == 33 { panic!("boom") } else { x })
+            .collect();
     }
 }
