@@ -15,18 +15,23 @@
 //! engine of this PR is the number to compare against it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use klinq_core::experiments::ExperimentConfig;
+use klinq_core::testkit;
 use klinq_core::{BatchDiscriminator, KlinqSystem};
 use klinq_fpga::HwScratch;
 use klinq_nn::InferenceScratch;
 use std::hint::black_box;
+use std::path::Path;
 use std::sync::OnceLock;
 
 /// One trained smoke system shared by every benchmark in this binary
-/// (training dominates setup cost).
+/// (training dominates setup cost; the fixture is disk-cached across
+/// the workspace's test and bench binaries, bitwise-identical either
+/// way).
 fn system() -> &'static KlinqSystem {
     static SYS: OnceLock<KlinqSystem> = OnceLock::new();
-    SYS.get_or_init(|| KlinqSystem::train(&ExperimentConfig::smoke()).expect("train smoke system"))
+    SYS.get_or_init(|| {
+        testkit::cached_smoke_system(Path::new(env!("CARGO_TARGET_TMPDIR")))
+    })
 }
 
 /// End-to-end single-shot inference (the mid-circuit latency view).

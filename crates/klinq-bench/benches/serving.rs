@@ -1,0 +1,91 @@
+//! Serving-path benchmarks: coalesced micro-batch throughput through
+//! `klinq_serve::ReadoutServer`, next to the direct engine figures.
+//!
+//! The interesting number is the *overhead of serving*: how much of the
+//! direct `batched_inference/testset_parallel` throughput survives once
+//! shots arrive as concurrent client requests that must be coalesced,
+//! classified and scattered back. These results are therefore merged
+//! into `BENCH_inference.json` (see `write_json_report_as`) so the
+//! serving and direct figures sit in one trajectory file; the serving
+//! targets are expected to hold at least ~50% of the direct figure.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use klinq_core::testkit;
+use klinq_core::{Backend, KlinqSystem};
+use klinq_serve::{ReadoutServer, ServeConfig};
+use klinq_sim::Shot;
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One trained smoke system shared by every benchmark in this binary
+/// (disk-cached across the workspace's test/bench binaries).
+fn system() -> Arc<KlinqSystem> {
+    static SYS: OnceLock<Arc<KlinqSystem>> = OnceLock::new();
+    Arc::clone(SYS.get_or_init(|| {
+        Arc::new(testkit::cached_smoke_system(Path::new(env!(
+            "CARGO_TARGET_TMPDIR"
+        ))))
+    }))
+}
+
+/// Drives `clients` concurrent client threads through one request each
+/// covering the whole test set, and waits for every response.
+fn serve_round(server: &ReadoutServer, shots: &[Shot], clients: usize) {
+    let per_client = shots.len().div_ceil(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shots
+            .chunks(per_client)
+            .map(|chunk| {
+                let client = server.client();
+                scope.spawn(move || client.classify_shots(chunk.to_vec()).expect("server alive"))
+            })
+            .collect();
+        for handle in handles {
+            black_box(handle.join().expect("client thread").len());
+        }
+    });
+}
+
+/// Coalesced serving throughput (shots/sec across all five qubits), for
+/// one and four concurrent clients on both backends.
+fn bench_serving(c: &mut Criterion) {
+    let system = system();
+    let shots: Vec<Shot> = system.test_data().shots().to_vec();
+
+    let mut group = c.benchmark_group("serving");
+    group.throughput(Throughput::Elements(shots.len() as u64));
+    for (name, clients, backend) in [
+        ("testset_1_client", 1, Backend::Float),
+        ("testset_4_clients", 4, Backend::Float),
+        ("testset_4_clients_hw", 4, Backend::Hardware),
+    ] {
+        group.bench_function(name, |b| {
+            let server = ReadoutServer::start(
+                Arc::clone(&system),
+                ServeConfig {
+                    backend,
+                    // The whole test set closes one batch, so the linger
+                    // only ever waits for the remaining clients' sends.
+                    max_batch_shots: shots.len(),
+                    max_linger: Duration::from_millis(5),
+                    ..ServeConfig::default()
+                },
+            );
+            b.iter(|| serve_round(&server, &shots, clients));
+            server.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+
+fn main() {
+    let mut criterion = Criterion::from_args();
+    benches(&mut criterion);
+    // Serving results belong in the inference trajectory file, next to
+    // the direct `batched_inference/*` figures they are compared with.
+    criterion::write_json_report_as("inference");
+}

@@ -1,0 +1,86 @@
+//! The readout-backend abstraction: one inference API, two datapaths.
+//!
+//! Every discriminator in this workspace exists twice — as the float
+//! reference implementation (feature pipeline + `f32` student network)
+//! and as the bit-accurate Q16.16 model of the deployed FPGA datapath.
+//! Earlier revisions exposed that duality as parallel `measure`/
+//! `measure_hw`, `evaluate`/`evaluate_hw`, … method pairs; [`Backend`]
+//! collapses the pairs into single generic entry points
+//! ([`crate::KlinqDiscriminator::measure_on`],
+//! [`crate::BatchDiscriminator::classify_shots_on`],
+//! [`crate::KlinqSystem::evaluate_on`]) that take the backend as a value.
+//!
+//! The legacy twins survive as `#[inline]` one-line wrappers, so existing
+//! callers keep compiling, and every wrapper is bitwise-identical to the
+//! generic path it forwards to.
+//!
+//! Backend choice is *data*, not code: a serving front end (see the
+//! `klinq-serve` crate) can route each request batch to either datapath
+//! from its configuration, and the choice serializes with the rest of a
+//! request or experiment description.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which datapath executes an inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// The float reference path: fitted feature pipeline feeding the
+    /// distilled `f32` student network.
+    #[default]
+    Float,
+    /// The bit-accurate Q16.16 model of the compiled FPGA datapath.
+    Hardware,
+}
+
+impl Backend {
+    /// Both backends, float first — convenient for exhaustive tests and
+    /// comparisons.
+    pub const ALL: [Backend; 2] = [Backend::Float, Backend::Hardware];
+
+    /// `true` for the Q16.16 hardware datapath.
+    pub fn is_hardware(self) -> bool {
+        matches!(self, Backend::Hardware)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Float => "float",
+            Backend::Hardware => "hardware",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_float() {
+        assert_eq!(Backend::default(), Backend::Float);
+        assert!(!Backend::Float.is_hardware());
+        assert!(Backend::Hardware.is_hardware());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Backend::Float.to_string(), "float");
+        assert_eq!(Backend::Hardware.to_string(), "hardware");
+    }
+
+    #[test]
+    fn all_lists_both_once() {
+        assert_eq!(Backend::ALL, [Backend::Float, Backend::Hardware]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for b in Backend::ALL {
+            let json = serde_json::to_string(&b).unwrap();
+            let back: Backend = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, b);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Batched, data-parallel readout: classify many shots across all five
 //! qubits concurrently, with zero heap allocations on the hot path.
 //!
-//! The per-shot path ([`KlinqSystem::measure`]) exists for mid-circuit
+//! The per-shot path ([`crate::KlinqSystem::measure`]) exists for mid-circuit
 //! latency; evaluation and serving workloads instead see *throughput* —
 //! thousands of buffered shots that all need discriminating. This module
 //! chunks a shot batch over the persistent worker pool of the vendored
@@ -22,12 +22,13 @@
 //! The bit-accurate Q16.16 datapath gets the same treatment:
 //! [`BatchDiscriminator::classify_shots_hw`] runs `measure_hw` over
 //! parallel chunks through per-worker [`klinq_fpga::HwScratch`] buffers,
-//! and [`KlinqSystem::evaluate_hw`] routes through it.
+//! and [`crate::KlinqSystem::evaluate_hw`] routes through it.
 //!
-//! [`KlinqSystem::evaluate`] routes through this engine, and the
+//! [`crate::KlinqSystem::evaluate`] routes through this engine, and the
 //! `inference` criterion bench reports its shots/sec as the repo's
 //! serving-throughput trajectory (see `BENCH_inference.json`).
 
+use crate::backend::Backend;
 use crate::discriminator::KlinqDiscriminator;
 use crate::eval::{assignment_fidelity, FidelityReport};
 use klinq_fpga::HwScratch;
@@ -132,46 +133,70 @@ impl<'a> BatchDiscriminator<'a> {
     }
 
     /// Classifies one shot on all five qubits through the calling
-    /// thread's reusable scratch (zero allocations after warmup).
+    /// thread's reusable scratch (zero allocations after warmup), on the
+    /// chosen backend.
     ///
-    /// Bitwise-identical to per-qubit [`KlinqDiscriminator::measure`]
-    /// calls.
-    pub fn classify_shot(&self, shot: &Shot) -> ShotStates {
-        SCRATCH.with(|s| self.classify_shot_with(shot, &mut s.borrow_mut()))
+    /// Bitwise-identical to per-qubit
+    /// [`KlinqDiscriminator::measure_on`] calls.
+    pub fn classify_shot_on(&self, backend: Backend, shot: &Shot) -> ShotStates {
+        SCRATCH.with(|s| self.classify_shot_on_with(backend, shot, &mut s.borrow_mut()))
     }
 
-    /// [`Self::classify_shot`] with an explicit scratch (for callers
+    /// [`Self::classify_shot_on`] with an explicit scratch (for callers
     /// managing their own buffers).
-    pub fn classify_shot_with(&self, shot: &Shot, scratch: &mut ShotScratch) -> ShotStates {
+    pub fn classify_shot_on_with(
+        &self,
+        backend: Backend,
+        shot: &Shot,
+        scratch: &mut ShotScratch,
+    ) -> ShotStates {
         let mut states = [false; 5];
         for (qb, d) in self.discriminators.iter().enumerate() {
             let t = &shot.traces[qb];
-            let student = d.student();
-            scratch.features.clear();
-            scratch.features.resize(student.pipeline.input_dim(), 0.0);
-            student.pipeline.extract_into(&t.i, &t.q, &mut scratch.features);
-            states[qb] = student.net.predict_with(&scratch.features, &mut scratch.nn);
+            states[qb] = match backend {
+                Backend::Float => {
+                    let student = d.student();
+                    scratch.features.clear();
+                    scratch.features.resize(student.pipeline.input_dim(), 0.0);
+                    student.pipeline.extract_into(&t.i, &t.q, &mut scratch.features);
+                    student.net.predict_with(&scratch.features, &mut scratch.nn)
+                }
+                Backend::Hardware => d.hardware().infer_with(&t.i, &t.q, &mut scratch.hw),
+            };
         }
         states
     }
 
-    /// Classifies one shot through the bit-accurate Q16.16 datapath
-    /// (zero allocations after warmup).
+    /// Classifies one shot on the float path.
     ///
-    /// Bitwise-identical to per-qubit [`KlinqDiscriminator::measure_hw`]
-    /// calls.
+    /// Compatibility wrapper over [`Self::classify_shot_on`].
+    #[inline]
+    pub fn classify_shot(&self, shot: &Shot) -> ShotStates {
+        self.classify_shot_on(Backend::Float, shot)
+    }
+
+    /// [`Self::classify_shot`] with an explicit scratch.
+    ///
+    /// Compatibility wrapper over [`Self::classify_shot_on_with`].
+    #[inline]
+    pub fn classify_shot_with(&self, shot: &Shot, scratch: &mut ShotScratch) -> ShotStates {
+        self.classify_shot_on_with(Backend::Float, shot, scratch)
+    }
+
+    /// Classifies one shot through the bit-accurate Q16.16 datapath.
+    ///
+    /// Compatibility wrapper over [`Self::classify_shot_on`].
+    #[inline]
     pub fn classify_shot_hw(&self, shot: &Shot) -> ShotStates {
-        SCRATCH.with(|s| self.classify_shot_hw_with(shot, &mut s.borrow_mut()))
+        self.classify_shot_on(Backend::Hardware, shot)
     }
 
     /// [`Self::classify_shot_hw`] with an explicit scratch.
+    ///
+    /// Compatibility wrapper over [`Self::classify_shot_on_with`].
+    #[inline]
     pub fn classify_shot_hw_with(&self, shot: &Shot, scratch: &mut ShotScratch) -> ShotStates {
-        let mut states = [false; 5];
-        for (qb, d) in self.discriminators.iter().enumerate() {
-            let t = &shot.traces[qb];
-            states[qb] = d.hardware().infer_with(&t.i, &t.q, &mut scratch.hw);
-        }
-        states
+        self.classify_shot_on_with(Backend::Hardware, shot, scratch)
     }
 
     /// Classifies one chunk with a batched forward pass per qubit: all of
@@ -228,35 +253,58 @@ impl<'a> BatchDiscriminator<'a> {
         out
     }
 
-    /// Classifies a batch of shots in parallel (float pipeline).
+    /// Classifies a batch of shots in parallel on the chosen backend —
+    /// the single generic batch entry point.
     ///
     /// Output index `i` is always shot `i`'s states, regardless of thread
     /// scheduling, and every value is bitwise-identical to
-    /// [`Self::classify_shot`] (and therefore to sequential
-    /// [`KlinqDiscriminator::measure`]) on that shot.
+    /// [`Self::classify_shot_on`] (and therefore to sequential
+    /// [`KlinqDiscriminator::measure_on`]) on that shot. The float
+    /// backend classifies each chunk with one GEMM per qubit; the Q16.16
+    /// backend runs the fixed-point datapath per shot through per-worker
+    /// scratch — both allocation-free after warmup.
+    pub fn classify_shots_on(&self, backend: Backend, shots: &[Shot]) -> Vec<ShotStates> {
+        match backend {
+            Backend::Float => self.classify_batch(shots, |chunk, out, scratch| {
+                self.classify_chunk_into(chunk, out, scratch);
+            }),
+            Backend::Hardware => self.classify_batch(shots, |chunk, out, scratch| {
+                for (shot, states) in chunk.iter().zip(out.iter_mut()) {
+                    *states = self.classify_shot_on_with(Backend::Hardware, shot, scratch);
+                }
+            }),
+        }
+    }
+
+    /// Classifies a batch of shots in parallel (float pipeline).
+    ///
+    /// Compatibility wrapper over [`Self::classify_shots_on`].
+    #[inline]
     pub fn classify_shots(&self, shots: &[Shot]) -> Vec<ShotStates> {
-        self.classify_batch(shots, |chunk, out, scratch| {
-            self.classify_chunk_into(chunk, out, scratch);
-        })
+        self.classify_shots_on(Backend::Float, shots)
     }
 
     /// Classifies a batch of shots in parallel through the bit-accurate
     /// Q16.16 datapath.
     ///
-    /// Same ordering and equivalence guarantees as
-    /// [`Self::classify_shots`], against per-shot
-    /// [`KlinqDiscriminator::measure_hw`].
+    /// Compatibility wrapper over [`Self::classify_shots_on`].
+    #[inline]
     pub fn classify_shots_hw(&self, shots: &[Shot]) -> Vec<ShotStates> {
-        self.classify_batch(shots, |chunk, out, scratch| {
-            for (shot, states) in chunk.iter().zip(out.iter_mut()) {
-                *states = self.classify_shot_hw_with(shot, scratch);
-            }
-        })
+        self.classify_shots_on(Backend::Hardware, shots)
     }
 
-    /// Classifies every shot of a dataset in parallel.
+    /// Classifies every shot of a dataset in parallel on the chosen
+    /// backend.
+    pub fn classify_dataset_on(&self, backend: Backend, data: &ReadoutDataset) -> Vec<ShotStates> {
+        self.classify_shots_on(backend, data.shots())
+    }
+
+    /// Classifies every shot of a dataset in parallel (float pipeline).
+    ///
+    /// Compatibility wrapper over [`Self::classify_dataset_on`].
+    #[inline]
     pub fn classify_dataset(&self, data: &ReadoutDataset) -> Vec<ShotStates> {
-        self.classify_shots(data.shots())
+        self.classify_dataset_on(Backend::Float, data)
     }
 
     /// Per-qubit assignment fidelities of a prediction set over a dataset.
@@ -272,20 +320,29 @@ impl<'a> BatchDiscriminator<'a> {
     }
 
     /// Batched assignment-fidelity evaluation over a dataset at the full
-    /// trace length.
+    /// trace length, on the chosen backend.
     ///
     /// Produces exactly the same report as evaluating each qubit with
-    /// sequential `measure` calls — the parallelism never changes a
-    /// prediction, only the wall-clock cost.
-    pub fn evaluate(&self, data: &ReadoutDataset) -> FidelityReport {
-        Self::report_from(&self.classify_dataset(data), data)
+    /// sequential [`KlinqDiscriminator::measure_on`] calls — the
+    /// parallelism never changes a prediction, only the wall-clock cost.
+    pub fn evaluate_on(&self, backend: Backend, data: &ReadoutDataset) -> FidelityReport {
+        Self::report_from(&self.classify_dataset_on(backend, data), data)
     }
 
-    /// Batched assignment-fidelity evaluation through the Q16.16
-    /// datapath, with the same guarantees against sequential
-    /// `measure_hw` calls.
+    /// Float-path batched evaluation.
+    ///
+    /// Compatibility wrapper over [`Self::evaluate_on`].
+    #[inline]
+    pub fn evaluate(&self, data: &ReadoutDataset) -> FidelityReport {
+        self.evaluate_on(Backend::Float, data)
+    }
+
+    /// Batched evaluation through the Q16.16 datapath.
+    ///
+    /// Compatibility wrapper over [`Self::evaluate_on`].
+    #[inline]
     pub fn evaluate_hw(&self, data: &ReadoutDataset) -> FidelityReport {
-        Self::report_from(&self.classify_shots_hw(data.shots()), data)
+        self.evaluate_on(Backend::Hardware, data)
     }
 }
 
@@ -371,8 +428,44 @@ mod tests {
     fn empty_batch_is_empty() {
         let sys = smoke_system();
         let batch = BatchDiscriminator::new(sys.discriminators());
+        for backend in Backend::ALL {
+            assert!(batch.classify_shots_on(backend, &[]).is_empty());
+        }
         assert!(batch.classify_shots(&[]).is_empty());
         assert!(batch.classify_shots_hw(&[]).is_empty());
+    }
+
+    #[test]
+    fn generic_backend_paths_match_legacy_wrappers_bitwise() {
+        let sys = smoke_system();
+        let batch = BatchDiscriminator::new(sys.discriminators());
+        let shots = sys.test_data().shots();
+        // Batch level: the generic entry point and the legacy twins must
+        // produce identical vectors on both backends.
+        assert_eq!(batch.classify_shots_on(Backend::Float, shots), batch.classify_shots(shots));
+        assert_eq!(
+            batch.classify_shots_on(Backend::Hardware, shots),
+            batch.classify_shots_hw(shots)
+        );
+        // Shot level, plus the sequential per-discriminator reference.
+        for shot in shots.iter().take(48) {
+            for backend in Backend::ALL {
+                let states = batch.classify_shot_on(backend, shot);
+                for (qb, t) in shot.traces.iter().enumerate() {
+                    assert_eq!(
+                        states[qb],
+                        sys.discriminator(qb).measure_on(backend, &t.i, &t.q),
+                        "qubit {qb} diverged on {backend}"
+                    );
+                }
+            }
+        }
+        // Report level.
+        assert_eq!(batch.evaluate_on(Backend::Float, sys.test_data()), batch.evaluate(sys.test_data()));
+        assert_eq!(
+            batch.evaluate_on(Backend::Hardware, sys.test_data()),
+            batch.evaluate_hw(sys.test_data())
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The KLiNQ system: independent per-qubit discriminators with a
 //! mid-circuit measurement API.
 
+use crate::backend::Backend;
 use crate::distill::{distill_student, DistilledStudent};
 use crate::error::KlinqError;
 use crate::eval::{assignment_fidelity, FidelityReport};
@@ -9,10 +10,16 @@ use crate::student::StudentArch;
 use crate::teacher::Teacher;
 use klinq_fpga::FpgaDiscriminator;
 use klinq_sim::{FiveQubitDevice, ReadoutDataset, SimConfig};
+use serde::{Deserialize, Serialize};
 
 /// One qubit's complete readout discriminator: feature pipeline + distilled
 /// student + compiled FPGA datapath.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable as part of a saved [`KlinqSystem`] artifact (see
+/// [`crate::persist`]): both the float student and the compiled Q16.16
+/// datapath travel with it, so a loaded discriminator reproduces either
+/// backend's decisions bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KlinqDiscriminator {
     qubit: usize,
     arch: StudentArch,
@@ -62,51 +69,79 @@ impl KlinqDiscriminator {
         &self.hw
     }
 
-    /// Reads the qubit state from a raw trace (float reference path).
+    /// Reads the qubit state from a raw trace on the chosen backend.
     ///
     /// Accepts any trace length down to the averager's output count —
     /// this is what enables mid-circuit measurements at arbitrary times.
+    /// This is the single generic entry point; [`Self::measure`] and
+    /// [`Self::measure_hw`] are compatibility wrappers over it.
     ///
     /// # Panics
     ///
     /// Panics if the traces are shorter than the feature front end allows.
+    pub fn measure_on(&self, backend: Backend, i: &[f32], q: &[f32]) -> bool {
+        match backend {
+            Backend::Float => self
+                .student
+                .net
+                .predict(&self.student.pipeline.extract(i, q)),
+            Backend::Hardware => self.hw.infer(i, q),
+        }
+    }
+
+    /// Reads the qubit state from a raw trace (float reference path).
+    ///
+    /// Compatibility wrapper over [`Self::measure_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces are shorter than the feature front end allows.
+    #[inline]
     pub fn measure(&self, i: &[f32], q: &[f32]) -> bool {
-        self.student
-            .net
-            .predict(&self.student.pipeline.extract(i, q))
+        self.measure_on(Backend::Float, i, q)
     }
 
     /// Reads the qubit state through the bit-accurate Q16.16 datapath.
     ///
+    /// Compatibility wrapper over [`Self::measure_on`].
+    ///
     /// # Panics
     ///
     /// Panics if the traces are shorter than the feature front end allows.
+    #[inline]
     pub fn measure_hw(&self, i: &[f32], q: &[f32]) -> bool {
-        self.hw.infer(i, q)
+        self.measure_on(Backend::Hardware, i, q)
     }
 
-    /// Assignment fidelity over a dataset, reading only the first
-    /// `samples` of each trace (pass the dataset's full sample count for
-    /// the design duration).
-    pub fn fidelity_at(&self, data: &ReadoutDataset, samples: usize) -> f64 {
+    /// Assignment fidelity over a dataset on the chosen backend, reading
+    /// only the first `samples` of each trace (pass the dataset's full
+    /// sample count — or `usize::MAX` — for the design duration).
+    pub fn fidelity_on(&self, backend: Backend, data: &ReadoutDataset, samples: usize) -> f64 {
         let labels = data.qubit_labels(self.qubit);
         let preds: Vec<bool> = data
             .qubit_pairs(self.qubit)
             .iter()
-            .map(|&(i, q)| self.measure(&i[..samples.min(i.len())], &q[..samples.min(q.len())]))
+            .map(|&(i, q)| {
+                self.measure_on(backend, &i[..samples.min(i.len())], &q[..samples.min(q.len())])
+            })
             .collect();
         assignment_fidelity(&preds, &labels)
+    }
+
+    /// Float-path assignment fidelity over a dataset at a trace prefix.
+    ///
+    /// Compatibility wrapper over [`Self::fidelity_on`].
+    #[inline]
+    pub fn fidelity_at(&self, data: &ReadoutDataset, samples: usize) -> f64 {
+        self.fidelity_on(Backend::Float, data, samples)
     }
 
     /// Hardware-path assignment fidelity over a dataset.
+    ///
+    /// Compatibility wrapper over [`Self::fidelity_on`].
+    #[inline]
     pub fn fidelity_hw(&self, data: &ReadoutDataset) -> f64 {
-        let labels = data.qubit_labels(self.qubit);
-        let preds: Vec<bool> = data
-            .qubit_pairs(self.qubit)
-            .iter()
-            .map(|&(i, q)| self.measure_hw(i, q))
-            .collect();
-        assignment_fidelity(&preds, &labels)
+        self.fidelity_on(Backend::Hardware, data, usize::MAX)
     }
 }
 
@@ -133,15 +168,11 @@ impl KlinqSystem {
     /// pipeline fitting, dataset assembly or datapath compilation).
     pub fn train(config: &ExperimentConfig) -> Result<Self, KlinqError> {
         config.validate()?;
-        let device = FiveQubitDevice::paper();
-        let sim = SimConfig::with_duration_ns(config.duration_ns);
-        let train_data = ReadoutDataset::generate(&device, &sim, config.train_shots, config.data_seed);
-        let test_data =
-            ReadoutDataset::generate(&device, &sim, config.test_shots, config.data_seed + 1);
+        let (train_data, test_data) = Self::datasets_for(config);
         let teacher_extra = (config.teacher_extra_shots > 0).then(|| {
             ReadoutDataset::generate(
-                &device,
-                &sim,
+                &FiveQubitDevice::paper(),
+                &SimConfig::with_duration_ns(config.duration_ns),
                 config.teacher_extra_shots,
                 config.data_seed + 2,
             )
@@ -202,6 +233,37 @@ impl KlinqSystem {
         })
     }
 
+    /// The training and held-out datasets an experiment configuration
+    /// deterministically implies (everything stochastic derives from the
+    /// config's seeds). Used by [`Self::train`] and by artifact loading
+    /// ([`crate::persist`]), which must reproduce the exact same bits.
+    pub(crate) fn datasets_for(config: &ExperimentConfig) -> (ReadoutDataset, ReadoutDataset) {
+        let device = FiveQubitDevice::paper();
+        let sim = SimConfig::with_duration_ns(config.duration_ns);
+        let train_data =
+            ReadoutDataset::generate(&device, &sim, config.train_shots, config.data_seed);
+        let test_data =
+            ReadoutDataset::generate(&device, &sim, config.test_shots, config.data_seed + 1);
+        (train_data, test_data)
+    }
+
+    /// Reassembles a system from its saved parts (artifact loading).
+    pub(crate) fn from_parts(
+        discriminators: Vec<KlinqDiscriminator>,
+        teachers: Vec<Teacher>,
+        train_data: ReadoutDataset,
+        test_data: ReadoutDataset,
+        config: ExperimentConfig,
+    ) -> Self {
+        Self {
+            discriminators,
+            teachers,
+            train_data,
+            test_data,
+            config,
+        }
+    }
+
     /// Per-qubit discriminators.
     pub fn discriminators(&self) -> &[KlinqDiscriminator] {
         &self.discriminators
@@ -236,23 +298,45 @@ impl KlinqSystem {
         &self.config
     }
 
-    /// Mid-circuit measurement: read one qubit independently from a raw
-    /// trace of any supported length.
+    /// Mid-circuit measurement on the chosen backend: read one qubit
+    /// independently from a raw trace of any supported length.
     ///
     /// # Panics
     ///
     /// Panics if `qubit` is out of range or the trace is too short.
-    pub fn measure(&self, qubit: usize, i: &[f32], q: &[f32]) -> bool {
-        self.discriminators[qubit].measure(i, q)
+    pub fn measure_on(&self, backend: Backend, qubit: usize, i: &[f32], q: &[f32]) -> bool {
+        self.discriminators[qubit].measure_on(backend, i, q)
     }
 
-    /// Evaluates all qubits on the held-out set at the design duration.
+    /// Mid-circuit measurement on the float reference path.
+    ///
+    /// Compatibility wrapper over [`Self::measure_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or the trace is too short.
+    #[inline]
+    pub fn measure(&self, qubit: usize, i: &[f32], q: &[f32]) -> bool {
+        self.measure_on(Backend::Float, qubit, i, q)
+    }
+
+    /// Evaluates all qubits on the held-out set at the design duration,
+    /// on the chosen backend.
     ///
     /// Routes through the batched engine ([`crate::batch`]): shots are
     /// classified in parallel chunks, with results bitwise-identical to
-    /// sequential per-shot [`Self::measure`] calls.
+    /// sequential per-shot [`Self::measure_on`] calls.
+    pub fn evaluate_on(&self, backend: Backend) -> FidelityReport {
+        crate::batch::BatchDiscriminator::new(&self.discriminators)
+            .evaluate_on(backend, &self.test_data)
+    }
+
+    /// Float-path evaluation on the held-out set.
+    ///
+    /// Compatibility wrapper over [`Self::evaluate_on`].
+    #[inline]
     pub fn evaluate(&self) -> FidelityReport {
-        crate::batch::BatchDiscriminator::new(&self.discriminators).evaluate(&self.test_data)
+        self.evaluate_on(Backend::Float)
     }
 
     /// Evaluates at a shortened trace length (`samples` per channel)
@@ -339,12 +423,10 @@ impl KlinqSystem {
 
     /// Evaluates through the bit-accurate FPGA datapath.
     ///
-    /// Routes through the batched engine ([`crate::batch`]) like
-    /// [`Self::evaluate`]: the Q16.16 shots are classified in parallel
-    /// chunks with per-worker scratch buffers, bitwise-identical to
-    /// sequential per-shot [`KlinqDiscriminator::measure_hw`] calls.
+    /// Compatibility wrapper over [`Self::evaluate_on`].
+    #[inline]
     pub fn evaluate_hw(&self) -> FidelityReport {
-        crate::batch::BatchDiscriminator::new(&self.discriminators).evaluate_hw(&self.test_data)
+        self.evaluate_on(Backend::Hardware)
     }
 
     /// Baseline-FNN (= teacher) fidelities on the held-out set.
@@ -415,6 +497,44 @@ mod tests {
                 qb + 1,
                 float_report.qubit(qb),
                 hw_report.qubit(qb)
+            );
+        }
+    }
+
+    #[test]
+    fn backend_wrappers_are_bitwise_identical_to_generic_paths() {
+        let sys = smoke_system();
+        // Per-shot: the legacy twins must agree exactly with `measure_on`
+        // on both backends, for every qubit of a handful of shots.
+        for shot_idx in [0usize, 1, 7, 31] {
+            let shot = sys.test_data().shot(shot_idx);
+            for (qb, t) in shot.traces.iter().enumerate() {
+                let d = sys.discriminator(qb);
+                assert_eq!(d.measure(&t.i, &t.q), d.measure_on(Backend::Float, &t.i, &t.q));
+                assert_eq!(
+                    d.measure_hw(&t.i, &t.q),
+                    d.measure_on(Backend::Hardware, &t.i, &t.q)
+                );
+                assert_eq!(
+                    sys.measure(qb, &t.i, &t.q),
+                    sys.measure_on(Backend::Float, qb, &t.i, &t.q)
+                );
+            }
+        }
+        // Whole-report level: wrappers and generic entry points produce
+        // the exact same `FidelityReport` on both backends.
+        assert_eq!(sys.evaluate(), sys.evaluate_on(Backend::Float));
+        assert_eq!(sys.evaluate_hw(), sys.evaluate_on(Backend::Hardware));
+        let data = sys.test_data();
+        for qb in 0..5 {
+            let d = sys.discriminator(qb);
+            assert_eq!(
+                d.fidelity_at(data, data.samples()),
+                d.fidelity_on(Backend::Float, data, data.samples())
+            );
+            assert_eq!(
+                d.fidelity_hw(data),
+                d.fidelity_on(Backend::Hardware, data, usize::MAX)
             );
         }
     }

@@ -8,9 +8,15 @@ use klinq_nn::loss::DistillParams;
 use klinq_nn::train::{train_distilled, Dataset, TrainConfig, TrainReport};
 use klinq_nn::Fnn;
 use klinq_sim::ReadoutDataset;
+use serde::{Deserialize, Serialize};
 
 /// Result of distilling one qubit's student.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable as part of a saved [`crate::KlinqSystem`] artifact (see
+/// [`crate::persist`]): the trained weights and the fitted pipeline
+/// constants round-trip exactly, so a reloaded student predicts
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistilledStudent {
     /// The trained compact network.
     pub net: Fnn,

@@ -16,6 +16,13 @@ pub enum KlinqError {
     Compile(CompileError),
     /// A configuration value is unusable.
     InvalidConfig(String),
+    /// Reading or writing a model artifact failed at the I/O layer
+    /// (missing file, permissions, disk). The message names the path.
+    Io(String),
+    /// A model artifact is malformed: truncated or corrupt JSON, an
+    /// unknown format marker, an unsupported version, or inconsistent
+    /// contents.
+    Artifact(String),
 }
 
 impl fmt::Display for KlinqError {
@@ -25,6 +32,8 @@ impl fmt::Display for KlinqError {
             Self::Dataset(e) => write!(f, "dataset: {e}"),
             Self::Compile(e) => write!(f, "fpga compile: {e}"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Io(msg) => write!(f, "artifact i/o: {msg}"),
+            Self::Artifact(msg) => write!(f, "malformed artifact: {msg}"),
         }
     }
 }
@@ -35,7 +44,7 @@ impl std::error::Error for KlinqError {
             Self::Pipeline(e) => Some(e),
             Self::Dataset(e) => Some(e),
             Self::Compile(e) => Some(e),
-            Self::InvalidConfig(_) => None,
+            Self::InvalidConfig(_) | Self::Io(_) | Self::Artifact(_) => None,
         }
     }
 }

@@ -39,6 +39,7 @@
 //! # Ok::<(), klinq_core::KlinqError>(())
 //! ```
 
+pub mod backend;
 pub mod baselines;
 pub mod batch;
 pub mod discriminator;
@@ -48,10 +49,13 @@ pub mod eval;
 pub mod experiments;
 pub mod joint;
 pub mod params;
+pub mod persist;
 pub mod student;
 pub mod teacher;
+pub mod testkit;
 
-pub use batch::{BatchDiscriminator, ShotScratch};
+pub use backend::Backend;
+pub use batch::{BatchDiscriminator, ShotScratch, ShotStates};
 pub use discriminator::{KlinqDiscriminator, KlinqSystem};
 pub use error::KlinqError;
 pub use eval::FidelityReport;
@@ -62,17 +66,28 @@ pub(crate) mod testutil {
     //! Shared fixtures for this crate's unit-test binary.
 
     use crate::discriminator::KlinqSystem;
-    use crate::experiments::ExperimentConfig;
+    use std::path::PathBuf;
     use std::sync::OnceLock;
 
     /// One smoke-scale system shared across every test module
-    /// (discriminator, batch, experiments): training dominates the
-    /// suite's wall clock, and all consumers take `&`-access, so each
-    /// test binary trains exactly once.
+    /// (discriminator, batch, experiments, persist): training dominates
+    /// the suite's wall clock, and all consumers take `&`-access, so
+    /// each test binary trains at most once — and usually zero times,
+    /// because the fixture is disk-cached across binaries through
+    /// [`crate::testkit`]. Unit tests get no `CARGO_TARGET_TMPDIR`, so
+    /// the cache directory is derived the way cargo derives it:
+    /// `$CARGO_TARGET_DIR/tmp` when the target dir is relocated, the
+    /// workspace's `target/tmp` otherwise — keeping it the same file
+    /// the integration tests and benches use.
     pub(crate) fn smoke_system() -> &'static KlinqSystem {
         static SYS: OnceLock<KlinqSystem> = OnceLock::new();
         SYS.get_or_init(|| {
-            KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
+            let cache_dir = std::env::var_os("CARGO_TARGET_DIR")
+                .map(|d| PathBuf::from(d).join("tmp"))
+                .unwrap_or_else(|| {
+                    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/tmp"))
+                });
+            crate::testkit::cached_smoke_system(&cache_dir)
         })
     }
 }

@@ -1,0 +1,268 @@
+//! Model persistence: a trained [`KlinqSystem`] as a loadable artifact.
+//!
+//! The paper's whole point is *deployable* lightweight discriminators,
+//! so a trained system must be shippable without retraining. This module
+//! serializes everything inference needs — the five
+//! [`crate::KlinqDiscriminator`]s (student networks, fitted feature
+//! pipelines, compiled Q16.16 datapaths), the five teachers (Baseline-FNN
+//! comparators, still needed for re-distillation sweeps) and the
+//! [`ExperimentConfig`] — into one versioned JSON artifact.
+//!
+//! The datasets are **not** stored: everything stochastic in generation
+//! derives from the config's seeds, so [`KlinqSystem::load`] regenerates
+//! the exact same training/held-out shots bit for bit. Combined with the
+//! exact float round-trip of the vendored JSON writer (shortest
+//! representation that parses back to the same bits), a loaded system is
+//! indistinguishable from the one that was saved:
+//! `load(save(sys)).evaluate_on(b) == sys.evaluate_on(b)` exactly, for
+//! both [`Backend`](crate::Backend)s.
+//!
+//! # Format
+//!
+//! ```json
+//! {
+//!   "format": "klinq-system",
+//!   "version": 1,
+//!   "config": { ... },
+//!   "teachers": [ ... ],
+//!   "discriminators": [ ... ]
+//! }
+//! ```
+//!
+//! Unknown format markers and future versions are rejected with
+//! [`KlinqError::Artifact`] rather than misparsed.
+
+use crate::discriminator::{KlinqDiscriminator, KlinqSystem};
+use crate::error::KlinqError;
+use crate::experiments::ExperimentConfig;
+use crate::teacher::Teacher;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The artifact's `format` marker.
+const FORMAT: &str = "klinq-system";
+/// The current (and only) artifact version.
+const VERSION: u32 = 1;
+
+/// On-disk shape of a saved system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SystemArtifact {
+    format: String,
+    version: u32,
+    config: ExperimentConfig,
+    teachers: Vec<Teacher>,
+    discriminators: Vec<KlinqDiscriminator>,
+}
+
+impl KlinqSystem {
+    /// Serializes this system to the versioned artifact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::Artifact`] if serialization fails (only
+    /// possible for non-finite values, which a trained system never
+    /// contains).
+    pub fn to_artifact_json(&self) -> Result<String, KlinqError> {
+        let artifact = SystemArtifact {
+            format: FORMAT.to_string(),
+            version: VERSION,
+            config: self.config().clone(),
+            teachers: self.teachers().to_vec(),
+            discriminators: self.discriminators().to_vec(),
+        };
+        serde_json::to_string(&artifact).map_err(|e| KlinqError::Artifact(e.to_string()))
+    }
+
+    /// Rebuilds a system from artifact JSON, regenerating the datasets
+    /// from the stored configuration's seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::Artifact`] on malformed JSON, a wrong
+    /// format marker, an unsupported version or inconsistent contents,
+    /// and [`KlinqError::InvalidConfig`] if the stored configuration is
+    /// unusable.
+    pub fn from_artifact_json(json: &str) -> Result<Self, KlinqError> {
+        let artifact: SystemArtifact =
+            serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+        if artifact.format != FORMAT {
+            return Err(KlinqError::Artifact(format!(
+                "unknown format marker `{}` (expected `{FORMAT}`)",
+                artifact.format
+            )));
+        }
+        if artifact.version != VERSION {
+            return Err(KlinqError::Artifact(format!(
+                "unsupported artifact version {} (this build reads {VERSION})",
+                artifact.version
+            )));
+        }
+        if artifact.discriminators.len() != 5 || artifact.teachers.len() != 5 {
+            return Err(KlinqError::Artifact(format!(
+                "expected 5 discriminators and 5 teachers, got {} and {}",
+                artifact.discriminators.len(),
+                artifact.teachers.len()
+            )));
+        }
+        for (qb, d) in artifact.discriminators.iter().enumerate() {
+            if d.qubit() != qb {
+                return Err(KlinqError::Artifact(format!(
+                    "discriminator {qb} claims qubit {}",
+                    d.qubit()
+                )));
+            }
+        }
+        for (qb, t) in artifact.teachers.iter().enumerate() {
+            if t.qubit() != qb {
+                return Err(KlinqError::Artifact(format!(
+                    "teacher {qb} claims qubit {}",
+                    t.qubit()
+                )));
+            }
+        }
+        artifact.config.validate()?;
+        let (train_data, test_data) = Self::datasets_for(&artifact.config);
+        // Cross-consistency: the stored models must actually fit the
+        // traces the stored config regenerates, otherwise the first
+        // prediction would panic deep inside feature extraction instead
+        // of load() failing with a typed error (e.g. a hand-edited
+        // `duration_ns` shorter than the fitted front ends expect).
+        let samples = test_data.samples().min(train_data.samples());
+        for (qb, d) in artifact.discriminators.iter().enumerate() {
+            let needed = d.student().pipeline.averager().outputs();
+            if needed > samples {
+                return Err(KlinqError::Artifact(format!(
+                    "discriminator {qb}'s pipeline averages {needed} points per channel \
+                     but the config's traces carry only {samples} samples"
+                )));
+            }
+        }
+        for (qb, t) in artifact.teachers.iter().enumerate() {
+            let needed = t.net().input_dim();
+            if needed > 2 * samples {
+                return Err(KlinqError::Artifact(format!(
+                    "teacher {qb} expects {needed} raw inputs but the config's traces \
+                     flatten to only {} samples",
+                    2 * samples
+                )));
+            }
+        }
+        Ok(Self::from_parts(
+            artifact.discriminators,
+            artifact.teachers,
+            train_data,
+            test_data,
+            artifact.config,
+        ))
+    }
+
+    /// Writes this trained system to `path` as a versioned JSON artifact.
+    ///
+    /// The write goes through a sibling temporary file plus an atomic
+    /// rename, so a crash mid-save never leaves a truncated artifact
+    /// where a loadable one is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::Io`] if the file cannot be written and
+    /// [`KlinqError::Artifact`] if serialization fails.
+    pub fn save(&self, path: &Path) -> Result<(), KlinqError> {
+        let json = self.to_artifact_json()?;
+        let io_err = |e: std::io::Error| KlinqError::Io(format!("{}: {e}", path.display()));
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Loads a system previously written by [`Self::save`].
+    ///
+    /// The datasets are regenerated deterministically from the stored
+    /// configuration, so the loaded system's predictions — and its
+    /// [`Self::evaluate_on`](KlinqSystem::evaluate_on) reports — are
+    /// bitwise-identical to the saved one's on both backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::Io`] if the file cannot be read and
+    /// [`KlinqError::Artifact`] if its contents are malformed.
+    pub fn load(path: &Path) -> Result<Self, KlinqError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| KlinqError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::testutil::smoke_system;
+
+    #[test]
+    fn json_round_trip_preserves_the_whole_system() {
+        let sys = smoke_system();
+        let json = sys.to_artifact_json().unwrap();
+        let loaded = KlinqSystem::from_artifact_json(&json).unwrap();
+        // Everything — weights, pipelines, compiled datapaths, teachers,
+        // config, regenerated datasets — must compare equal.
+        assert_eq!(&loaded, sys);
+        // And the reports are exactly reproducible on both backends.
+        for backend in Backend::ALL {
+            assert_eq!(loaded.evaluate_on(backend), sys.evaluate_on(backend));
+        }
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let sys = smoke_system();
+        let dir = std::env::temp_dir().join("klinq_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("system.json");
+        sys.save(&path).unwrap();
+        let loaded = KlinqSystem::load(&path).unwrap();
+        assert_eq!(&loaded, sys);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = KlinqSystem::load(Path::new("/nonexistent/klinq/system.json")).unwrap_err();
+        assert!(matches!(err, KlinqError::Io(_)), "{err}");
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn wrong_format_and_version_are_rejected() {
+        let sys = smoke_system();
+        let json = sys.to_artifact_json().unwrap();
+        let wrong_format = json.replacen("klinq-system", "not-a-system", 1);
+        let err = KlinqSystem::from_artifact_json(&wrong_format).unwrap_err();
+        assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+        assert!(err.to_string().contains("format"));
+        let wrong_version = json.replacen("\"version\":1", "\"version\":99", 1);
+        let err = KlinqSystem::from_artifact_json(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_duration_is_rejected_at_load_not_at_predict() {
+        // Hand-edit the stored duration below what the fitted models
+        // need: load must fail typed instead of the first prediction
+        // panicking inside feature extraction.
+        let sys = smoke_system();
+        let json = sys.to_artifact_json().unwrap();
+        assert!(json.contains("\"duration_ns\":300.0"), "smoke duration changed?");
+        let shrunk = json.replacen("\"duration_ns\":300.0", "\"duration_ns\":200.0", 1);
+        let err = KlinqSystem::from_artifact_json(&shrunk).unwrap_err();
+        assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_artifact_is_a_malformed_artifact_error() {
+        let sys = smoke_system();
+        let json = sys.to_artifact_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        let err = KlinqSystem::from_artifact_json(truncated).unwrap_err();
+        assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+    }
+}

@@ -90,7 +90,11 @@ impl TeacherConfig {
 /// on the training set) before entering the network — without this the
 /// unnormalized ADC scale makes the large FNN untrainable, and the real
 /// systems the paper builds on normalize at their front end too.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable as part of a saved [`crate::KlinqSystem`] artifact (see
+/// [`crate::persist`]), so a loaded system can still produce Baseline-FNN
+/// comparisons and re-distill duration-swept students.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Teacher {
     net: Fnn,
     normalizer: VecNormalizer,

@@ -1,0 +1,107 @@
+//! Disk-cached smoke fixtures shared across test binaries and benches.
+//!
+//! Training even the smoke-scale [`KlinqSystem`] dominates every test
+//! binary's wall clock, and the workspace runs several binaries (the
+//! klinq-core unit tests, the root integration tests, klinq-serve's
+//! tests, the benches) that all want the same fixture. In-memory
+//! `OnceLock` sharing only helps within one binary; this module shares
+//! the fixture *across processes* through the model-persistence layer
+//! ([`crate::persist`]): the first binary to need the system trains it
+//! and saves the artifact under the target directory, and every later
+//! binary loads it — bitwise-identical to retraining, per the
+//! persistence guarantees.
+//!
+//! Staleness is handled by construction:
+//!
+//! - the cached artifact must deserialize and carry exactly
+//!   [`ExperimentConfig::smoke`] — config drift forces a retrain;
+//! - the cache must be *newer than the running executable* — whenever
+//!   the code that produced it may have changed, cargo relinks the test
+//!   binary, the mtime comparison fails, and the fixture retrains once.
+//!
+//! All failures fall back to training, so the cache can never make a
+//! suite fail that would otherwise pass.
+
+use crate::discriminator::KlinqSystem;
+use crate::experiments::ExperimentConfig;
+use std::path::Path;
+
+/// File name of the cached smoke artifact inside the cache directory.
+const CACHE_FILE: &str = "klinq-smoke-system.v1.json";
+
+/// Returns the shared smoke-scale system, loading it from `cache_dir`
+/// when a fresh cached artifact exists and training (then caching) it
+/// otherwise.
+///
+/// Callers pass a stable per-workspace directory — integration tests and
+/// benches use `env!("CARGO_TARGET_TMPDIR")`, unit-test binaries a
+/// manifest-relative `target/tmp` — so every binary of one `cargo test`
+/// run resolves the same file and the workspace trains exactly once.
+///
+/// # Panics
+///
+/// Panics if the smoke system fails to train (same contract as the
+/// in-memory fixtures this replaces).
+pub fn cached_smoke_system(cache_dir: &Path) -> KlinqSystem {
+    let config = ExperimentConfig::smoke();
+    let path = cache_dir.join(CACHE_FILE);
+    if let Some(sys) = try_load_fresh(&path, &config) {
+        return sys;
+    }
+    let sys = KlinqSystem::train(&config).expect("smoke system trains");
+    // Best effort: a failed save only costs later binaries a retrain.
+    if std::fs::create_dir_all(cache_dir).is_ok() {
+        let _ = sys.save(&path);
+    }
+    sys
+}
+
+/// Loads the cached artifact if it is fresher than the running
+/// executable and still matches the smoke configuration.
+fn try_load_fresh(path: &Path, config: &ExperimentConfig) -> Option<KlinqSystem> {
+    let cache_mtime = std::fs::metadata(path).ok()?.modified().ok()?;
+    let exe_mtime = std::env::current_exe()
+        .ok()
+        .and_then(|p| std::fs::metadata(p).ok())
+        .and_then(|m| m.modified().ok());
+    if let Some(exe_mtime) = exe_mtime {
+        // A rebuilt binary means the training code may have changed, so
+        // only trust caches written after this executable was linked.
+        if cache_mtime <= exe_mtime {
+            return None;
+        }
+    }
+    let sys = KlinqSystem::load(path).ok()?;
+    (sys.config() == config).then_some(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_cache_is_loaded_not_retrained() {
+        // Seed a cache directory from the shared in-memory fixture (so
+        // this test never trains a second system), then check that
+        // `cached_smoke_system` picks it up bit for bit. The cache file
+        // is written now, hence newer than this test executable.
+        let fixture = crate::testutil::smoke_system();
+        let dir = std::env::temp_dir().join("klinq_testkit_warm");
+        std::fs::create_dir_all(&dir).unwrap();
+        fixture.save(&dir.join(CACHE_FILE)).unwrap();
+        let cached = cached_smoke_system(&dir);
+        assert_eq!(&cached, fixture);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_or_mismatched_cache_is_ignored() {
+        let dir = std::env::temp_dir().join("klinq_testkit_stale");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(CACHE_FILE);
+        std::fs::write(&path, "{not valid json").unwrap();
+        // A corrupt cache must not be trusted, however fresh.
+        assert!(try_load_fresh(&path, &ExperimentConfig::smoke()).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! Micro-batching readout serving: many concurrent clients, one batched
+//! discriminator.
+//!
+//! The per-shot API ([`klinq_core::KlinqSystem::measure_on`]) is built
+//! for mid-circuit latency; a readout *service* instead sees throughput —
+//! many independent clients each holding a few shots, while the batched
+//! engine ([`klinq_core::BatchDiscriminator`]) is fastest when it gets
+//! thousands of shots at once. [`ReadoutServer`] bridges the two: it
+//! accepts single-shot and multi-shot requests over channels from any
+//! number of threads, **coalesces** them into micro-batches (bounded by a
+//! configurable shot budget and linger time), classifies each batch in
+//! one [`classify_shots_on`](klinq_core::BatchDiscriminator::classify_shots_on)
+//! call on the persistent worker pool, and routes each request's
+//! [`ShotStates`] back to its sender.
+//!
+//! Because the batched engine is bitwise-identical to sequential
+//! per-shot measurement for any batch composition, coalescing is
+//! invisible to clients: every response is exactly what a direct
+//! [`measure_on`](klinq_core::KlinqDiscriminator::measure_on) loop would
+//! have produced, on either [`Backend`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use klinq_core::experiments::ExperimentConfig;
+//! use klinq_core::KlinqSystem;
+//! use klinq_serve::{ReadoutServer, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let system = Arc::new(KlinqSystem::train(&ExperimentConfig::smoke())?);
+//! let shots = system.test_data().shots().to_vec();
+//! let server = ReadoutServer::start(system, ServeConfig::default());
+//! let client = server.client();
+//! let states = client.classify_shots(shots).expect("server alive");
+//! println!("first shot: {:?}", states[0]);
+//! server.shutdown();
+//! # Ok::<(), klinq_core::KlinqError>(())
+//! ```
+
+mod server;
+
+pub use server::{ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats};
+
+// Re-exported so downstream code can name the request/response types
+// without depending on klinq-core / klinq-sim directly.
+pub use klinq_core::{Backend, ShotStates};
+pub use klinq_sim::Shot;

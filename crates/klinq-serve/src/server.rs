@@ -1,0 +1,388 @@
+//! The coalescing server: std threads + channels, no async runtime.
+//!
+//! One collector thread owns the [`KlinqSystem`] and a receiver. Clients
+//! are cheap cloneable sender handles; each request carries its shots and
+//! a private reply channel. The collector opens a micro-batch on the
+//! first request it receives, then keeps admitting requests until either
+//! the batch's shot budget ([`ServeConfig::max_batch_shots`]) is reached
+//! or the linger window ([`ServeConfig::max_linger`]) expires, classifies
+//! the whole batch in one call, and scatters the per-request slices back.
+//! An idle server blocks on `recv` and costs nothing.
+
+use klinq_core::{Backend, BatchDiscriminator, KlinqSystem, ShotStates};
+use klinq_sim::Shot;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ReadoutServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Which datapath serves the requests.
+    pub backend: Backend,
+    /// Shot budget per micro-batch: a batch closes as soon as it holds at
+    /// least this many shots. A single request larger than the budget is
+    /// never split — it forms one oversized batch on its own, so
+    /// responses always map one-to-one onto requests.
+    pub max_batch_shots: usize,
+    /// How long a non-full batch may wait for more requests to coalesce
+    /// before it is classified anyway. Zero means "drain whatever is
+    /// already queued, never wait".
+    pub max_linger: Duration,
+    /// Optional scheduling chunk-size override forwarded to
+    /// [`BatchDiscriminator::with_chunk_size`] (`None` keeps the
+    /// engine's default). Purely a performance knob — results are
+    /// identical for every value.
+    pub chunk_size: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    /// Float backend, 1024-shot batches, 200 µs linger.
+    fn default() -> Self {
+        Self {
+            backend: Backend::Float,
+            max_batch_shots: 1024,
+            max_linger: Duration::from_micros(200),
+            chunk_size: None,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server has shut down (or its worker died) before answering.
+    Closed,
+    /// The request's shots cannot be classified by this system (wrong
+    /// qubit count, ragged I/Q pairs, or traces shorter than the feature
+    /// front end's floor). Only the offending request is rejected — the
+    /// server keeps serving everyone else.
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closed => write!(f, "readout server is closed"),
+            Self::InvalidRequest(msg) => write!(f, "invalid readout request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Counters the collector maintains (shared snapshot-style with handles).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    shots: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// A point-in-time snapshot of a server's coalescing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Shots classified.
+    pub shots: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Largest micro-batch, in shots.
+    pub largest_batch: u64,
+}
+
+impl ServeStats {
+    /// Mean shots per executed micro-batch (0 when nothing ran yet).
+    pub fn mean_batch_shots(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.shots as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One in-flight request: the shots to classify and where to answer.
+struct Request {
+    shots: Vec<Shot>,
+    reply: Sender<Result<Vec<ShotStates>, ServeError>>,
+}
+
+/// What travels over the intake channel.
+enum Msg {
+    Request(Request),
+    /// Finish the batch in flight, then exit. Sent by
+    /// [`ReadoutServer::shutdown`] so teardown never depends on every
+    /// cloned [`ReadoutClient`] having been dropped.
+    Shutdown,
+}
+
+/// A cheap cloneable handle for submitting classification requests.
+///
+/// Handles stay usable after the [`ReadoutServer`] value is shut down
+/// only in the sense that calls fail fast with [`ServeError::Closed`].
+#[derive(Debug, Clone)]
+pub struct ReadoutClient {
+    tx: Sender<Msg>,
+}
+
+impl ReadoutClient {
+    /// Classifies a batch of shots, blocking until the coalesced result
+    /// arrives. Response index `i` is always shot `i`'s states.
+    ///
+    /// An empty request completes immediately without a server round
+    /// trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server shut down before
+    /// answering, or [`ServeError::InvalidRequest`] if the shots cannot
+    /// be classified by the serving system (the request is rejected at
+    /// intake; the server keeps running).
+    pub fn classify_shots(&self, shots: Vec<Shot>) -> Result<Vec<ShotStates>, ServeError> {
+        if shots.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Request(Request {
+                shots,
+                reply: reply_tx,
+            }))
+            .map_err(|_| ServeError::Closed)?;
+        reply_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Classifies one shot, blocking until its coalesced result arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`].
+    pub fn classify_shot(&self, shot: Shot) -> Result<ShotStates, ServeError> {
+        let states = self.classify_shots(vec![shot])?;
+        Ok(states[0])
+    }
+}
+
+/// A running micro-batching readout server.
+///
+/// Dropping the server (or calling [`Self::shutdown`]) closes the intake
+/// channel, lets the collector finish the batch in flight, and joins it.
+#[derive(Debug)]
+pub struct ReadoutServer {
+    tx: Option<Sender<Msg>>,
+    collector: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl ReadoutServer {
+    /// Starts the server: spawns the collector thread that owns `system`
+    /// and serves requests per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately (not later on the collector thread) if the
+    /// configuration is unusable: a zero `max_batch_shots` or a zero
+    /// `chunk_size` override.
+    pub fn start(system: Arc<KlinqSystem>, config: ServeConfig) -> Self {
+        assert!(config.max_batch_shots > 0, "max_batch_shots must be non-zero");
+        assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
+        let (tx, rx) = mpsc::channel();
+        let counters = Arc::new(Counters::default());
+        let collector_counters = Arc::clone(&counters);
+        let collector = std::thread::Builder::new()
+            .name("klinq-serve-collector".into())
+            .spawn(move || collector_loop(&system, config, &rx, &collector_counters))
+            .expect("spawn readout-server collector");
+        Self {
+            tx: Some(tx),
+            collector: Some(collector),
+            counters,
+        }
+    }
+
+    /// A new client handle for this server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Self::shutdown`] (impossible through the
+    /// public API, which consumes the server).
+    pub fn client(&self) -> ReadoutClient {
+        ReadoutClient {
+            tx: self.tx.as_ref().expect("server is running").clone(),
+        }
+    }
+
+    /// A snapshot of the coalescing counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            shots: self.counters.shots.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops intake, drains the in-flight batch, joins the collector and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        // An explicit sentinel (rather than relying on sender
+        // disconnection) lets shutdown complete even while cloned
+        // `ReadoutClient` handles are still alive; the collector finishes
+        // the batch in flight and exits, after which those clients fail
+        // fast with `ServeError::Closed`.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(handle) = self.collector.take() {
+            if let Err(payload) = handle.join() {
+                // A dead collector is a bug, not a quiet `Closed`: re-raise
+                // its panic on the owner — unless teardown is already
+                // unwinding, where a second panic would abort.
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ReadoutServer {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The collector: coalesce → classify → scatter, until disconnect.
+fn collector_loop(
+    system: &KlinqSystem,
+    config: ServeConfig,
+    rx: &Receiver<Msg>,
+    counters: &Counters,
+) {
+    let mut batch = BatchDiscriminator::new(system.discriminators());
+    if let Some(chunk) = config.chunk_size {
+        batch = batch.with_chunk_size(chunk);
+    }
+    // The feature front end's per-qubit floors: each qubit's trace must
+    // carry at least that qubit's averager output count (15 for FNN-A,
+    // 100 for FNN-B — mid-circuit truncation above the floor stays
+    // servable). Checked at intake so a malformed request is rejected
+    // with a typed error instead of panicking the collector (which would
+    // kill the server for every client).
+    let min_samples: Vec<usize> = system
+        .discriminators()
+        .iter()
+        .map(|d| d.student().pipeline.averager().outputs())
+        .collect();
+    // Rejects invalid requests at admission; returns an admitted request.
+    let admit = |req: Request| -> Option<Request> {
+        match validate_shots(&req.shots, &min_samples) {
+            Ok(()) => Some(req),
+            Err(msg) => {
+                let _ = req.reply.send(Err(ServeError::InvalidRequest(msg)));
+                None
+            }
+        }
+    };
+    let mut shutting_down = false;
+    while !shutting_down {
+        let first = match rx.recv() {
+            Ok(Msg::Request(req)) => match admit(req) {
+                Some(req) => req,
+                None => continue,
+            },
+            Ok(Msg::Shutdown) | Err(_) => break,
+        };
+        let mut pending = vec![first];
+        let mut n_shots = pending[0].shots.len();
+        let deadline = Instant::now() + config.max_linger;
+        while n_shots < config.max_batch_shots {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            // `recv_timeout` drains already-queued requests even with a
+            // zero budget, so an expired linger still soaks up whatever
+            // arrived meanwhile — it just never *waits* any longer.
+            match rx.recv_timeout(remaining) {
+                Ok(Msg::Request(req)) => {
+                    if let Some(req) = admit(req) {
+                        n_shots += req.shots.len();
+                        pending.push(req);
+                    }
+                }
+                Ok(Msg::Shutdown) => {
+                    // Answer the batch in flight, then exit.
+                    shutting_down = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // One contiguous shot buffer for the engine; shots are moved,
+        // never cloned.
+        let mut shots = Vec::with_capacity(n_shots);
+        let mut replies = Vec::with_capacity(pending.len());
+        for req in pending {
+            replies.push((req.reply, req.shots.len()));
+            shots.extend(req.shots);
+        }
+        let states = batch.classify_shots_on(config.backend, &shots);
+
+        counters.requests.fetch_add(replies.len() as u64, Ordering::Relaxed);
+        counters.shots.fetch_add(shots.len() as u64, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .largest_batch
+            .fetch_max(shots.len() as u64, Ordering::Relaxed);
+
+        let mut offset = 0;
+        for (reply, count) in replies {
+            // A client that gave up (dropped its receiver) is not an
+            // error for the batch; everyone else still gets answered.
+            let _ = reply.send(Ok(states[offset..offset + count].to_vec()));
+            offset += count;
+        }
+    }
+}
+
+/// Checks a request's shots against the serving system's front-end
+/// requirements: one trace per qubit, paired I/Q lengths, and at least
+/// that qubit's own averager floor per channel (`min_samples[qb]`).
+fn validate_shots(shots: &[Shot], min_samples: &[usize]) -> Result<(), String> {
+    for (idx, shot) in shots.iter().enumerate() {
+        if shot.traces.len() != min_samples.len() {
+            return Err(format!(
+                "shot {idx} carries {} traces, expected {}",
+                shot.traces.len(),
+                min_samples.len()
+            ));
+        }
+        for (qb, (t, &floor)) in shot.traces.iter().zip(min_samples).enumerate() {
+            if t.i.len() != t.q.len() {
+                return Err(format!(
+                    "shot {idx} qubit {qb}: I has {} samples but Q has {}",
+                    t.i.len(),
+                    t.q.len()
+                ));
+            }
+            if t.i.len() < floor {
+                return Err(format!(
+                    "shot {idx} qubit {qb}: {} samples per channel, \
+                     its feature front end needs at least {floor}",
+                    t.i.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}

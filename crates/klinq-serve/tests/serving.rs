@@ -1,0 +1,224 @@
+//! End-to-end serving tests: coalesced responses must be exactly what a
+//! direct batched classification would produce, for every client, on
+//! both backends, under real concurrency.
+
+use klinq_core::testkit;
+use klinq_core::{Backend, BatchDiscriminator, KlinqSystem};
+use klinq_serve::{ReadoutServer, ServeConfig, ServeError};
+use std::path::Path;
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::Duration;
+
+/// The shared smoke system (disk-cached across the workspace's test
+/// binaries, see `klinq_core::testkit`).
+fn system() -> Arc<KlinqSystem> {
+    static SYS: OnceLock<Arc<KlinqSystem>> = OnceLock::new();
+    Arc::clone(SYS.get_or_init(|| {
+        Arc::new(testkit::cached_smoke_system(Path::new(env!(
+            "CARGO_TARGET_TMPDIR"
+        ))))
+    }))
+}
+
+#[test]
+fn single_client_matches_direct_batch_on_both_backends() {
+    let sys = system();
+    let shots = sys.test_data().shots().to_vec();
+    for backend in Backend::ALL {
+        let server = ReadoutServer::start(
+            system(),
+            ServeConfig {
+                backend,
+                ..ServeConfig::default()
+            },
+        );
+        let served = server.client().classify_shots(shots.clone()).expect("server alive");
+        let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots_on(backend, &shots);
+        assert_eq!(served, direct, "served results diverged on {backend}");
+        let stats = server.shutdown();
+        assert_eq!(stats.shots, shots.len() as u64);
+        assert_eq!(stats.requests, 1);
+    }
+}
+
+#[test]
+fn four_concurrent_clients_each_get_their_own_results() {
+    let sys = system();
+    let shots = sys.test_data().shots();
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots(shots);
+
+    // Generous linger so the four clients' requests actually coalesce.
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_linger: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+    let n_clients = 4;
+    let rounds = 3;
+    let barrier = Barrier::new(n_clients);
+    std::thread::scope(|scope| {
+        for c in 0..n_clients {
+            let client = server.client();
+            let barrier = &barrier;
+            let direct = &direct;
+            scope.spawn(move || {
+                // Interleaved slices so every client's shots are spread
+                // over the whole set, several requests per client.
+                for round in 0..rounds {
+                    let indices: Vec<usize> = (0..shots.len())
+                        .filter(|i| (i + round) % n_clients == c)
+                        .collect();
+                    let mine: Vec<_> = indices.iter().map(|&i| shots[i].clone()).collect();
+                    barrier.wait();
+                    let states = client.classify_shots(mine).expect("server alive");
+                    assert_eq!(states.len(), indices.len());
+                    for (k, &i) in indices.iter().enumerate() {
+                        assert_eq!(states[k], direct[i], "client {c} shot {i} diverged");
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, (n_clients * rounds) as u64);
+    assert_eq!(stats.shots, (shots.len() * rounds) as u64);
+    // Coalescing must have actually merged concurrent requests: with
+    // four barrier-aligned clients and a 100 ms linger, the collector
+    // cannot have run one batch per request every single round.
+    assert!(
+        stats.batches < stats.requests,
+        "no coalescing happened: {stats:?}"
+    );
+    assert!(stats.largest_batch > (shots.len() / n_clients) as u64, "{stats:?}");
+}
+
+#[test]
+fn oversized_request_is_never_split() {
+    let sys = system();
+    let shots = sys.test_data().shots().to_vec();
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            // Budget far below the request size: the request must still
+            // be answered atomically in one oversized batch.
+            max_batch_shots: 8,
+            max_linger: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let served = server.client().classify_shots(shots.clone()).expect("server alive");
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots(&shots);
+    assert_eq!(served, direct);
+    let stats = server.shutdown();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.largest_batch, shots.len() as u64);
+}
+
+#[test]
+fn single_shot_api_and_empty_requests() {
+    let sys = system();
+    let shot = sys.test_data().shot(5).clone();
+    let server = ReadoutServer::start(system(), ServeConfig::default());
+    let client = server.client();
+    let states = client.classify_shot(shot.clone()).expect("server alive");
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shot(&shot);
+    assert_eq!(states, direct);
+    // Empty requests complete locally without touching the server.
+    assert!(client.classify_shots(Vec::new()).expect("empty ok").is_empty());
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1);
+}
+
+#[test]
+fn clients_fail_fast_after_shutdown() {
+    let sys = system();
+    let shot = sys.test_data().shot(0).clone();
+    let server = ReadoutServer::start(system(), ServeConfig::default());
+    let client = server.client();
+    server.shutdown();
+    assert_eq!(client.classify_shot(shot), Err(ServeError::Closed));
+}
+
+#[test]
+fn malformed_requests_are_rejected_without_killing_the_server() {
+    let sys = system();
+    let server = ReadoutServer::start(system(), ServeConfig::default());
+    let client = server.client();
+    // Traces far below the feature front end's floor: a typed rejection,
+    // not a collector panic.
+    let mut bad = sys.test_data().shot(0).clone();
+    for t in &mut bad.traces {
+        t.i.truncate(3);
+        t.q.truncate(3);
+    }
+    match client.classify_shot(bad) {
+        Err(ServeError::InvalidRequest(msg)) => {
+            assert!(msg.contains("front end"), "{msg}")
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    // The server is still alive and still serves valid requests.
+    let good = sys.test_data().shot(1).clone();
+    let states = client.classify_shot(good.clone()).expect("server alive");
+    assert_eq!(
+        states,
+        BatchDiscriminator::new(sys.discriminators()).classify_shot(&good)
+    );
+    // The floor is per qubit: a mid-circuit truncation of an FNN-A qubit
+    // (floor 15) below the FNN-B floor (100) is still a servable request.
+    let mut truncated = sys.test_data().shot(2).clone();
+    truncated.traces[0].i.truncate(72);
+    truncated.traces[0].q.truncate(72);
+    let states = client.classify_shot(truncated.clone()).expect("per-qubit floor");
+    assert_eq!(
+        states,
+        BatchDiscriminator::new(sys.discriminators()).classify_shot(&truncated)
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 2, "rejected request must not be counted as served");
+}
+
+#[test]
+fn invalid_configs_panic_at_start_not_silently_on_the_collector() {
+    let zero_chunk = std::panic::catch_unwind(|| {
+        ReadoutServer::start(
+            system(),
+            ServeConfig {
+                chunk_size: Some(0),
+                ..ServeConfig::default()
+            },
+        )
+    });
+    assert!(zero_chunk.is_err(), "chunk_size Some(0) must be rejected");
+    let zero_batch = std::panic::catch_unwind(|| {
+        ReadoutServer::start(
+            system(),
+            ServeConfig {
+                max_batch_shots: 0,
+                ..ServeConfig::default()
+            },
+        )
+    });
+    assert!(zero_batch.is_err(), "max_batch_shots 0 must be rejected");
+}
+
+#[test]
+fn chunk_size_override_changes_nothing_but_scheduling() {
+    let sys = system();
+    let shots = sys.test_data().shots().to_vec();
+    let reference = BatchDiscriminator::new(sys.discriminators()).classify_shots(&shots);
+    for chunk in [1usize, 7, 1024] {
+        let server = ReadoutServer::start(
+            system(),
+            ServeConfig {
+                chunk_size: Some(chunk),
+                ..ServeConfig::default()
+            },
+        );
+        let served = server.client().classify_shots(shots.clone()).expect("server alive");
+        assert_eq!(served, reference, "chunk {chunk} diverged");
+        server.shutdown();
+    }
+}

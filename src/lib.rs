@@ -13,8 +13,12 @@
 //! - [`fpga`] — bit-accurate fixed-point datapath plus latency/resource
 //!   models of the ZCU216 implementation.
 //! - [`core`] — the KLiNQ system: teacher training, distillation, the
-//!   per-qubit independent discriminators, baselines (Baseline FNN,
-//!   HERQULES, quantized FNN) and the paper's experiments.
+//!   per-qubit independent discriminators (generic over the
+//!   float/Q16.16 [`core::Backend`]), model persistence
+//!   ([`core::persist`]), baselines (Baseline FNN, HERQULES, quantized
+//!   FNN) and the paper's experiments.
+//! - [`serve`] — the micro-batching readout server: concurrent clients,
+//!   request coalescing, one batched discriminator.
 //!
 //! # Quickstart
 //!
@@ -34,4 +38,5 @@ pub use klinq_dsp as dsp;
 pub use klinq_fixed as fixed;
 pub use klinq_fpga as fpga;
 pub use klinq_nn as nn;
+pub use klinq_serve as serve;
 pub use klinq_sim as sim;

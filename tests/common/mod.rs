@@ -1,0 +1,19 @@
+//! Shared fixture for the root-level integration-test binaries.
+//!
+//! Every binary that needs a trained system goes through
+//! [`klinq::core::testkit`]'s disk cache, so one `cargo test` run trains
+//! the smoke system at most once across the whole workspace instead of
+//! once per test binary.
+
+use klinq::core::KlinqSystem;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The shared smoke-scale system (trained once per workspace test run,
+/// loaded from the target-dir cache everywhere else).
+pub fn smoke_system() -> &'static KlinqSystem {
+    static SYS: OnceLock<KlinqSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        klinq::core::testkit::cached_smoke_system(Path::new(env!("CARGO_TARGET_TMPDIR")))
+    })
+}

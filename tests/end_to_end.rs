@@ -1,16 +1,13 @@
 //! Cross-crate integration: simulator → training → distillation →
 //! evaluation → FPGA compilation, all through the public facade.
 
-use klinq::core::experiments::ExperimentConfig;
 use klinq::core::{KlinqSystem, StudentArch};
 use klinq::fpga::latency::{avg_norm_stages, mf_stages, network_stages};
 
+mod common;
+
 fn system() -> &'static KlinqSystem {
-    use std::sync::OnceLock;
-    static SYSTEM: OnceLock<KlinqSystem> = OnceLock::new();
-    SYSTEM.get_or_init(|| {
-        KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
-    })
+    common::smoke_system()
 }
 
 #[test]

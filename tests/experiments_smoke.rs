@@ -4,12 +4,10 @@
 use klinq::core::experiments::{fig4, fig5, table1, table2, table3, ExperimentConfig};
 use klinq::core::KlinqSystem;
 
+mod common;
+
 fn system() -> &'static KlinqSystem {
-    use std::sync::OnceLock;
-    static SYSTEM: OnceLock<KlinqSystem> = OnceLock::new();
-    SYSTEM.get_or_init(|| {
-        KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
-    })
+    common::smoke_system()
 }
 
 #[test]

@@ -7,12 +7,10 @@ use klinq::core::{KlinqError, KlinqSystem, StudentArch};
 use klinq::dsp::{FeaturePipeline, FeatureSpec, MatchedFilter, VecNormalizer};
 use klinq::fixed::Q16_16;
 
+mod common;
+
 fn system() -> &'static KlinqSystem {
-    use std::sync::OnceLock;
-    static SYSTEM: OnceLock<KlinqSystem> = OnceLock::new();
-    SYSTEM.get_or_init(|| {
-        KlinqSystem::train(&ExperimentConfig::smoke()).expect("smoke system trains")
-    })
+    common::smoke_system()
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Model-persistence guarantees through the public facade: a saved and
+//! reloaded system is indistinguishable from the in-memory one — every
+//! prediction bitwise-identical on both backends — and malformed
+//! artifacts fail with typed errors, never panics.
+
+use klinq::core::{Backend, BatchDiscriminator, KlinqError, KlinqSystem};
+use proptest::proptest;
+use std::sync::OnceLock;
+
+mod common;
+
+fn system() -> &'static KlinqSystem {
+    common::smoke_system()
+}
+
+/// The reloaded twin of the shared fixture, built once through a real
+/// save → load file round trip.
+fn reloaded() -> &'static KlinqSystem {
+    static LOADED: OnceLock<KlinqSystem> = OnceLock::new();
+    LOADED.get_or_init(|| {
+        let dir = std::env::temp_dir().join("klinq_persistence_roundtrip");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("system.json");
+        system().save(&path).expect("save");
+        let loaded = KlinqSystem::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        loaded
+    })
+}
+
+#[test]
+fn loaded_system_compares_equal_and_reports_identically() {
+    let original = system();
+    let loaded = reloaded();
+    assert_eq!(loaded, original);
+    for backend in Backend::ALL {
+        // FidelityReport is PartialEq on exact f64s — no tolerance.
+        assert_eq!(loaded.evaluate_on(backend), original.evaluate_on(backend));
+    }
+}
+
+#[test]
+fn loaded_batched_classification_is_bitwise_identical() {
+    let original = system();
+    let loaded = reloaded();
+    let shots = original.test_data().shots();
+    for backend in Backend::ALL {
+        let a = BatchDiscriminator::new(original.discriminators()).classify_shots_on(backend, shots);
+        let b = BatchDiscriminator::new(loaded.discriminators()).classify_shots_on(backend, shots);
+        assert_eq!(a, b, "batched predictions diverged on {backend}");
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+    /// Any shot, any qubit, any prefix length, both backends: the loaded
+    /// system must reproduce the original's decision exactly — including
+    /// on truncated mid-circuit traces the system never saw at save time.
+    #[test]
+    fn any_measurement_survives_the_round_trip(
+        shot_idx in 0usize..384,
+        qb in 0usize..5,
+        keep_num in 3usize..=10,
+        backend_hw in proptest::bool::ANY,
+    ) {
+        let original = system();
+        let loaded = reloaded();
+        let backend = if backend_hw { Backend::Hardware } else { Backend::Float };
+        let shot = original.test_data().shot(shot_idx % original.test_data().len());
+        let t = &shot.traces[qb];
+        // Keep between 30% and 100% of the trace, never below the
+        // 100-sample floor FNN-B's averaging needs.
+        let cut = (t.i.len() * keep_num / 10).max(100).min(t.i.len());
+        let a = original.measure_on(backend, qb, &t.i[..cut], &t.q[..cut]);
+        let b = loaded.measure_on(backend, qb, &t.i[..cut], &t.q[..cut]);
+        proptest::prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn corrupt_truncated_and_missing_artifacts_are_typed_errors() {
+    let dir = std::env::temp_dir().join("klinq_persistence_corrupt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Missing file → Io.
+    let err = KlinqSystem::load(&dir.join("does_not_exist.json")).unwrap_err();
+    assert!(matches!(err, KlinqError::Io(_)), "{err}");
+
+    // Truncated artifact (cut mid-JSON) → Artifact.
+    let json = system().to_artifact_json().expect("serialize");
+    let truncated_path = dir.join("truncated.json");
+    std::fs::write(&truncated_path, &json[..json.len() / 3]).expect("write");
+    let err = KlinqSystem::load(&truncated_path).unwrap_err();
+    assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+
+    // Arbitrary garbage → Artifact.
+    let garbage_path = dir.join("garbage.json");
+    std::fs::write(&garbage_path, "klinq but not json").expect("write");
+    let err = KlinqSystem::load(&garbage_path).unwrap_err();
+    assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+
+    // Valid JSON, wrong shape → Artifact.
+    let shape_path = dir.join("wrong_shape.json");
+    std::fs::write(&shape_path, r#"{"format": "klinq-system", "version": 1}"#).expect("write");
+    let err = KlinqSystem::load(&shape_path).unwrap_err();
+    assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

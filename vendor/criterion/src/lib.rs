@@ -24,6 +24,7 @@
 //! publication.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -101,6 +102,9 @@ impl Criterion {
         } else {
             Mode::Test
         };
+        if filter.is_some() {
+            FILTERED_RUN.store(true, Ordering::Relaxed);
+        }
         Criterion { mode, filter }
     }
 
@@ -177,27 +181,67 @@ struct BenchRecord {
     id: String,
     ns_per_iter: f64,
     /// Derived throughput: `(units per second, unit label)`.
-    per_sec: Option<(f64, &'static str)>,
+    per_sec: Option<(f64, String)>,
 }
 
 /// Bench-mode measurements accumulated for [`write_json_report`].
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Whether a name filter restricted this run (set by
+/// [`Criterion::from_args`]); a filtered run must not replace whole
+/// groups in the report, since sibling benchmarks were skipped, not
+/// deleted.
+static FILTERED_RUN: AtomicBool = AtomicBool::new(false);
 
 /// Writes `BENCH_<bench>.json` with every measurement recorded so far.
 ///
 /// Called by `criterion_main!` after all groups have run; a no-op in test
 /// mode (nothing recorded) or when nothing matched the filter.
 pub fn write_json_report() {
-    let records = RESULTS.lock().expect("bench results poisoned");
-    if records.is_empty() {
+    write_json_report_as(&bench_binary_name());
+}
+
+/// Like [`write_json_report`], but under an explicit report name — for
+/// bench binaries whose results belong in another target's trajectory
+/// file (e.g. the `serving` bench contributing to `BENCH_inference.json`
+/// so serving and direct-engine throughput are compared side by side).
+///
+/// Merge semantics: if `BENCH_<name>.json` already exists, results from
+/// benchmark *groups* this run did not touch are kept, while every group
+/// it did measure is replaced wholesale — so successive bench binaries
+/// accumulate into one file without clobbering each other, and renamed
+/// or deleted targets inside a re-measured group don't linger as stale
+/// entries. (A group abandoned by every binary still has to be pruned by
+/// deleting the file once.) When a name filter restricted the run, only
+/// the ids actually re-measured are replaced — the skipped siblings'
+/// entries survive a partial run.
+pub fn write_json_report_as(name: &str) {
+    let new_records = RESULTS.lock().expect("bench results poisoned");
+    if new_records.is_empty() {
         return;
     }
-    let name = bench_binary_name();
+    // "group" = the id prefix before the first `/` (the whole id for
+    // ungrouped benchmarks).
+    let group_of = |id: &str| id.split('/').next().unwrap_or(id).to_string();
+    let measured_groups: Vec<String> = new_records.iter().map(|r| group_of(&r.id)).collect();
+    let measured_ids: Vec<&str> = new_records.iter().map(|r| r.id.as_str()).collect();
+    let path = report_dir().join(format!("BENCH_{name}.json"));
+    let mut records = read_existing_records(&path);
+    if FILTERED_RUN.load(Ordering::Relaxed) {
+        records.retain(|old| !measured_ids.contains(&old.id.as_str()));
+    } else {
+        records.retain(|old| !measured_groups.contains(&group_of(&old.id)));
+    }
+    records.extend(new_records.iter().map(|r| BenchRecord {
+        id: r.id.clone(),
+        ns_per_iter: r.ns_per_iter,
+        per_sec: r.per_sec.clone(),
+    }));
     let mut json = String::from("{\n  \"schema\": 1,\n");
-    json.push_str(&format!("  \"bench\": \"{}\",\n  \"results\": [\n", escape_json(&name)));
+    json.push_str(&format!("  \"bench\": \"{}\",\n  \"results\": [\n", escape_json(name)));
     for (idx, r) in records.iter().enumerate() {
         let sep = if idx + 1 < records.len() { "," } else { "" };
-        let per_sec = match r.per_sec {
+        let per_sec = match &r.per_sec {
             Some((rate, unit)) => {
                 format!("{rate:.1}, \"unit\": \"{unit}\"")
             }
@@ -211,11 +255,48 @@ pub fn write_json_report() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = report_dir().join(format!("BENCH_{name}.json"));
-    match std::fs::write(&path, json) {
+    // Tmp-file + atomic rename: a crash mid-write (CI cancellation) must
+    // not truncate the accumulated trajectory file, which the next merge
+    // would silently treat as empty.
+    let tmp = path.with_extension("json.tmp");
+    let result = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, &path));
+    match result {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+}
+
+/// Parses the records of an existing report so a new run can merge into
+/// it. Any read or parse failure just means starting fresh.
+fn read_existing_records(path: &std::path::Path) -> Vec<BenchRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return Vec::new();
+    };
+    let Some(results) = value.get("results").and_then(|r| r.as_array()) else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter_map(|entry| {
+            let id = entry.get("id")?.as_str()?.to_string();
+            let ns_per_iter = entry.get("ns_per_iter")?.as_f64()?;
+            let per_sec = match (
+                entry.get("per_sec").and_then(|v| v.as_f64()),
+                entry.get("unit").and_then(|v| v.as_str()),
+            ) {
+                (Some(rate), Some(unit)) => Some((rate, unit.to_string())),
+                _ => None,
+            };
+            Some(BenchRecord {
+                id,
+                ns_per_iter,
+                per_sec,
+            })
+        })
+        .collect()
 }
 
 /// Where reports land: the workspace root (nearest ancestor of the
@@ -292,7 +373,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
                 };
                 if median > 0.0 {
                     let rate = units / (median * 1e-9);
-                    per_sec = Some((rate, label));
+                    per_sec = Some((rate, label.to_string()));
                     line.push_str(&format!("  thrpt: {}", format_rate(rate, label)));
                 }
             }
@@ -422,6 +503,33 @@ mod tests {
             group.finish();
         }
         assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn existing_reports_parse_for_merging() {
+        let dir = std::env::temp_dir().join("criterion_workalike_merge");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sample.json");
+        std::fs::write(
+            &path,
+            r#"{
+  "schema": 1,
+  "bench": "sample",
+  "results": [
+    {"id": "group/with_thrpt", "ns_per_iter": 1200.5, "per_sec": 832986.3, "unit": "elem/s"},
+    {"id": "group/no_thrpt", "ns_per_iter": 42.0, "per_sec": null}
+  ]
+}"#,
+        )
+        .unwrap();
+        let records = read_existing_records(&path);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "group/with_thrpt");
+        assert_eq!(records[0].per_sec.as_ref().unwrap().1, "elem/s");
+        assert!(records[1].per_sec.is_none());
+        // Unreadable/missing files merge as empty.
+        assert!(read_existing_records(&dir.join("missing.json")).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
