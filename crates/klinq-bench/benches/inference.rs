@@ -11,8 +11,12 @@
 //!
 //! Baselines on the 1-core reference container: PR 1 measured
 //! `batched_inference/testset_parallel` at ~134K shots/s with the
-//! allocating per-shot path; the pooled, zero-allocation, GEMM-chunked
-//! engine of this PR is the number to compare against it.
+//! allocating per-shot path, PR 2's pooled GEMM-chunked engine reached
+//! ~292–340K, and the cache-blocked SoA engine (fused extract→forward
+//! kernels, register-blocked GEMM, fused Q16.16 path) is the number to
+//! compare against those. Every recorded entry carries the pool size
+//! (`worker_threads`), and `tools/benchdiff` guards the
+//! `batched_inference/*` ids against >25% regressions in CI.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use klinq_core::testkit;
@@ -36,6 +40,10 @@ fn system() -> &'static KlinqSystem {
 
 /// End-to-end single-shot inference (the mid-circuit latency view).
 fn bench_inference(c: &mut Criterion) {
+    // Stamp the pool size onto every recorded entry: throughput from
+    // containers with different core counts is not comparable, and
+    // `tools/benchdiff` only diffs entries whose pool sizes match.
+    criterion::set_worker_threads(rayon::current_num_threads());
     let system = system();
     let shot = system.test_data().shot(0).clone();
 
@@ -123,16 +131,32 @@ fn bench_stages(c: &mut Criterion) {
 /// Batched readout throughput (shots/sec across all five qubits): the
 /// serving-path trajectory tracked in `BENCH_inference.json`.
 fn bench_batched_inference(c: &mut Criterion) {
+    criterion::set_worker_threads(rayon::current_num_threads());
     let system = system();
     let shots = system.test_data().shots();
     let batch = BatchDiscriminator::new(system.discriminators());
 
     let mut group = c.benchmark_group("batched_inference");
     group.throughput(Throughput::Elements(shots.len() as u64));
-    // Pooled, GEMM-chunked classification of the whole held-out set.
+    // Pooled, SoA-fused, GEMM-chunked classification of the whole
+    // held-out set — the 1-core trajectory anchor (its committed figure
+    // is measured on the single-core reference container).
     group.bench_function("testset_parallel", |b| {
         b.iter(|| black_box(batch.classify_shots(black_box(shots))));
     });
+    // The same engine under the id reserved for multi-core trajectories:
+    // only emitted when a worker pool actually exists, so the 1-core
+    // reference container neither measures the heavy target twice nor
+    // commits a single-thread `_mt` baseline that no multi-core run
+    // could ever match. On a multi-core container the entry (with its
+    // recorded `worker_threads`) is the figure to compare across
+    // multi-core runs, leaving the single-core anchor's meaning intact;
+    // benchdiff only compares entries whose `worker_threads` match.
+    if rayon::current_num_threads() > 1 {
+        group.bench_function("testset_parallel_mt", |b| {
+            b.iter(|| black_box(batch.classify_shots(black_box(shots))));
+        });
+    }
     // Sequential scratch-path reference on the same shots, for the
     // pool/GEMM speedup ratio.
     group.bench_function("testset_sequential", |b| {
@@ -144,7 +168,7 @@ fn bench_batched_inference(c: &mut Criterion) {
             black_box(states)
         });
     });
-    // The batched Q16.16 datapath.
+    // The batched Q16.16 datapath (fused SoA fixed-point kernels).
     group.bench_function("testset_parallel_hw", |b| {
         b.iter(|| black_box(batch.classify_shots_hw(black_box(shots))));
     });

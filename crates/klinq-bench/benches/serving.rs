@@ -51,6 +51,8 @@ fn serve_round(server: &ReadoutServer, shots: &[Shot], clients: usize) {
 /// Coalesced serving throughput (shots/sec across all five qubits), for
 /// one and four concurrent clients on both backends.
 fn bench_serving(c: &mut Criterion) {
+    // Stamp the pool size onto every entry (see `tools/benchdiff`).
+    criterion::set_worker_threads(rayon::current_num_threads());
     let system = system();
     let shots: Vec<Shot> = system.test_data().shots().to_vec();
 

@@ -194,9 +194,10 @@ mod tests {
         let f = h.fidelity_at(&test, test.samples());
         // Smoke scale (320 shots, 300 ns): well above chance is all we
         // pin here; the quick-scale Table I run is where HERQULES shows
-        // its paper-level fidelity.
-        assert!(f > 0.68, "HERQULES fidelity {f}");
-        assert!(h.report().final_train_accuracy > 0.70);
+        // its paper-level fidelity. Floors and the raise-shots-not-floors
+        // policy live in `crate::stat_floors`.
+        assert!(f > crate::stat_floors::HERQULES_SMOKE_FIDELITY, "HERQULES fidelity {f}");
+        assert!(h.report().final_train_accuracy > crate::stat_floors::HERQULES_TRAIN_ACCURACY);
     }
 
     #[test]
@@ -225,7 +226,9 @@ mod tests {
         let f_short = h.fidelity_at(&train, train.samples() / 2);
         // The filter is fit at the full duration, so halving the trace
         // shifts the feature distribution (see `KlinqSystem::evaluate_at`);
-        // clearly-above-chance is the right bar at this smoke scale.
-        assert!(f_short > 0.55, "{f_short}");
+        // clearly-above-chance is the right bar at this smoke scale. This
+        // floor is one of the two RNG-sensitive ones tracked in
+        // `crate::stat_floors` — raise shots/epochs, never the floor.
+        assert!(f_short > crate::stat_floors::HERQULES_TRUNCATED_FIDELITY, "{f_short}");
     }
 }

@@ -5,24 +5,32 @@
 //! latency; evaluation and serving workloads instead see *throughput* —
 //! thousands of buffered shots that all need discriminating. This module
 //! chunks a shot batch over the persistent worker pool of the vendored
-//! rayon work-alike and classifies each chunk with a **GEMM per qubit**:
-//! the chunk's feature rows are packed into a reusable [`Matrix`] and run
-//! through [`klinq_nn::Fnn::logits_batch_with`] in one batched forward
-//! pass per discriminator, instead of one network traversal per shot.
+//! rayon work-alike and classifies each chunk with **cache-blocked fused
+//! kernels over a structure-of-arrays block**: four shots at a time are
+//! gathered into a lane-interleaved [`TraceBatch`], the fused front end
+//! ([`klinq_dsp::FeaturePipeline::extract_batch_into`]) runs averaging,
+//! matched filter and normalization while the block is L1-resident, and
+//! the chunk's feature rows then go through one register-blocked GEMM per
+//! qubit ([`klinq_nn::Fnn::logits_batch_with`] over
+//! `Matrix::gemm_block`) instead of one network traversal per shot.
 //!
 //! Every buffer the chunk path touches lives in a per-worker
 //! [`ShotScratch`] (the pool keeps its threads — and therefore these warm
 //! buffers — alive across batches), so after warmup a batch classifies
 //! with no allocator traffic at all. Scheduling never changes results:
 //! outputs are written back in shot order and every prediction is
-//! bitwise-identical to sequential [`KlinqDiscriminator::measure`] calls,
-//! because the GEMM kernel replays the exact single-sample summation
-//! order (see `Dense::forward_infer_into`).
+//! bitwise-identical to sequential [`KlinqDiscriminator::measure`] calls —
+//! the fused kernels keep each lane's scalar summation order (see
+//! `klinq_dsp::averaging` for the order policy), and the GEMM replays the
+//! exact single-sample order (see `Dense::forward_infer_into`). Ragged
+//! blocks (mixed trace lengths) fall back to the identical scalar path.
 //!
-//! The bit-accurate Q16.16 datapath gets the same treatment:
-//! [`BatchDiscriminator::classify_shots_hw`] runs `measure_hw` over
-//! parallel chunks through per-worker [`klinq_fpga::HwScratch`] buffers,
-//! and [`crate::KlinqSystem::evaluate_hw`] routes through it.
+//! The bit-accurate Q16.16 datapath is batched the same way:
+//! [`BatchDiscriminator::classify_shots_hw`] gathers the same SoA blocks
+//! and runs the fused fixed-point kernel
+//! ([`klinq_fpga::FpgaDiscriminator::infer_batch_with`]) through
+//! per-worker [`klinq_fpga::HwBatchScratch`] buffers — bitwise-identical
+//! to `measure_hw` because every fixed-point accumulator wraps.
 //!
 //! [`crate::KlinqSystem::evaluate`] routes through this engine, and the
 //! `inference` criterion bench reports its shots/sec as the repo's
@@ -31,7 +39,8 @@
 use crate::backend::Backend;
 use crate::discriminator::KlinqDiscriminator;
 use crate::eval::{assignment_fidelity, FidelityReport};
-use klinq_fpga::HwScratch;
+use klinq_dsp::TraceBatch;
+use klinq_fpga::{HwBatchScratch, HwScratch};
 use klinq_nn::{BatchScratch, InferenceScratch, Matrix};
 use klinq_sim::{ReadoutDataset, Shot};
 use rayon::prelude::*;
@@ -56,8 +65,14 @@ pub struct ShotScratch {
     x: Matrix,
     /// Network ping-pong matrices for the chunked GEMM path.
     batch: BatchScratch,
-    /// Fixed-point buffers for the Q16.16 path.
+    /// Lane-interleaved SoA gather of one four-shot block (both backends).
+    traces: TraceBatch,
+    /// Interleaved intermediate features of the fused float front end.
+    fused: Vec<f32>,
+    /// Fixed-point buffers for the per-shot Q16.16 path.
     hw: HwScratch,
+    /// Lane-interleaved fixed-point buffers for the batched Q16.16 path.
+    hw_batch: HwBatchScratch,
 }
 
 impl ShotScratch {
@@ -199,10 +214,13 @@ impl<'a> BatchDiscriminator<'a> {
         self.classify_shot_on_with(Backend::Hardware, shot, scratch)
     }
 
-    /// Classifies one chunk with a batched forward pass per qubit: all of
-    /// the chunk's feature rows for a qubit are extracted four shots at a
-    /// time (interleaved matched-filter chains), packed into one matrix,
-    /// and pushed through that qubit's student in a single GEMM.
+    /// Classifies one chunk with the fused SoA kernels and a batched
+    /// forward pass per qubit: four shots at a time are gathered into the
+    /// scratch's lane-interleaved [`TraceBatch`], the fused front end
+    /// extracts their feature rows while the block is cache-resident, and
+    /// the packed rows run through that qubit's student in a single
+    /// register-blocked GEMM. Ragged blocks and the chunk tail take the
+    /// bitwise-identical scalar path.
     fn classify_chunk_into(&self, shots: &[Shot], out: &mut [ShotStates], scratch: &mut ShotScratch) {
         debug_assert_eq!(shots.len(), out.len());
         for (qb, d) in self.discriminators.iter().enumerate() {
@@ -212,13 +230,20 @@ impl<'a> BatchDiscriminator<'a> {
             let mut quads = shots.chunks_exact(4);
             for quad in &mut quads {
                 let t = [&quad[0].traces[qb], &quad[1].traces[qb], &quad[2].traces[qb], &quad[3].traces[qb]];
-                let rs: [&mut [f32]; 4] = std::array::from_fn(|_| {
+                let traces = [(&*t[0].i, &*t[0].q), (&*t[1].i, &*t[1].q), (&*t[2].i, &*t[2].q), (&*t[3].i, &*t[3].q)];
+                let mut rs: [&mut [f32]; 4] = std::array::from_fn(|_| {
                     rows.next().expect("matrix rows match the shot count")
                 });
-                student.pipeline.extract_into_x4(
-                    [(&t[0].i, &t[0].q), (&t[1].i, &t[1].q), (&t[2].i, &t[2].q), (&t[3].i, &t[3].q)],
-                    rs,
-                );
+                if scratch.traces.gather(traces) {
+                    student
+                        .pipeline
+                        .extract_batch_into(&scratch.traces, rs, &mut scratch.fused);
+                } else {
+                    // Ragged block: per-shot extraction, identical results.
+                    for ((i, q), row) in traces.iter().zip(rs.iter_mut()) {
+                        student.pipeline.extract_into(i, q, row);
+                    }
+                }
             }
             for (shot, row) in quads.remainder().iter().zip(rows) {
                 let t = &shot.traces[qb];
@@ -227,6 +252,39 @@ impl<'a> BatchDiscriminator<'a> {
             let logits = student.net.logits_batch_with(&scratch.x, &mut scratch.batch);
             for (states, &logit) in out.iter_mut().zip(logits) {
                 states[qb] = klinq_nn::Fnn::decide(logit);
+            }
+        }
+    }
+
+    /// The Q16.16 twin of [`Self::classify_chunk_into`]: the same SoA
+    /// gather feeds the fused fixed-point kernel
+    /// ([`klinq_fpga::FpgaDiscriminator::infer_batch_with`]) four shots at
+    /// a time; ragged blocks and the chunk tail take the scalar
+    /// [`klinq_fpga::FpgaDiscriminator::infer_with`] path (bitwise
+    /// identical — every fixed-point accumulator wraps).
+    fn classify_chunk_hw_into(&self, shots: &[Shot], out: &mut [ShotStates], scratch: &mut ShotScratch) {
+        debug_assert_eq!(shots.len(), out.len());
+        for (qb, d) in self.discriminators.iter().enumerate() {
+            let hw = d.hardware();
+            let mut quads = shots.chunks_exact(4);
+            let mut out_quads = out.chunks_exact_mut(4);
+            for (quad, out_quad) in (&mut quads).zip(&mut out_quads) {
+                let t = [&quad[0].traces[qb], &quad[1].traces[qb], &quad[2].traces[qb], &quad[3].traces[qb]];
+                let traces = [(&*t[0].i, &*t[0].q), (&*t[1].i, &*t[1].q), (&*t[2].i, &*t[2].q), (&*t[3].i, &*t[3].q)];
+                if scratch.traces.gather(traces) {
+                    let details = hw.infer_batch_with(&scratch.traces, &mut scratch.hw_batch);
+                    for (states, detail) in out_quad.iter_mut().zip(details) {
+                        states[qb] = detail.excited;
+                    }
+                } else {
+                    for ((i, q), states) in traces.iter().zip(out_quad.iter_mut()) {
+                        states[qb] = hw.infer_with(i, q, &mut scratch.hw);
+                    }
+                }
+            }
+            for (shot, states) in quads.remainder().iter().zip(out_quads.into_remainder()) {
+                let t = &shot.traces[qb];
+                states[qb] = hw.infer_with(&t.i, &t.q, &mut scratch.hw);
             }
         }
     }
@@ -259,19 +317,18 @@ impl<'a> BatchDiscriminator<'a> {
     /// Output index `i` is always shot `i`'s states, regardless of thread
     /// scheduling, and every value is bitwise-identical to
     /// [`Self::classify_shot_on`] (and therefore to sequential
-    /// [`KlinqDiscriminator::measure_on`]) on that shot. The float
-    /// backend classifies each chunk with one GEMM per qubit; the Q16.16
-    /// backend runs the fixed-point datapath per shot through per-worker
-    /// scratch — both allocation-free after warmup.
+    /// [`KlinqDiscriminator::measure_on`]) on that shot. Both backends
+    /// gather four-shot SoA blocks into per-worker scratch and run the
+    /// fused cache-blocked kernels — the float backend finishing each
+    /// chunk with one register-blocked GEMM per qubit, the Q16.16 backend
+    /// with the fused fixed-point datapath — allocation-free after warmup.
     pub fn classify_shots_on(&self, backend: Backend, shots: &[Shot]) -> Vec<ShotStates> {
         match backend {
             Backend::Float => self.classify_batch(shots, |chunk, out, scratch| {
                 self.classify_chunk_into(chunk, out, scratch);
             }),
             Backend::Hardware => self.classify_batch(shots, |chunk, out, scratch| {
-                for (shot, states) in chunk.iter().zip(out.iter_mut()) {
-                    *states = self.classify_shot_on_with(Backend::Hardware, shot, scratch);
-                }
+                self.classify_chunk_hw_into(chunk, out, scratch);
             }),
         }
     }
@@ -475,20 +532,55 @@ mod tests {
         let _ = BatchDiscriminator::new(&sys.discriminators()[..3]);
     }
 
+    #[test]
+    fn ragged_trace_lengths_fall_back_to_the_scalar_path_bitwise() {
+        let sys = smoke_system();
+        // Chunk size 6 ⇒ one gathered quad plus a 2-shot tail per chunk.
+        let batch = BatchDiscriminator::new(sys.discriminators()).with_chunk_size(6);
+        // Truncate every third shot so some SoA gathers see mixed trace
+        // lengths and must reject the block (the fallback is exact, so
+        // predictions still match the per-shot path everywhere).
+        let mut shots: Vec<Shot> = sys.test_data().shots()[..26].to_vec();
+        let keep = sys.test_data().samples() * 3 / 4;
+        for shot in shots.iter_mut().skip(1).step_by(3) {
+            for t in &mut shot.traces {
+                t.i.truncate(keep);
+                t.q.truncate(keep);
+            }
+        }
+        for backend in Backend::ALL {
+            let batched = batch.classify_shots_on(backend, &shots);
+            for (idx, (shot, states)) in shots.iter().zip(&batched).enumerate() {
+                assert_eq!(
+                    *states,
+                    batch.classify_shot_on(backend, shot),
+                    "shot {idx} diverged on {backend}"
+                );
+            }
+        }
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::ProptestConfig::with_cases(12))]
 
         #[test]
         fn any_chunk_size_is_bitwise_identical_to_per_shot(chunk in 1usize..512) {
-            // The GEMM packs `chunk`-row matrices whose x4/remainder
-            // extraction split depends on the chunk size; none of it may
-            // ever change a prediction.
+            // The fused kernels see `chunk`-row blocks whose SoA-quad /
+            // scalar-tail split depends on the chunk size; none of it may
+            // ever change a prediction, on either backend.
             let sys = smoke_system();
             let batch = BatchDiscriminator::new(sys.discriminators()).with_chunk_size(chunk);
             let shots = sys.test_data().shots();
             let chunked = batch.classify_shots(shots);
             for (shot, states) in shots.iter().zip(&chunked) {
                 proptest::prop_assert_eq!(*states, batch.classify_shot(shot));
+            }
+            // The Q16.16 path shares the gather logic; spot-check a prefix
+            // that still exercises quads and tails.
+            let hw_shots = &shots[..67.min(shots.len())];
+            let hw = batch.classify_shots_on(Backend::Hardware, hw_shots);
+            for (shot, states) in hw_shots.iter().zip(&hw) {
+                proptest::prop_assert_eq!(*states, batch.classify_shot_hw(shot));
             }
         }
     }

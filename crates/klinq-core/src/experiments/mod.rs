@@ -63,9 +63,16 @@ impl ExperimentConfig {
     pub fn smoke() -> Self {
         Self {
             duration_ns: 300.0,
+            // 384 training shots is the working floor: 320 drops qubit
+            // 3 below its fidelity floor, and the policy is to keep
+            // floors, not loosen them (see `stat_floors`). The held-out
+            // split shrinks to 320 instead — it never feeds training, so
+            // the models stay at validated quality while every
+            // evaluate()-over-the-test-set loop in the suite gets ~17%
+            // cheaper.
             train_shots: 384,
             teacher_extra_shots: 0,
-            test_shots: 384,
+            test_shots: 320,
             data_seed: 11,
             teacher: TeacherConfig::smoke(),
             student_train: TrainConfig {

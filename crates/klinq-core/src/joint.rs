@@ -193,17 +193,24 @@ mod tests {
         let report = joint.evaluate(&test);
         // Smoke scale starves a 1500-input joint network, so only demand
         // clearly-above-chance behaviour; the quick-scale `joint` binary
-        // is where the crosstalk-compensation advantage shows.
+        // is where the crosstalk-compensation advantage shows. This is
+        // one of the two RNG-sensitive tests whose floors live in
+        // `crate::stat_floors` — raise shots/epochs, never the floors.
+        use crate::stat_floors as floors;
         for qb in 0..5 {
-            let floor = if qb == 1 { 0.5 } else { 0.55 };
+            let floor = if qb == 1 {
+                floors::JOINT_WEAK_QUBIT_FIDELITY
+            } else {
+                floors::JOINT_PER_QUBIT_FIDELITY
+            };
             assert!(report.qubit(qb) > floor, "qubit {}: {report}", qb + 1);
         }
-        assert!(report.geometric_mean() > 0.6, "{report}");
+        assert!(report.geometric_mean() > floors::JOINT_GEOMEAN_FIDELITY, "{report}");
         // measure_all agrees with evaluate's underlying predictions.
         let shot = test.shot(0);
         let states = joint.measure_all(shot);
         assert_eq!(states.len(), 5);
-        assert!(joint.report().final_train_accuracy > 0.7);
+        assert!(joint.report().final_train_accuracy > floors::JOINT_TRAIN_ACCURACY);
     }
 
     #[test]

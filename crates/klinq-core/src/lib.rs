@@ -62,6 +62,40 @@ pub use eval::FidelityReport;
 pub use student::StudentArch;
 
 #[cfg(test)]
+pub(crate) mod stat_floors {
+    //! Named floors for the statistically fragile tests.
+    //!
+    //! Two tests sit close to their floors because their fidelity depends
+    //! on the exact RNG stream at smoke scale:
+    //! `baselines::herqules::tests::truncated_evaluation_works` and
+    //! `joint::tests::joint_discriminator_reads_all_qubits`. The floors
+    //! live here so every threshold is in one place next to the policy.
+    //!
+    //! **Policy (see ROADMAP "Statistical-threshold fragility"):** when a
+    //! floor flakes after touching the vendored rand or any training
+    //! code, raise the test's shots/epochs until the margin returns —
+    //! never loosen the floor itself, which would let a real fidelity
+    //! regression through.
+
+    /// HERQULES smoke fidelity at the full trace duration.
+    pub(crate) const HERQULES_SMOKE_FIDELITY: f64 = 0.68;
+    /// HERQULES final training accuracy at smoke scale.
+    pub(crate) const HERQULES_TRAIN_ACCURACY: f64 = 0.70;
+    /// HERQULES fidelity when evaluating at half the trained duration
+    /// (the filter is fit at the full duration, so truncation shifts the
+    /// feature distribution — clearly-above-chance is the bar).
+    pub(crate) const HERQULES_TRUNCATED_FIDELITY: f64 = 0.55;
+    /// Joint-discriminator per-qubit floor (above-chance on every qubit).
+    pub(crate) const JOINT_PER_QUBIT_FIDELITY: f64 = 0.55;
+    /// Relaxed floor for qubit 2, the hardest qubit at smoke scale.
+    pub(crate) const JOINT_WEAK_QUBIT_FIDELITY: f64 = 0.5;
+    /// Joint-discriminator geometric-mean floor.
+    pub(crate) const JOINT_GEOMEAN_FIDELITY: f64 = 0.6;
+    /// Joint-discriminator final training accuracy.
+    pub(crate) const JOINT_TRAIN_ACCURACY: f64 = 0.7;
+}
+
+#[cfg(test)]
 pub(crate) mod testutil {
     //! Shared fixtures for this crate's unit-test binary.
 

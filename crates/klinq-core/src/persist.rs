@@ -22,7 +22,7 @@
 //! ```json
 //! {
 //!   "format": "klinq-system",
-//!   "version": 1,
+//!   "version": 2,
 //!   "config": { ... },
 //!   "teachers": [ ... ],
 //!   "discriminators": [ ... ]
@@ -41,8 +41,15 @@ use std::path::Path;
 
 /// The artifact's `format` marker.
 const FORMAT: &str = "klinq-system";
-/// The current (and only) artifact version.
-const VERSION: u32 = 1;
+/// The current artifact version. Version history:
+///
+/// - 1: initial format.
+/// - 2: `QuantizedDense` weights flattened to one row-major buffer (the
+///   batched Q16.16 kernel streams them contiguously), and the float
+///   feature pipeline re-baselined to the blocked averaging summation
+///   order — version-1 artifacts would neither deserialize nor reproduce
+///   the new float path bit for bit, so they are rejected and retrained.
+const VERSION: u32 = 2;
 
 /// On-disk shape of a saved system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,20 +90,28 @@ impl KlinqSystem {
     /// and [`KlinqError::InvalidConfig`] if the stored configuration is
     /// unusable.
     pub fn from_artifact_json(json: &str) -> Result<Self, KlinqError> {
+        // Peek at the format marker and version through an untyped parse
+        // *before* deserializing the full artifact: older versions also
+        // differ structurally (v1 stored nested `QuantizedDense` weight
+        // rows), so a typed parse of a v1 file would die on a field-shape
+        // serde error instead of the version message this module
+        // promises.
+        let peek: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+        let format = peek.get("format").and_then(|v| v.as_str()).unwrap_or("");
+        if format != FORMAT {
+            return Err(KlinqError::Artifact(format!(
+                "unknown format marker `{format}` (expected `{FORMAT}`)"
+            )));
+        }
+        let version = peek.get("version").and_then(|v| v.as_f64()).unwrap_or(0.0) as u32;
+        if version != VERSION {
+            return Err(KlinqError::Artifact(format!(
+                "unsupported artifact version {version} (this build reads {VERSION})"
+            )));
+        }
         let artifact: SystemArtifact =
             serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
-        if artifact.format != FORMAT {
-            return Err(KlinqError::Artifact(format!(
-                "unknown format marker `{}` (expected `{FORMAT}`)",
-                artifact.format
-            )));
-        }
-        if artifact.version != VERSION {
-            return Err(KlinqError::Artifact(format!(
-                "unsupported artifact version {} (this build reads {VERSION})",
-                artifact.version
-            )));
-        }
         if artifact.discriminators.len() != 5 || artifact.teachers.len() != 5 {
             return Err(KlinqError::Artifact(format!(
                 "expected 5 discriminators and 5 teachers, got {} and {}",
@@ -239,9 +254,19 @@ mod tests {
         let err = KlinqSystem::from_artifact_json(&wrong_format).unwrap_err();
         assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
         assert!(err.to_string().contains("format"));
-        let wrong_version = json.replacen("\"version\":1", "\"version\":99", 1);
+        let wrong_version = json.replacen("\"version\":2", "\"version\":99", 1);
         let err = KlinqSystem::from_artifact_json(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+        // A structurally old artifact (v1 bodies differ — nested
+        // QuantizedDense weight rows, fields missing here entirely) must
+        // still produce the version message, not a serde shape error:
+        // the version peek runs before the typed parse.
+        let v1_shape = r#"{"format":"klinq-system","version":1,"legacy":true}"#;
+        let err = KlinqSystem::from_artifact_json(v1_shape).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported artifact version 1"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ use crate::experiments::ExperimentConfig;
 use std::path::Path;
 
 /// File name of the cached smoke artifact inside the cache directory.
-const CACHE_FILE: &str = "klinq-smoke-system.v1.json";
+/// The suffix tracks the artifact version (see `crate::persist`): bumping
+/// it on format or float-baseline changes makes stale caches retrain
+/// cleanly instead of failing to load (or flaking) every run.
+const CACHE_FILE: &str = "klinq-smoke-system.v2.json";
 
 /// Returns the shared smoke-scale system, loading it from `cache_dir`
 /// when a fresh cached artifact exists and training (then caching) it

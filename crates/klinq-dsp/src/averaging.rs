@@ -7,8 +7,45 @@
 //! input size is fixed**: when the readout-trace duration changes, the
 //! number of samples per interval is re-derived so the averager still emits
 //! the same number of outputs (Sec. III-D).
+//!
+//! # Summation order (float re-baselining policy)
+//!
+//! Every averaging kernel in this crate — scalar and SoA-batched — sums
+//! each interval in the **4-way blocked order** of [`blocked_sum`]:
+//! four stride-4 partial accumulators over the interval's full 4-chunks,
+//! combined pairwise, plus a linear tail. This order is
+//! autovectorization-friendly (the four accumulators map onto one SIMD
+//! register) and is shared by every float path, so per-shot and batched
+//! extraction stay bitwise-identical to each other. It *differs* from the
+//! strictly linear order used before the SoA engine rework; that change
+//! was a deliberate one-commit re-baseline of all float-derived golden
+//! values (trained models, fidelity floors, cached fixtures — see the
+//! README "Performance" section). Any future change to this order must be
+//! re-baselined the same way, never papered over with loosened tolerances.
 
 use serde::{Deserialize, Serialize};
+
+/// Sums a slice in the canonical blocked order shared by every float
+/// averaging kernel: four stride-4 partial accumulators over the full
+/// 4-chunks (pairwise-combined), then the remainder added linearly.
+///
+/// For slices shorter than 4 this degenerates to the plain linear sum.
+#[inline]
+pub fn blocked_sum(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let mut tail = 0.0f32;
+    for &x in chunks.remainder() {
+        tail += x;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
 
 /// Averages a trace over contiguous intervals, emitting a fixed number of
 /// outputs regardless of the trace duration.
@@ -68,7 +105,8 @@ impl IntervalAverager {
     ///
     /// Uses `group = floor(len / outputs)` samples per interval; trailing
     /// samples beyond `group * outputs` are dropped, matching the paper's
-    /// 500-sample → 15 × 32-sample reduction (20 samples unused).
+    /// 500-sample → 15 × 32-sample reduction (20 samples unused). Each
+    /// interval is summed in the canonical [`blocked_sum`] order.
     ///
     /// # Panics
     ///
@@ -86,13 +124,13 @@ impl IntervalAverager {
         (0..self.outputs)
             .map(|k| {
                 let start = k * group;
-                trace[start..start + group].iter().sum::<f32>() * inv
+                blocked_sum(&trace[start..start + group]) * inv
             })
             .collect()
     }
 
     /// Averages into a caller-provided buffer (allocation-free hot path for
-    /// the FPGA model and benches).
+    /// the FPGA model and benches). Bitwise-identical to [`Self::average`].
     ///
     /// # Panics
     ///
@@ -110,7 +148,66 @@ impl IntervalAverager {
         let inv = 1.0 / group as f32;
         for (k, slot) in out.iter_mut().enumerate() {
             let start = k * group;
-            *slot = trace[start..start + group].iter().sum::<f32>() * inv;
+            *slot = blocked_sum(&trace[start..start + group]) * inv;
+        }
+    }
+
+    /// Lane count of the SoA batched kernels (matches
+    /// [`crate::soa::TraceBatch::LANES`]).
+    const LANES: usize = 4;
+
+    /// Averages four lane-interleaved traces at once — the SoA form of
+    /// [`Self::average_into`] for the cache-blocked batch engine.
+    ///
+    /// `channel` holds `len × 4` samples with sample `k` of lane `l` at
+    /// `channel[k * 4 + l]` (see [`crate::soa::TraceBatch`]); `out` receives
+    /// the `outputs × 4` averaged points in the same interleaving. Every
+    /// lane's results are **bitwise-identical** to [`Self::average_into`]
+    /// on that lane's de-interleaved trace: the per-lane summation order is
+    /// exactly [`blocked_sum`], only the lanes run side by side (which is
+    /// what lets the whole kernel vectorize across lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len()` is not a multiple of 4, the per-lane trace
+    /// is shorter than the output count, or `out.len() != outputs * 4`.
+    pub fn average_batch_into(&self, channel: &[f32], out: &mut [f32]) {
+        let lanes = Self::LANES;
+        assert_eq!(channel.len() % lanes, 0, "interleaved channel length mismatch");
+        assert_eq!(out.len(), self.outputs * lanes, "output buffer size mismatch");
+        let len = channel.len() / lanes;
+        assert!(
+            len >= self.outputs,
+            "trace too short to average: {} samples for {} outputs",
+            len,
+            self.outputs
+        );
+        let group = self.group_size(len);
+        let inv = 1.0 / group as f32;
+        for (k, slot) in out.chunks_exact_mut(lanes).enumerate() {
+            // Per lane, this replays blocked_sum exactly: acc[j] takes the
+            // interval samples at offsets j, j+4, …, the tail is linear,
+            // and the combine is pairwise.
+            let base = k * group * lanes;
+            let mut acc = [[0.0f32; 4]; 4];
+            let interval = &channel[base..base + group * lanes];
+            let mut quads = interval.chunks_exact(4 * lanes);
+            for quad in &mut quads {
+                for (j, sample) in quad.chunks_exact(lanes).enumerate() {
+                    for l in 0..lanes {
+                        acc[j][l] += sample[l];
+                    }
+                }
+            }
+            let mut tail = [0.0f32; 4];
+            for sample in quads.remainder().chunks_exact(lanes) {
+                for l in 0..lanes {
+                    tail[l] += sample[l];
+                }
+            }
+            for l in 0..lanes {
+                slot[l] = (((acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l])) + tail[l]) * inv;
+            }
         }
     }
 }
@@ -208,5 +305,69 @@ mod tests {
     #[test]
     fn group_size_floors_at_one() {
         assert_eq!(IntervalAverager::new(10).group_size(5), 1);
+    }
+
+    #[test]
+    fn blocked_sum_matches_linear_for_exact_values() {
+        // Small integers are exact in f32, so any summation order agrees.
+        let xs: Vec<f32> = (0..23).map(|i| i as f32).collect();
+        assert_eq!(blocked_sum(&xs), xs.iter().sum::<f32>());
+        assert_eq!(blocked_sum(&[]), 0.0);
+        assert_eq!(blocked_sum(&[1.5]), 1.5);
+    }
+
+    /// Interleaves equal-length traces into the SoA lane layout.
+    fn interleave(traces: &[Vec<f32>]) -> Vec<f32> {
+        let len = traces[0].len();
+        let mut out = Vec::with_capacity(len * traces.len());
+        for k in 0..len {
+            for t in traces {
+                out.push(t[k]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn average_batch_into_is_bitwise_identical_per_lane() {
+        // Cover group sizes with and without a 4-chunk tail (group = len/outputs).
+        for (outputs, len) in [(4usize, 16usize), (4, 23), (7, 71), (15, 150), (100, 150)] {
+            let a = IntervalAverager::new(outputs);
+            let traces: Vec<Vec<f32>> = (0..4)
+                .map(|l| {
+                    (0..len)
+                        .map(|k| ((k * 7 + l * 13) as f32 * 0.37).sin() * 2.5)
+                        .collect()
+                })
+                .collect();
+            let channel = interleave(&traces);
+            let mut batched = vec![0.0f32; outputs * 4];
+            a.average_batch_into(&channel, &mut batched);
+            for (l, t) in traces.iter().enumerate() {
+                let mut reference = vec![0.0f32; outputs];
+                a.average_into(t, &mut reference);
+                for k in 0..outputs {
+                    assert_eq!(
+                        batched[k * 4 + l],
+                        reference[k],
+                        "lane {l} output {k} diverged (outputs={outputs}, len={len})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn average_batch_into_rejects_short_traces() {
+        let mut out = vec![0.0f32; 16 * 4];
+        IntervalAverager::new(16).average_batch_into(&[0.0; 10 * 4], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn average_batch_into_rejects_wrong_buffer() {
+        let mut out = vec![0.0f32; 3];
+        IntervalAverager::new(4).average_batch_into(&vec![0.0; 16 * 4], &mut out);
     }
 }

@@ -10,6 +10,7 @@
 use crate::averaging::IntervalAverager;
 use crate::matched_filter::{IqMatchedFilter, TrainFilterError};
 use crate::normalize::{FitNormalizerError, VecNormalizer};
+use crate::soa::TraceBatch;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -243,32 +244,56 @@ impl FeaturePipeline {
         self.normalizer.apply_in_place(out);
     }
 
-    /// Four-shot interleaved form of [`Self::extract_into`] for the
-    /// batched serving path: the matched-filter dot products of the four
-    /// shots run as independent interleaved accumulator chains (hiding
-    /// their FP latency), while every row stays bitwise-identical to
-    /// `extract_into` on that shot.
+    /// Fused SoA form of [`Self::extract_into`] over a gathered
+    /// [`TraceBatch`]: all three front-end stages — averaging, matched
+    /// filter, normalization — run over the block's two interleaved
+    /// buffers while they are L1-resident, instead of three AoS passes per
+    /// shot. `scratch` holds the lane-interleaved intermediate features
+    /// (resized as needed, reusable across calls); row `l` of `rows`
+    /// receives the normalized feature vector of lane `l`,
+    /// **bitwise-identical** to [`Self::extract_into`] on that lane's
+    /// traces (each stage keeps its per-lane scalar summation order; see
+    /// [`crate::averaging`] for the order policy).
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`Self::extract_into`] on any
-    /// of the four shots.
-    pub fn extract_into_x4(&self, traces: [(&[f32], &[f32]); 4], mut rows: [&mut [f32]; 4]) {
+    /// Panics if any row length differs from [`Self::input_dim`] or the
+    /// batch's traces are shorter than the averager output count.
+    pub fn extract_batch_into(
+        &self,
+        batch: &TraceBatch,
+        mut rows: [&mut [f32]; TraceBatch::LANES],
+        scratch: &mut Vec<f32>,
+    ) {
+        const L: usize = TraceBatch::LANES;
         let m = self.averager.outputs();
-        for ((i, q), row) in traces.iter().zip(rows.iter_mut()) {
+        for row in &rows {
             assert_eq!(row.len(), 2 * m + 1, "feature buffer size mismatch");
-            let (avg_i, rest) = row.split_at_mut(m);
-            let (avg_q, _) = rest.split_at_mut(m);
-            self.averager.average_into(i, avg_i);
-            self.averager.average_into(q, avg_q);
         }
-        let mf = self.filter.apply_prefix_x4(
-            [traces[0].0, traces[1].0, traces[2].0, traces[3].0],
-            [traces[0].1, traces[1].1, traces[2].1, traces[3].1],
+        // Resize without clearing: every slot is written below, so the
+        // warm path never memsets (same policy as `soa::interleave_into`).
+        scratch.resize((2 * m + 1) * L, 0.0);
+        let (avg_i, rest) = scratch.split_at_mut(m * L);
+        let (avg_q, mf_slot) = rest.split_at_mut(m * L);
+        self.averager.average_batch_into(batch.i_interleaved(), avg_i);
+        self.averager.average_batch_into(batch.q_interleaved(), avg_q);
+        let mf = self.filter.apply_prefix_batch(
+            batch.i_interleaved(),
+            batch.q_interleaved(),
+            batch.len(),
         );
-        for (row, v) in rows.iter_mut().zip(mf) {
-            row[2 * m] = v as f32;
-            self.normalizer.apply_in_place(row);
+        for (slot, v) in mf_slot.iter_mut().zip(mf) {
+            *slot = v as f32;
+        }
+        // Normalize lane-interleaved (the per-feature constants broadcast
+        // across the four contiguous lanes) and scatter into the rows.
+        let mins = self.normalizer.mins();
+        let sigmas = self.normalizer.sigmas();
+        for (f, sample) in scratch.chunks_exact(L).enumerate() {
+            let (mn, sg) = (mins[f], sigmas[f]);
+            for (l, row) in rows.iter_mut().enumerate() {
+                row[f] = (sample[l] - mn) / sg;
+            }
         }
     }
 }
@@ -375,6 +400,57 @@ mod tests {
         let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
         let mut buf = vec![0.0f32; 7];
         pipe.extract_into(&g[0].0, &g[0].1, &mut buf);
+    }
+
+    #[test]
+    fn extract_batch_into_is_bitwise_identical_to_extract_into() {
+        let (g, e) = toy_classes(24, 120);
+        for (spec, lens) in [
+            (FeatureSpec::fnn_a(), [120usize, 72]),
+            (FeatureSpec::fnn_b(), [120, 105]),
+        ] {
+            let pipe = FeaturePipeline::fit(spec, &as_refs(&g), &as_refs(&e)).unwrap();
+            let dim = pipe.input_dim();
+            let mut batch = TraceBatch::new();
+            let mut scratch = Vec::new();
+            // Full-length and truncated blocks (shortened-trace evaluation).
+            for len in lens {
+                let block: Vec<(&[f32], &[f32])> = g
+                    .iter()
+                    .take(4)
+                    .map(|(i, q)| (&i[..len], &q[..len]))
+                    .collect();
+                assert!(batch.gather([block[0], block[1], block[2], block[3]]));
+                let mut rows = vec![0.0f32; 4 * dim];
+                {
+                    let mut iter = rows.chunks_exact_mut(dim);
+                    let rs: [&mut [f32]; 4] = std::array::from_fn(|_| iter.next().unwrap());
+                    pipe.extract_batch_into(&batch, rs, &mut scratch);
+                }
+                for (l, &(i, q)) in block.iter().enumerate() {
+                    let mut reference = vec![0.0f32; dim];
+                    pipe.extract_into(i, q, &mut reference);
+                    assert_eq!(
+                        &rows[l * dim..(l + 1) * dim],
+                        &reference[..],
+                        "lane {l} diverged (len={len}, dim={dim})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer size mismatch")]
+    fn extract_batch_into_rejects_wrong_rows() {
+        let (g, e) = toy_classes(8, 60);
+        let pipe = FeaturePipeline::fit(FeatureSpec::fnn_a(), &as_refs(&g), &as_refs(&e)).unwrap();
+        let mut batch = TraceBatch::new();
+        assert!(batch.gather(std::array::from_fn(|l| (g[l].0.as_slice(), g[l].1.as_slice()))));
+        let mut rows = [0.0f32; 4 * 7];
+        let mut iter = rows.chunks_exact_mut(7);
+        let rs: [&mut [f32]; 4] = std::array::from_fn(|_| iter.next().unwrap());
+        pipe.extract_batch_into(&batch, rs, &mut Vec::new());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! - [`feature`] — the complete student-input pipeline
 //!   (averaging ∥ matched filter → normalize → concatenate), producing the
 //!   31-dimensional (FNN-A) or 201-dimensional (FNN-B) vectors.
+//! - [`soa`] — lane-interleaved structure-of-arrays trace blocks
+//!   ([`TraceBatch`]) feeding the fused, cache-blocked batch kernels of
+//!   the serving engine.
 //!
 //! All functions operate on plain `f32`/`f64` slices so the crate stays
 //! independent of the simulator and network crates.
@@ -25,10 +28,12 @@ pub mod averaging;
 pub mod feature;
 pub mod matched_filter;
 pub mod normalize;
+pub mod soa;
 pub mod stats;
 
 pub use averaging::IntervalAverager;
 pub use feature::{FeaturePipeline, FeatureSpec};
 pub use matched_filter::{IqMatchedFilter, MatchedFilter};
 pub use normalize::{ShiftVecNormalizer, VecNormalizer};
+pub use soa::TraceBatch;
 pub use stats::{geometric_mean, mean, normal_cdf, population_variance, std_dev};

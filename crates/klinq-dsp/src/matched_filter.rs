@@ -178,32 +178,29 @@ impl MatchedFilter {
             .sum()
     }
 
-    /// Four-trace interleaved form of [`Self::apply_prefix`].
+    /// Lane-interleaved SoA form of [`Self::apply_prefix`] for the
+    /// cache-blocked batch engine: `channel` holds `len × 4` samples with
+    /// sample `k` of lane `l` at `k * 4 + l` (see
+    /// [`crate::soa::TraceBatch`]).
     ///
-    /// The four accumulator chains are independent, so the FP-add latency
-    /// of the dot product overlaps 4× on the batched serving path, while
-    /// each lane still sums in exactly the single-trace order — every
-    /// output is bitwise-identical to `apply_prefix` on that trace.
-    pub fn apply_prefix_x4(&self, traces: [&[f32]; 4]) -> [f64; 4] {
-        let len = traces[0].len();
-        if traces.iter().any(|t| t.len() != len) {
-            // Ragged batches take the scalar path (identical results).
-            return traces.map(|t| self.apply_prefix(t));
-        }
+    /// Each lane accumulates in exactly the single-trace sample order, so
+    /// lane `l` is bitwise-identical to [`Self::apply_prefix`] on that
+    /// lane's de-interleaved trace; the interleaved layout turns the four
+    /// chains into contiguous vector loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != len * 4`.
+    pub fn apply_prefix_batch(&self, channel: &[f32], len: usize) -> [f64; 4] {
+        assert_eq!(channel.len(), len * 4, "interleaved channel length mismatch");
         let n = len.min(self.envelope.len());
-        let (t0, t1, t2, t3) = (
-            &traces[0][..n],
-            &traces[1][..n],
-            &traces[2][..n],
-            &traces[3][..n],
-        );
         let mut acc = [0.0f64; 4];
-        for (k, &e) in self.envelope[..n].iter().enumerate() {
+        for (sample, &e) in channel[..n * 4].chunks_exact(4).zip(&self.envelope) {
             let e = e as f64;
-            acc[0] += e * t0[k] as f64;
-            acc[1] += e * t1[k] as f64;
-            acc[2] += e * t2[k] as f64;
-            acc[3] += e * t3[k] as f64;
+            acc[0] += e * sample[0] as f64;
+            acc[1] += e * sample[1] as f64;
+            acc[2] += e * sample[2] as f64;
+            acc[3] += e * sample[3] as f64;
         }
         acc
     }
@@ -322,12 +319,16 @@ impl IqMatchedFilter {
         self.i.apply_prefix(i) + self.q.apply_prefix(q)
     }
 
-    /// Four-shot interleaved form of [`Self::apply_prefix`]
-    /// (see [`MatchedFilter::apply_prefix_x4`]); lane `l` is
-    /// bitwise-identical to `apply_prefix(i[l], q[l])`.
-    pub fn apply_prefix_x4(&self, i: [&[f32]; 4], q: [&[f32]; 4]) -> [f64; 4] {
-        let ii = self.i.apply_prefix_x4(i);
-        let qq = self.q.apply_prefix_x4(q);
+    /// Four-shot SoA form of [`Self::apply_prefix`] over lane-interleaved
+    /// channels (see [`MatchedFilter::apply_prefix_batch`]); lane `l` is
+    /// bitwise-identical to [`Self::apply_prefix`] on that lane's traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either channel's length differs from `len * 4`.
+    pub fn apply_prefix_batch(&self, i: &[f32], q: &[f32], len: usize) -> [f64; 4] {
+        let ii = self.i.apply_prefix_batch(i, len);
+        let qq = self.q.apply_prefix_batch(q, len);
         [ii[0] + qq[0], ii[1] + qq[1], ii[2] + qq[2], ii[3] + qq[3]]
     }
 
@@ -490,6 +491,36 @@ mod tests {
     fn windowed_rejects_zero_windows() {
         let mf = MatchedFilter::from_envelope(vec![1.0; 4]);
         let _ = mf.apply_windowed(&[0.0; 4], 0);
+    }
+
+    #[test]
+    fn apply_prefix_batch_is_bitwise_identical_per_lane() {
+        let g = traces(16, 24, 1.0);
+        let e = traces(16, 24, -1.0);
+        let mf = MatchedFilter::train(&slices(&g), &slices(&e)).unwrap();
+        // Cover prefixes shorter than, equal to, and longer than the envelope.
+        for len in [8usize, 24, 30] {
+            let lanes: Vec<Vec<f32>> = (0..4)
+                .map(|l| (0..len).map(|k| ((k * 3 + l) as f32 * 0.21).cos()).collect())
+                .collect();
+            let mut channel = vec![0.0f32; len * 4];
+            for k in 0..len {
+                for l in 0..4 {
+                    channel[k * 4 + l] = lanes[l][k];
+                }
+            }
+            let batched = mf.apply_prefix_batch(&channel, len);
+            for l in 0..4 {
+                assert_eq!(batched[l], mf.apply_prefix(&lanes[l]), "lane {l} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved channel length mismatch")]
+    fn apply_prefix_batch_rejects_bad_length() {
+        let mf = MatchedFilter::from_envelope(vec![1.0; 4]);
+        let _ = mf.apply_prefix_batch(&[0.0; 9], 4);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use klinq_dsp::{
     geometric_mean, mean, population_variance, FeaturePipeline, FeatureSpec, IntervalAverager,
-    MatchedFilter, VecNormalizer,
+    MatchedFilter, TraceBatch, VecNormalizer,
 };
 use proptest::prelude::*;
 
@@ -172,19 +172,29 @@ proptest! {
     }
 
     #[test]
-    fn extract_into_x4_is_bitwise_identical_per_lane(
+    fn fused_soa_extract_is_bitwise_identical_per_lane(
         m in 2usize..10,
         extra in 0usize..60,
         traces in prop::collection::vec(trace(128), 8)
     ) {
+        // The fused SoA front end (gather -> averaging + MF + normalize
+        // in one cache-blocked pass) must match the scalar allocating
+        // reference bit for bit on every lane, at every trace length
+        // from the averager minimum up (the mid-circuit pattern).
         let pipe = fitted_pipeline(m, 3 * m + 12);
         let len = (m + extra).min(128);
         let pairs: [(&[f32], &[f32]); 4] =
             core::array::from_fn(|s| (&traces[2 * s][..len], &traces[2 * s + 1][..len]));
+        let mut batch = TraceBatch::new();
+        prop_assert!(batch.gather(pairs));
         let mut rows = vec![vec![0.0f32; pipe.input_dim()]; 4];
         {
             let [r0, r1, r2, r3] = &mut rows[..] else { unreachable!() };
-            pipe.extract_into_x4(pairs, [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]]);
+            pipe.extract_batch_into(
+                &batch,
+                [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]],
+                &mut Vec::new(),
+            );
         }
         for (row, &(i, q)) in rows.iter().zip(&pairs) {
             prop_assert_eq!(row, &pipe.extract(i, q));
@@ -192,19 +202,27 @@ proptest! {
     }
 
     #[test]
-    fn matched_filter_x4_matches_scalar_even_ragged(
-        lens in (8usize..64, 8usize..64, 8usize..64, 8usize..64),
+    fn soa_matched_filter_matches_scalar_at_any_length(
+        len in 8usize..64,
+        envelope_len in 8usize..64,
         xs in prop::collection::vec(trace(64), 4),
         (g, e) in (prop::collection::vec(trace(48), 4..8), prop::collection::vec(trace(48), 4..8))
     ) {
-        let gr: Vec<&[f32]> = g.iter().map(|t| t.as_slice()).collect();
-        let er: Vec<&[f32]> = e.iter().map(|t| t.as_slice()).collect();
+        // Prefixes shorter than, equal to, and longer than the envelope:
+        // every lane of the interleaved kernel must equal the scalar
+        // apply_prefix bitwise (f64).
+        let gr: Vec<&[f32]> = g.iter().map(|t| &t[..envelope_len.min(48)]).collect();
+        let er: Vec<&[f32]> = e.iter().map(|t| &t[..envelope_len.min(48)]).collect();
         let mf = MatchedFilter::train(&gr, &er).unwrap();
-        let lens = [lens.0, lens.1, lens.2, lens.3];
-        let cut: [&[f32]; 4] = core::array::from_fn(|s| &xs[s][..lens[s]]);
-        let batched = mf.apply_prefix_x4(cut);
+        let cut: [&[f32]; 4] = core::array::from_fn(|s| &xs[s][..len]);
+        let mut channel = vec![0.0f32; len * 4];
+        for k in 0..len {
+            for (l, t) in cut.iter().enumerate() {
+                channel[k * 4 + l] = t[k];
+            }
+        }
+        let batched = mf.apply_prefix_batch(&channel, len);
         for (s, t) in cut.iter().enumerate() {
-            // Bitwise equality (f64), uniform and ragged lengths alike.
             prop_assert_eq!(batched[s], mf.apply_prefix(t));
         }
     }

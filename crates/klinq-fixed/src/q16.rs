@@ -91,20 +91,42 @@ impl Q16_16 {
         Self((v as i32) << FRAC_BITS)
     }
 
-    /// Converts an `f64` to fixed point, rounding to nearest and saturating
-    /// at the representable range. NaN maps to zero.
+    /// Converts an `f64` to fixed point, rounding to nearest (ties away
+    /// from zero) and saturating at the representable range. NaN maps to
+    /// zero.
+    ///
+    /// Branchless and vectorizable: the half-adjust
+    /// `trunc(x + copysign(0.5, x))` with a float-space NaN guard and
+    /// clamp lowers to plain SIMD ops, unlike `f64::round` whose
+    /// ties-away semantics have no x86 instruction — this is what lets
+    /// the batched datapath's bulk ADC-quantization loops
+    /// autovectorize.
+    ///
+    /// Rounding contract: exact ties (`v * 2^16` landing on `k + 0.5`)
+    /// round away from zero like `f64::round`; a value within 1 ulp
+    /// *below* an exact tie additionally rounds away (the `+0.5` sum
+    /// rounds up), where `f64::round` would round toward zero — a
+    /// 1-ulp fixed-point difference on adversarially chosen inputs
+    /// only. The workspace's own quantization never produces such
+    /// values (power-of-two scaling is exact, f32-sourced samples and
+    /// weights carry 24 significand bits, and the averaging reciprocals
+    /// `1/group` are small-integer quotients never that close to a
+    /// half), but callers feeding arbitrary `f64`s — e.g. through the
+    /// [`FromStr`] parser — get this half-adjust behaviour, not
+    /// `f64::round`'s.
+    #[inline]
     pub fn from_f64(v: f64) -> Self {
-        if v.is_nan() {
-            return Self::ZERO;
-        }
-        let scaled = (v * SCALE as f64).round();
-        if scaled >= i32::MAX as f64 {
-            Self::MAX
-        } else if scaled <= i32::MIN as f64 {
-            Self::MIN
-        } else {
-            Self(scaled as i32)
-        }
+        let scaled = v * SCALE as f64;
+        let adjusted = scaled + 0.5f64.copysign(scaled);
+        // NaN → 0 as a float select, then saturate in float space: both
+        // lower to vector compare/blend/min/max, where the saturating
+        // `as i32` cast would force a scalar conversion per sample.
+        let guarded = if adjusted.is_nan() { 0.0 } else { adjusted };
+        let clamped = guarded.clamp(i32::MIN as f64, i32::MAX as f64);
+        // SAFETY: `clamped` is finite and lies in [i32::MIN, i32::MAX]
+        // (both bounds exactly representable in f64), so the truncating
+        // conversion cannot overflow.
+        Self(unsafe { clamped.to_int_unchecked::<i32>() })
     }
 
     /// Converts an `f32` to fixed point, rounding to nearest and saturating.

@@ -92,14 +92,18 @@ impl WideAccumulator {
     }
 }
 
+/// Round-to-nearest arithmetic right shift, ties away from zero —
+/// branchless (sign-mask magnitude trick) so the per-neuron write-backs
+/// of the batched kernels never mispredict on mixed-sign accumulators.
+/// Bit-for-bit identical to the branching
+/// `if v >= 0 { (v + half) >> bits } else { -((-v + half) >> bits) }`.
 #[inline]
 fn round_shift_i64(v: i64, bits: u32) -> i64 {
     let half = 1i64 << (bits - 1);
-    if v >= 0 {
-        (v.wrapping_add(half)) >> bits
-    } else {
-        -((-v + half) >> bits)
-    }
+    let sign = v >> 63; // 0 for non-negative, -1 for negative
+    let magnitude = (v ^ sign).wrapping_sub(sign);
+    let rounded = magnitude.wrapping_add(half) >> bits;
+    (rounded ^ sign).wrapping_sub(sign)
 }
 
 /// Full-precision dot product of two fixed-point slices, returned as a wide
@@ -142,6 +146,50 @@ pub fn dot(a: &[Q16_16], b: &[Q16_16]) -> Q16_16 {
     dot_wide(a, b).to_fixed_saturating()
 }
 
+/// Four lane-interleaved wide dot products sharing one coefficient vector:
+/// the blocked MAC kernel of the batched Q16.16 datapath.
+///
+/// `lanes` holds four interleaved operand vectors (element `k` of lane `l`
+/// at `lanes[k * 4 + l]`); the return value's lane `l` equals
+/// [`dot_wide`] of `coeffs` with that lane's de-interleaved vector,
+/// **bitwise** — the accumulators are wrapping `i64`, so the blocked
+/// evaluation order cannot change a single bit. The four independent
+/// accumulator chains overlap the multiply-add latency that serializes a
+/// single wide dot, and the interleaved layout turns the lane loads into
+/// one contiguous block per coefficient.
+///
+/// # Panics
+///
+/// Panics if `lanes.len() != coeffs.len() * 4`.
+///
+/// # Examples
+///
+/// ```
+/// use klinq_fixed::{dot_wide, dot_wide_x4, Q16_16};
+/// let coeffs: Vec<Q16_16> = (0..6).map(|k| Q16_16::from_f64(k as f64 * 0.5)).collect();
+/// let lanes: Vec<Q16_16> = (0..24).map(|v| Q16_16::from_f64(v as f64 * 0.25)).collect();
+/// let acc = dot_wide_x4(&coeffs, &lanes);
+/// let lane2: Vec<Q16_16> = (0..6).map(|k| lanes[k * 4 + 2]).collect();
+/// assert_eq!(acc[2], dot_wide(&coeffs, &lane2));
+/// ```
+pub fn dot_wide_x4(coeffs: &[Q16_16], lanes: &[Q16_16]) -> [WideAccumulator; 4] {
+    assert_eq!(
+        lanes.len(),
+        coeffs.len() * 4,
+        "dot_wide_x4: interleaved length mismatch ({} vs {} * 4)",
+        lanes.len(),
+        coeffs.len()
+    );
+    let mut acc = [WideAccumulator::new(); 4];
+    for (&c, sample) in coeffs.iter().zip(lanes.chunks_exact(4)) {
+        acc[0].mac(c, sample[0]);
+        acc[1].mac(c, sample[1]);
+        acc[2].mac(c, sample[2]);
+        acc[3].mac(c, sample[3]);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +229,27 @@ mod tests {
         // Naive per-product rounding would give zero:
         let naive: Q16_16 = a.iter().map(|&x| x * x).sum();
         assert_eq!(naive, Q16_16::ZERO);
+    }
+
+    #[test]
+    fn dot_wide_x4_matches_per_lane_dot_wide_bitwise() {
+        for n in [0usize, 1, 3, 8, 65] {
+            let coeffs: Vec<Q16_16> = (0..n).map(|k| q(k as f64 * 0.31 - 4.0)).collect();
+            let lanes: Vec<Q16_16> = (0..n * 4)
+                .map(|v| q((v as f64 * 0.177).sin() * 30.0))
+                .collect();
+            let acc = dot_wide_x4(&coeffs, &lanes);
+            for l in 0..4 {
+                let lane: Vec<Q16_16> = (0..n).map(|k| lanes[k * 4 + l]).collect();
+                assert_eq!(acc[l], dot_wide(&coeffs, &lane), "lane {l}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved length mismatch")]
+    fn dot_wide_x4_rejects_bad_length() {
+        let _ = dot_wide_x4(&[Q16_16::ONE; 2], &[Q16_16::ONE; 7]);
     }
 
     #[test]

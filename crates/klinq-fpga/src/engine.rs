@@ -11,8 +11,8 @@
 use crate::latency::{avg_norm_stages, mf_stages, network_stages, Clock, LatencyReport};
 use crate::quant::QuantizedDense;
 use crate::resources::{avg_norm_resources, network_resources, Resources};
-use klinq_dsp::FeaturePipeline;
-use klinq_fixed::{dot_wide, shift_divide, Q16_16, WideAccumulator};
+use klinq_dsp::{FeaturePipeline, TraceBatch};
+use klinq_fixed::{dot_wide, dot_wide_x4, shift_divide, Q16_16, WideAccumulator};
 use klinq_nn::{Activation, Fnn};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -78,6 +78,29 @@ pub struct HwScratch {
     q_q: Vec<Q16_16>,
     features: Vec<Q16_16>,
     work: Vec<Q16_16>,
+}
+
+/// Reusable fixed-point buffers for the **batched** Q16.16 datapath
+/// ([`FpgaDiscriminator::infer_batch_with`]): the quantized SoA trace
+/// block and front-end features in the same `sample × 4` interleaving as
+/// [`TraceBatch`], plus the per-lane contiguous buffers the fully
+/// connected stage ping-pongs through.
+#[derive(Debug, Clone, Default)]
+pub struct HwBatchScratch {
+    i_q: Vec<Q16_16>,
+    q_q: Vec<Q16_16>,
+    features: Vec<Q16_16>,
+    /// The four de-interleaved feature vectors, lane-contiguous
+    /// (normalization scatters into this; see `infer_batch_with`).
+    lanes: Vec<Q16_16>,
+    work: Vec<Q16_16>,
+}
+
+impl HwBatchScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl HwScratch {
@@ -255,6 +278,136 @@ impl FpgaDiscriminator {
             excited: !logit.is_negative() && logit != Q16_16::ZERO,
             logit,
             overflow_count,
+        }
+    }
+
+    /// Runs one inference per lane of a gathered [`TraceBatch`] — the
+    /// fused, cache-blocked form of [`Self::infer_detailed_with`] for the
+    /// batched serving path.
+    ///
+    /// The block's interleaved traces are quantized once into the scratch,
+    /// then averaging, the matched-filter MAC, shift normalization and the
+    /// fully connected pipeline all run four lanes side by side while the
+    /// block is L1-resident. Every stage keeps wrapping-integer
+    /// accumulators, so lane `l` is **bitwise-identical** to
+    /// [`Self::infer_detailed`] on that lane's traces — including the
+    /// logit and the overflow count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's traces are shorter than the averager output
+    /// count.
+    pub fn infer_batch_with(
+        &self,
+        batch: &TraceBatch,
+        scratch: &mut HwBatchScratch,
+    ) -> [InferenceDetail; TraceBatch::LANES] {
+        const L: usize = TraceBatch::LANES;
+        let m = self.outputs_per_channel;
+
+        // ADC quantization of the interleaved block (elementwise, so the
+        // interleaving is transparent).
+        scratch.i_q.clear();
+        scratch
+            .i_q
+            .extend(batch.i_interleaved().iter().map(|&v| Q16_16::from_f32(v)));
+        scratch.q_q.clear();
+        scratch
+            .q_q
+            .extend(batch.q_interleaved().iter().map(|&v| Q16_16::from_f32(v)));
+
+        // Averaging unit over both channels, four lanes at a time. The
+        // feature buffer resizes without clearing: every slot is written
+        // by the stages below, so the warm path never memsets.
+        scratch.features.resize((2 * m + 1) * L, Q16_16::ZERO);
+        let (avg_i, rest) = scratch.features.split_at_mut(m * L);
+        let (avg_q, mf_slot) = rest.split_at_mut(m * L);
+        self.average_batch_into(&scratch.i_q, avg_i);
+        self.average_batch_into(&scratch.q_q, avg_q);
+
+        // Matched-filter MAC over the available envelope prefix: four
+        // interleaved wide-accumulator chains per channel.
+        let n_i = batch.len().min(self.mf_env_i.len());
+        let n_q = batch.len().min(self.mf_env_q.len());
+        let mut mf_acc = dot_wide_x4(&self.mf_env_i[..n_i], &scratch.i_q[..n_i * L]);
+        let mf_q = dot_wide_x4(&self.mf_env_q[..n_q], &scratch.q_q[..n_q * L]);
+        for (slot, (a, q)) in mf_slot.iter_mut().zip(mf_acc.iter_mut().zip(mf_q)) {
+            a.merge(q);
+            *slot = a.to_fixed_saturating();
+        }
+
+        // Shift normalization, constants broadcast across the four lanes,
+        // scattering each lane's feature vector out contiguously: the
+        // fully connected stage runs fastest on contiguous rows (widening
+        // SIMD loads of both weights and inputs), so the de-interleave is
+        // fused into the normalization write-back instead of being a pass
+        // of its own.
+        let dim = 2 * m + 1;
+        scratch.lanes.resize(dim * L, Q16_16::ZERO);
+        for (f, (&mn, &e)) in self.norm_min.iter().zip(&self.norm_exp).enumerate() {
+            for (l, &v) in scratch.features[f * L..(f + 1) * L].iter().enumerate() {
+                scratch.lanes[l * dim + f] = shift_divide(v.saturating_sub(mn), e);
+            }
+        }
+
+        // Fully connected pipeline per lane over the contiguous rows,
+        // ping-ponging the (now free) interleaved buffer against the
+        // work buffer — the same scalar kernel as the per-shot path, so
+        // bitwise equality is inherited rather than re-argued.
+        std::array::from_fn(|l| {
+            scratch.features.clear();
+            scratch
+                .features
+                .extend_from_slice(&scratch.lanes[l * dim..(l + 1) * dim]);
+            let mut overflow_count = 0;
+            for layer in &self.layers {
+                scratch.work.clear();
+                scratch.work.resize(layer.output_dim(), Q16_16::ZERO);
+                overflow_count += layer.forward(&scratch.features, &mut scratch.work);
+                std::mem::swap(&mut scratch.features, &mut scratch.work);
+            }
+            let logit = scratch.features[0];
+            InferenceDetail {
+                excited: !logit.is_negative() && logit != Q16_16::ZERO,
+                logit,
+                overflow_count,
+            }
+        })
+    }
+
+    /// Four-lane fixed-point averaging over a lane-interleaved channel —
+    /// the batched form of [`Self::average_into`], bitwise-identical per
+    /// lane (wrapping wide accumulators, same per-group write-back).
+    fn average_batch_into(&self, channel: &[Q16_16], out: &mut [Q16_16]) {
+        const L: usize = TraceBatch::LANES;
+        let m = self.outputs_per_channel;
+        debug_assert_eq!(out.len(), m * L);
+        debug_assert_eq!(channel.len() % L, 0);
+        let len = channel.len() / L;
+        assert!(
+            len >= m,
+            "trace too short: {len} samples for {m} outputs"
+        );
+        let group = (len / m).max(1);
+        let shift = if group.is_power_of_two() {
+            Some(group.trailing_zeros() as i32)
+        } else {
+            None
+        };
+        let recip = Q16_16::from_f64(1.0 / group as f64);
+        for (k, slot) in out.chunks_exact_mut(L).enumerate() {
+            let mut acc = [WideAccumulator::new(); L];
+            for sample in channel[k * group * L..(k + 1) * group * L].chunks_exact(L) {
+                for (a, &s) in acc.iter_mut().zip(sample) {
+                    a.add_fixed(s);
+                }
+            }
+            for (s, a) in slot.iter_mut().zip(acc) {
+                *s = match shift {
+                    Some(shift) => shift_divide(a.to_fixed_saturating(), shift),
+                    None => a.to_fixed_saturating().saturating_mul(recip),
+                };
+            }
         }
     }
 
@@ -443,6 +596,29 @@ mod tests {
             hw.infer_with(&ground[0].0[..72], &ground[0].1[..72], &mut scratch),
             hw.infer(&ground[0].0[..72], &ground[0].1[..72])
         );
+    }
+
+    #[test]
+    fn batched_inference_is_bitwise_identical_per_lane() {
+        let (net, pipeline, ground, excited) = trained_setup();
+        let hw = FpgaDiscriminator::compile(&net, &pipeline, 120).unwrap();
+        let mut batch = TraceBatch::new();
+        let mut scratch = HwBatchScratch::new();
+        // Mixed-class blocks at the full and a truncated duration.
+        for len in [120usize, 72] {
+            let block: Vec<(&[f32], &[f32])> = ground
+                .iter()
+                .take(2)
+                .chain(excited.iter().take(2))
+                .map(|(i, q)| (&i[..len], &q[..len]))
+                .collect();
+            assert!(batch.gather([block[0], block[1], block[2], block[3]]));
+            let details = hw.infer_batch_with(&batch, &mut scratch);
+            for (l, &(i, q)) in block.iter().enumerate() {
+                // Full detail — logit bits and overflow count included.
+                assert_eq!(details[l], hw.infer_detailed(i, q), "lane {l} len {len}");
+            }
+        }
     }
 
     #[test]

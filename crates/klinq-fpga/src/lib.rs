@@ -39,7 +39,7 @@ pub mod report;
 pub mod resources;
 
 pub use axi::{shot_transfer_report, AxiLink, ShotTransferReport};
-pub use engine::{FpgaDiscriminator, HwScratch, InferenceDetail};
+pub use engine::{FpgaDiscriminator, HwBatchScratch, HwScratch, InferenceDetail};
 pub use latency::{Clock, LatencyReport};
 pub use quant::QuantizedDense;
 pub use resources::{Resources, Utilization, ZCU216_CAPACITY};

@@ -8,9 +8,18 @@ use serde::{Deserialize, Serialize};
 /// exactly as the FPGA datapath: full-precision DSP products reduced
 /// through a wide-accumulator adder tree with the bias, renormalized with
 /// saturation, then a sign-bit ReLU.
+///
+/// The weights are stored as one flat row-major buffer (one contiguous
+/// row per neuron), so the MAC loop streams the whole layer without
+/// pointer chasing — on wide-SIMD targets the contiguous rows load with
+/// widening vector loads, which is why the batched engine runs this
+/// same kernel once per lane after de-interleaving its feature block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedDense {
-    weights: Vec<Vec<Q16_16>>, // one row per neuron
+    /// Flat row-major weights: neuron `j`'s row at
+    /// `[j * input_dim, (j + 1) * input_dim)`.
+    weights: Vec<Q16_16>,
+    input_dim: usize,
     bias: Vec<Q16_16>,
     relu: bool,
 }
@@ -32,12 +41,14 @@ impl QuantizedDense {
         };
         let weights = layer
             .weights()
-            .iter_rows()
-            .map(|row| row.iter().map(|&w| Q16_16::from_f32(w)).collect())
+            .data()
+            .iter()
+            .map(|&w| Q16_16::from_f32(w))
             .collect();
         let bias = layer.bias().iter().map(|&b| Q16_16::from_f32(b)).collect();
         Self {
             weights,
+            input_dim: layer.input_dim(),
             bias,
             relu,
         }
@@ -45,12 +56,12 @@ impl QuantizedDense {
 
     /// Input width.
     pub fn input_dim(&self) -> usize {
-        self.weights.first().map_or(0, Vec::len)
+        self.input_dim
     }
 
     /// Output width (neuron count).
     pub fn output_dim(&self) -> usize {
-        self.weights.len()
+        self.bias.len()
     }
 
     /// `true` if the layer applies the hardware ReLU.
@@ -69,7 +80,11 @@ impl QuantizedDense {
         assert_eq!(x.len(), self.input_dim(), "quantized layer input mismatch");
         assert_eq!(out.len(), self.output_dim(), "quantized layer output mismatch");
         let mut overflows = 0;
-        for ((o, row), &b) in out.iter_mut().zip(&self.weights).zip(&self.bias) {
+        for ((o, row), &b) in out
+            .iter_mut()
+            .zip(self.weights.chunks_exact(self.input_dim))
+            .zip(&self.bias)
+        {
             let mut acc = dot_wide(row, x);
             acc.merge(WideAccumulator::from_fixed(b));
             let v = match acc.to_fixed_checked() {

@@ -191,69 +191,25 @@ impl Dense {
         }
     }
 
-    /// Neuron-lane width of the batched inference kernel. One lane block
-    /// holds 16 `f32` accumulators — two AVX2 registers — so the fixed
-    /// inner loop vectorizes while each lane keeps its own exact
-    /// summation order.
-    const LANES: usize = 16;
-
     /// Batched inference forward pass into a caller matrix (resized to
-    /// `x.rows() × output_dim`) — the GEMM kernel of the serving path.
+    /// `x.rows() × output_dim`) — the GEMM stage of the serving path.
     ///
-    /// `wt` is a reusable scratch buffer that receives a lane-blocked,
-    /// input-major transposition of the weights once per call; the
-    /// per-row kernel then accumulates all neurons of a lane block
-    /// simultaneously from contiguous loads. The neuron accumulators are
-    /// mutually independent, so this vectorizes, while *each* accumulator
-    /// still sums in exactly the single-sample order (bias first, then
-    /// products in input order). Every output row is therefore
-    /// bitwise-identical to [`Self::forward_single`] on the matching
-    /// input row, for any batch size.
+    /// Runs the whole batch as one register-blocked
+    /// [`Matrix::gemm_block`] (`batch × in × out`, four rows per packed
+    /// weight pass) and applies the activation element-wise afterwards.
+    /// `wt` is the reusable packed-weight scratch. Every accumulator sums
+    /// in exactly the single-sample order (bias first, then products in
+    /// input order), so each output row is **bitwise-identical** to
+    /// [`Self::forward_single`] on the matching input row, for any batch
+    /// size.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != input_dim`.
     pub fn forward_infer_into(&self, x: &Matrix, out: &mut Matrix, wt: &mut Vec<f32>) {
-        let input_dim = self.input_dim();
-        let n = self.output_dim();
-        assert_eq!(x.cols(), input_dim, "input dimension mismatch");
-        out.resize(x.rows(), n);
-
-        // Lane-blocked transpose: wt[(jb·input_dim + k)·LANES + l] holds
-        // the weight of neuron `jb·LANES + l` for input `k` (zero in the
-        // padding lanes of the last block). Cost is one pass over the
-        // weights, amortized over every row of the batch.
-        let lanes = Self::LANES;
-        let blocks = n.div_ceil(lanes);
-        wt.clear();
-        wt.resize(blocks * input_dim * lanes, 0.0);
-        for (j, w_row) in self.weights.iter_rows().enumerate() {
-            let (jb, l) = (j / lanes, j % lanes);
-            let block = &mut wt[jb * input_dim * lanes..(jb + 1) * input_dim * lanes];
-            for (k, &w) in w_row.iter().enumerate() {
-                block[k * lanes + l] = w;
-            }
-        }
-
-        for (x_row, out_row) in x.iter_rows().zip(out.iter_rows_mut()) {
-            for jb in 0..blocks {
-                let live = (n - jb * lanes).min(lanes);
-                // Bias seeds each accumulator, exactly as forward_single;
-                // padding lanes accumulate zeros and are discarded.
-                let mut acc = [0.0f32; Self::LANES];
-                acc[..live].copy_from_slice(&self.bias[jb * lanes..jb * lanes + live]);
-                let block = &wt[jb * input_dim * lanes..(jb + 1) * input_dim * lanes];
-                for (k, &xv) in x_row.iter().enumerate() {
-                    let w_lane = &block[k * lanes..k * lanes + lanes];
-                    for l in 0..lanes {
-                        acc[l] += xv * w_lane[l];
-                    }
-                }
-                for (slot, &a) in out_row[jb * lanes..jb * lanes + live].iter_mut().zip(&acc) {
-                    *slot = self.activation.apply(a);
-                }
-            }
-        }
+        assert_eq!(x.cols(), self.input_dim(), "input dimension mismatch");
+        x.gemm_block(&self.weights, &self.bias, out, wt);
+        self.activation.apply_matrix(out);
     }
 
     /// Backward pass.

@@ -9,9 +9,24 @@
 //!
 //! All kernels use i-k-j loop order over row-major storage so the inner
 //! loop streams contiguously.
+//!
+//! A fourth kernel, [`Matrix::gemm_block`], is the inference-serving GEMM:
+//! a register-blocked `C = A · Bᵀ + bias` that processes
+//! [`ROW_BLOCK`] × [`LANES`] output tiles per pass so a whole batch runs
+//! as one `B × in × out` multiply instead of `B` independent GEMVs, while
+//! every accumulator keeps the exact bias-first, input-order summation of
+//! the single-sample path.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Neuron-lane width of the blocked inference GEMM: 16 `f32` accumulator
+/// lanes — two AVX2 registers — per output tile column block.
+pub const LANES: usize = 16;
+
+/// Row-block height of the blocked inference GEMM micro-kernel: four
+/// batch rows share each packed-weight load.
+pub const ROW_BLOCK: usize = 4;
 
 /// A dense row-major `f32` matrix.
 ///
@@ -253,6 +268,80 @@ impl Matrix {
         c
     }
 
+    /// Register-blocked inference GEMM: `C = A · Bᵀ + bias`, with the bias
+    /// broadcast across rows and **seeded first** into every accumulator.
+    ///
+    /// `b` (e.g. a layer's `output_dim × input_dim` weights) is packed once
+    /// per call into `packed` in lane-blocked, input-major order; the
+    /// micro-kernel then computes [`ROW_BLOCK`] × [`LANES`] output tiles,
+    /// so one pass over the packed weights serves four batch rows and the
+    /// whole product runs `rows × in × out` instead of `rows` independent
+    /// GEMVs. Every output element still accumulates in exactly the
+    /// single-sample order — bias first, then products in input order — so
+    /// each `C[i][j]` is bitwise-identical to a scalar
+    /// `bias[j] + Σ_k A[i][k]·B[j][k]` loop, for any batch size. (Note
+    /// this differs bitwise from [`Self::matmul_bt`] followed by
+    /// [`Self::add_row_broadcast`], which adds the bias last.)
+    ///
+    /// `out` is resized to `self.rows × b.rows`; `packed` is a reusable
+    /// scratch that grows to `b`'s padded size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != b.cols` or `bias.len() != b.rows`.
+    pub fn gemm_block(&self, b: &Matrix, bias: &[f32], out: &mut Matrix, packed: &mut Vec<f32>) {
+        assert_eq!(
+            self.cols, b.cols,
+            "gemm_block shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        assert_eq!(bias.len(), b.rows, "gemm_block bias length mismatch");
+        let (k_dim, n) = (self.cols, b.rows);
+        out.resize(self.rows, n);
+
+        // Lane-blocked transpose: packed[(jb·k_dim + k)·LANES + l] holds
+        // B[jb·LANES + l][k] (zero in the padding lanes of the last
+        // block). One pass over B, amortized over every row of the batch.
+        let blocks = n.div_ceil(LANES);
+        packed.clear();
+        packed.resize(blocks * k_dim * LANES, 0.0);
+        for (j, b_row) in b.iter_rows().enumerate() {
+            let (jb, l) = (j / LANES, j % LANES);
+            let block = &mut packed[jb * k_dim * LANES..(jb + 1) * k_dim * LANES];
+            for (k, &w) in b_row.iter().enumerate() {
+                block[k * LANES + l] = w;
+            }
+        }
+
+        let mut i = 0;
+        while i + ROW_BLOCK <= self.rows {
+            self.gemm_row_block::<ROW_BLOCK>(i, bias, packed, out);
+            i += ROW_BLOCK;
+        }
+        while i < self.rows {
+            self.gemm_row_block::<1>(i, bias, packed, out);
+            i += 1;
+        }
+    }
+
+    /// One `M × n` slab of the blocked GEMM: rows `i..i + M` of `A`
+    /// against every packed lane block.
+    #[inline]
+    fn gemm_row_block<const M: usize>(&self, i: usize, bias: &[f32], packed: &[f32], out: &mut Matrix) {
+        let (k_dim, n) = (self.cols, out.cols);
+        let a: [&[f32]; M] = std::array::from_fn(|r| &self.data[(i + r) * k_dim..(i + r + 1) * k_dim]);
+        for jb in 0..n.div_ceil(LANES) {
+            let live = (n - jb * LANES).min(LANES);
+            let block = &packed[jb * k_dim * LANES..(jb + 1) * k_dim * LANES];
+            let bias_lane = &bias[jb * LANES..jb * LANES + live];
+            let acc = gemm_micro::<M>(&a, block, bias_lane);
+            for (r, acc_row) in acc.iter().enumerate() {
+                let row = (i + r) * n + jb * LANES;
+                out.data[row..row + live].copy_from_slice(&acc_row[..live]);
+            }
+        }
+    }
+
     /// Adds `v` to every row (bias broadcast).
     ///
     /// # Panics
@@ -289,6 +378,28 @@ impl Matrix {
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
+}
+
+/// The `M × LANES` register tile of [`Matrix::gemm_block`]: `M`
+/// independent accumulator rows over one packed lane block, each seeded
+/// with the bias and summing products in input order (the exact
+/// single-sample order). Padding lanes accumulate zeros and are discarded
+/// by the caller.
+#[inline]
+fn gemm_micro<const M: usize>(a: &[&[f32]; M], block: &[f32], bias_lane: &[f32]) -> [[f32; LANES]; M] {
+    let mut acc = [[0.0f32; LANES]; M];
+    for acc_row in &mut acc {
+        acc_row[..bias_lane.len()].copy_from_slice(bias_lane);
+    }
+    for (k, w) in block.chunks_exact(LANES).enumerate() {
+        for (acc_row, a_row) in acc.iter_mut().zip(a) {
+            let x = a_row[k];
+            for (slot, &wl) in acc_row.iter_mut().zip(w) {
+                *slot += x * wl;
+            }
+        }
+    }
+    acc
 }
 
 impl Default for Matrix {
@@ -416,6 +527,67 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn matmul_at_rejects_bad_shapes() {
         let _ = test_matrix(2, 3, 0).matmul_at(&test_matrix(3, 4, 1));
+    }
+
+    /// Scalar reference for `gemm_block`: bias-first, input-order
+    /// accumulation per output element.
+    fn naive_gemm_bias_first(a: &Matrix, b: &Matrix, bias: &[f32]) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for (j, &bj) in bias.iter().enumerate() {
+                let mut acc = bj;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(j, k);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_block_is_bitwise_identical_to_scalar_bias_first() {
+        // Row counts around the ROW_BLOCK boundary, output widths around
+        // the LANES boundary (including multi-block), assorted depths.
+        let mut packed = Vec::new();
+        let mut out = Matrix::default();
+        for &rows in &[1usize, 2, 3, 4, 5, 7, 8, 9, 16, 21] {
+            for &(n, k) in &[(1usize, 5usize), (5, 11), (16, 7), (17, 31), (37, 13)] {
+                let a = test_matrix(rows, k, (rows * 31 + n) as u32);
+                let b = test_matrix(n, k, (n * 17 + k) as u32);
+                let bias: Vec<f32> = (0..n).map(|j| (j as f32 * 0.7).sin()).collect();
+                a.gemm_block(&b, &bias, &mut out, &mut packed);
+                let reference = naive_gemm_bias_first(&a, &b, &bias);
+                assert_eq!(out.rows(), rows);
+                assert_eq!(out.cols(), n);
+                // Bitwise, not approximate: the tile kernel replays the
+                // exact scalar summation order per accumulator.
+                assert_eq!(out.data(), reference.data(), "rows={rows} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_block_handles_empty_batch() {
+        let b = test_matrix(3, 4, 1);
+        let mut out = Matrix::default();
+        Matrix::zeros(0, 4).gemm_block(&b, &[0.0; 3], &mut out, &mut Vec::new());
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn gemm_block_rejects_bad_shapes() {
+        let mut out = Matrix::default();
+        test_matrix(2, 3, 0).gemm_block(&test_matrix(2, 4, 1), &[0.0; 2], &mut out, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn gemm_block_rejects_bad_bias() {
+        let mut out = Matrix::default();
+        test_matrix(2, 3, 0).gemm_block(&test_matrix(2, 3, 1), &[0.0; 3], &mut out, &mut Vec::new());
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Perf-regression guard over the `BENCH_*.json` trajectory files the
+//! vendored criterion work-alike writes.
+//!
+//! CI snapshots the committed `BENCH_inference.json` before the bench
+//! run, lets the benches overwrite it, then diffs the two: any tracked
+//! throughput id whose fresh figure falls more than the threshold below
+//! its committed figure fails the build. Entries are only compared when
+//! both runs recorded the same `worker_threads` — figures from
+//! containers with different core counts are not comparable, and a
+//! silent cross-container diff would produce false regressions (or,
+//! worse, false passes).
+
+use std::fmt;
+
+/// Default failure threshold: fail on >25% throughput regression.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Default id prefix guarded by CI: the direct batch-engine figures.
+pub const DEFAULT_PREFIX: &str = "batched_inference/";
+
+/// One bench entry relevant to the diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Throughput in units/s (`None` for latency-only entries).
+    pub per_sec: Option<f64>,
+    /// Worker-pool size the measurement ran with, if recorded.
+    pub worker_threads: Option<u64>,
+}
+
+/// Outcome of diffing one id present in both files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Fresh throughput is within the threshold of the baseline.
+    Ok {
+        /// Benchmark id.
+        id: String,
+        /// `fresh / baseline`.
+        ratio: f64,
+    },
+    /// Fresh throughput regressed by more than the threshold.
+    Regression {
+        /// Benchmark id.
+        id: String,
+        /// Baseline units/s.
+        baseline: f64,
+        /// Fresh units/s.
+        fresh: f64,
+        /// `fresh / baseline`.
+        ratio: f64,
+    },
+    /// The entries are not comparable (pool-size mismatch or a missing
+    /// throughput figure); reported but never fails the run.
+    Skipped {
+        /// Benchmark id.
+        id: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Regression`].
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Self::Regression { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Ok { id, ratio } => write!(f, "ok         {id}: {:.1}% of baseline", ratio * 100.0),
+            Self::Regression {
+                id,
+                baseline,
+                fresh,
+                ratio,
+            } => write!(
+                f,
+                "REGRESSION {id}: {fresh:.1}/s vs {baseline:.1}/s baseline ({:.1}%)",
+                ratio * 100.0
+            ),
+            Self::Skipped { id, reason } => write!(f, "skipped    {id}: {reason}"),
+        }
+    }
+}
+
+/// Parses the `results` array of a trajectory file.
+///
+/// # Errors
+///
+/// Returns a message when the JSON does not parse or has no `results`
+/// array (a malformed baseline must fail loudly, not diff as empty).
+pub fn parse_entries(json: &str) -> Result<Vec<BenchEntry>, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("malformed bench JSON: {e}"))?;
+    let results = value
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| "bench JSON has no `results` array".to_string())?;
+    Ok(results
+        .iter()
+        .filter_map(|entry| {
+            Some(BenchEntry {
+                id: entry.get("id")?.as_str()?.to_string(),
+                per_sec: entry.get("per_sec").and_then(|v| v.as_f64()),
+                worker_threads: entry
+                    .get("worker_threads")
+                    .and_then(|v| v.as_f64())
+                    .map(|n| n as u64),
+            })
+        })
+        .collect())
+}
+
+/// Diffs every baseline entry matching `prefix` against the fresh run.
+///
+/// Ids missing from the fresh file are skipped (a filtered bench run
+/// must not fail on what it did not measure); pool-size mismatches and
+/// missing throughput figures are skipped with a reason; everything else
+/// is `Ok` or `Regression` against `threshold`.
+pub fn diff(
+    baseline: &[BenchEntry],
+    fresh: &[BenchEntry],
+    prefix: &str,
+    threshold: f64,
+) -> Vec<Verdict> {
+    baseline
+        .iter()
+        .filter(|b| b.id.starts_with(prefix))
+        .map(|base| {
+            let id = base.id.clone();
+            let Some(new) = fresh.iter().find(|f| f.id == base.id) else {
+                return Verdict::Skipped {
+                    id,
+                    reason: "not measured in the fresh run".into(),
+                };
+            };
+            if base.worker_threads != new.worker_threads {
+                return Verdict::Skipped {
+                    id,
+                    reason: format!(
+                        "worker_threads mismatch (baseline {:?}, fresh {:?})",
+                        base.worker_threads, new.worker_threads
+                    ),
+                };
+            }
+            let (Some(base_rate), Some(new_rate)) = (base.per_sec, new.per_sec) else {
+                return Verdict::Skipped {
+                    id,
+                    reason: "no throughput figure to compare".into(),
+                };
+            };
+            if base_rate <= 0.0 {
+                return Verdict::Skipped {
+                    id,
+                    reason: "non-positive baseline throughput".into(),
+                };
+            }
+            let ratio = new_rate / base_rate;
+            if ratio < 1.0 - threshold {
+                Verdict::Regression {
+                    id,
+                    baseline: base_rate,
+                    fresh: new_rate,
+                    ratio,
+                }
+            } else {
+                Verdict::Ok { id, ratio }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, per_sec: Option<f64>, workers: Option<u64>) -> BenchEntry {
+        BenchEntry {
+            id: id.to_string(),
+            per_sec,
+            worker_threads: workers,
+        }
+    }
+
+    #[test]
+    fn parses_report_shape() {
+        let json = r#"{
+  "schema": 1,
+  "bench": "inference",
+  "results": [
+    {"id": "batched_inference/testset_parallel", "ns_per_iter": 1316192.7, "per_sec": 291750.6, "unit": "elem/s", "worker_threads": 1},
+    {"id": "inference/student_fnn_a_float", "ns_per_iter": 719.6, "per_sec": null}
+  ]
+}"#;
+        let entries = parse_entries(json).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].per_sec, Some(291750.6));
+        assert_eq!(entries[0].worker_threads, Some(1));
+        assert_eq!(entries[1].per_sec, None);
+        assert!(parse_entries("not json").is_err());
+        assert!(parse_entries("{}").is_err());
+    }
+
+    #[test]
+    fn regression_beyond_threshold_is_flagged() {
+        let base = [entry("batched_inference/a", Some(100_000.0), Some(1))];
+        let ok = [entry("batched_inference/a", Some(80_000.0), Some(1))];
+        let bad = [entry("batched_inference/a", Some(70_000.0), Some(1))];
+        assert!(!diff(&base, &ok, DEFAULT_PREFIX, 0.25)[0].is_regression());
+        let verdicts = diff(&base, &bad, DEFAULT_PREFIX, 0.25);
+        assert!(verdicts[0].is_regression());
+        assert!(verdicts[0].to_string().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn improvements_and_untracked_ids_pass() {
+        let base = [
+            entry("batched_inference/a", Some(100_000.0), Some(1)),
+            entry("serving/one", Some(100_000.0), Some(1)),
+        ];
+        let fresh = [
+            entry("batched_inference/a", Some(250_000.0), Some(1)),
+            // Serving collapsed — but it is outside the guarded prefix.
+            entry("serving/one", Some(1_000.0), Some(1)),
+        ];
+        let verdicts = diff(&base, &fresh, DEFAULT_PREFIX, 0.25);
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].is_regression());
+    }
+
+    #[test]
+    fn incomparable_entries_are_skipped_not_failed() {
+        let base = [
+            entry("batched_inference/a", Some(100_000.0), Some(4)),
+            entry("batched_inference/b", Some(100_000.0), Some(1)),
+            entry("batched_inference/c", None, Some(1)),
+        ];
+        let fresh = [
+            // Different container core count.
+            entry("batched_inference/a", Some(10_000.0), Some(1)),
+            // `b` not re-measured (filtered run); `c` has no throughput.
+            entry("batched_inference/c", None, Some(1)),
+        ];
+        let verdicts = diff(&base, &fresh, DEFAULT_PREFIX, 0.25);
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
+        assert!(verdicts[0].to_string().contains("worker_threads mismatch"));
+        assert!(verdicts[1].to_string().contains("not measured"));
+        assert!(verdicts[2].to_string().contains("no throughput"));
+    }
+}

@@ -1,0 +1,78 @@
+//! CLI: `benchdiff <baseline.json> <fresh.json> [--prefix P] [--threshold T]`.
+//!
+//! Exits non-zero when any guarded id regressed by more than the
+//! threshold (default: >25% below baseline on `batched_inference/*`).
+
+use benchdiff::{diff, parse_entries, DEFAULT_PREFIX, DEFAULT_THRESHOLD};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut prefix = DEFAULT_PREFIX.to_string();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--prefix" => match iter.next() {
+                Some(p) => prefix = p.clone(),
+                None => return usage("--prefix needs a value"),
+            },
+            "--threshold" => match iter.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => return usage("--threshold needs a value in [0, 1)"),
+            },
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return usage("expected exactly two report paths");
+    };
+
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_entries(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchdiff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let verdicts = diff(&baseline, &fresh, &prefix, threshold);
+    if verdicts.is_empty() {
+        println!("benchdiff: no `{prefix}*` entries in the baseline — nothing to guard");
+        return ExitCode::SUCCESS;
+    }
+    for v in &verdicts {
+        println!("benchdiff: {v}");
+    }
+    if verdicts.iter().any(benchdiff::Verdict::is_regression) {
+        eprintln!("benchdiff: throughput regressed by more than {:.0}%", threshold * 100.0);
+        return ExitCode::FAILURE;
+    }
+    if !verdicts.iter().any(|v| matches!(v, benchdiff::Verdict::Ok { .. })) {
+        // Every guarded id was skipped: the guard compared nothing, which
+        // usually means the committed baseline was recorded at a different
+        // pool size than this runner (e.g. a 1-core container baseline on
+        // a multi-core CI runner). Surface it loudly — as a GitHub
+        // annotation when running in Actions — so a silently vacuous
+        // guard doesn't pass for a working one; committing a baseline
+        // recorded on this runner's pool size makes the guard real.
+        println!(
+            "::warning title=benchdiff compared nothing::all {} guarded `{prefix}*` entries \
+             were skipped (pool-size mismatch or missing figures) — the perf guard is \
+             vacuous until a baseline recorded at this runner's worker_threads is committed",
+            verdicts.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("benchdiff: {err}");
+    eprintln!("usage: benchdiff <baseline.json> <fresh.json> [--prefix P] [--threshold T]");
+    ExitCode::FAILURE
+}

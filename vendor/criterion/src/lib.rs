@@ -24,7 +24,7 @@
 //! publication.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -182,10 +182,28 @@ struct BenchRecord {
     ns_per_iter: f64,
     /// Derived throughput: `(units per second, unit label)`.
     per_sec: Option<(f64, String)>,
+    /// Worker-pool size the measurement ran with (see
+    /// [`set_worker_threads`]); `None` when the bench never declared it.
+    worker_threads: Option<usize>,
 }
 
 /// Bench-mode measurements accumulated for [`write_json_report`].
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Worker-pool size stamped onto subsequently recorded measurements
+/// (0 = undeclared). Throughput figures from containers with different
+/// core counts are not comparable, so the report carries the pool size
+/// per entry and consumers (e.g. `tools/benchdiff`) only compare entries
+/// whose pool sizes match.
+static WORKER_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Declares the worker-pool size (e.g. `rayon::current_num_threads()`)
+/// that subsequent measurements in this process run with; every record
+/// written after this call carries it as `worker_threads` in the JSON
+/// report. Benches call this once at the top of their first group.
+pub fn set_worker_threads(n: usize) {
+    WORKER_THREADS.store(n, Ordering::Relaxed);
+}
 
 /// Whether a name filter restricted this run (set by
 /// [`Criterion::from_args`]); a filtered run must not replace whole
@@ -236,6 +254,7 @@ pub fn write_json_report_as(name: &str) {
         id: r.id.clone(),
         ns_per_iter: r.ns_per_iter,
         per_sec: r.per_sec.clone(),
+        worker_threads: r.worker_threads,
     }));
     let mut json = String::from("{\n  \"schema\": 1,\n");
     json.push_str(&format!("  \"bench\": \"{}\",\n  \"results\": [\n", escape_json(name)));
@@ -247,8 +266,12 @@ pub fn write_json_report_as(name: &str) {
             }
             None => "null".to_string(),
         };
+        let workers = match r.worker_threads {
+            Some(n) => format!(", \"worker_threads\": {n}"),
+            None => String::new(),
+        };
         json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_sec\": {}}}{sep}\n",
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_sec\": {}{workers}}}{sep}\n",
             escape_json(&r.id),
             r.ns_per_iter,
             per_sec
@@ -290,10 +313,15 @@ fn read_existing_records(path: &std::path::Path) -> Vec<BenchRecord> {
                 (Some(rate), Some(unit)) => Some((rate, unit.to_string())),
                 _ => None,
             };
+            let worker_threads = entry
+                .get("worker_threads")
+                .and_then(|v| v.as_f64())
+                .map(|n| n as usize);
             Some(BenchRecord {
                 id,
                 ns_per_iter,
                 per_sec,
+                worker_threads,
             })
         })
         .collect()
@@ -378,10 +406,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
                 }
             }
             println!("{line}");
+            let workers = WORKER_THREADS.load(Ordering::Relaxed);
             RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
                 id: full_name.to_string(),
                 ns_per_iter: median,
                 per_sec,
+                worker_threads: (workers > 0).then_some(workers),
             });
         }
     }
@@ -516,7 +546,7 @@ mod tests {
   "schema": 1,
   "bench": "sample",
   "results": [
-    {"id": "group/with_thrpt", "ns_per_iter": 1200.5, "per_sec": 832986.3, "unit": "elem/s"},
+    {"id": "group/with_thrpt", "ns_per_iter": 1200.5, "per_sec": 832986.3, "unit": "elem/s", "worker_threads": 4},
     {"id": "group/no_thrpt", "ns_per_iter": 42.0, "per_sec": null}
   ]
 }"#,
@@ -526,7 +556,9 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].id, "group/with_thrpt");
         assert_eq!(records[0].per_sec.as_ref().unwrap().1, "elem/s");
+        assert_eq!(records[0].worker_threads, Some(4));
         assert!(records[1].per_sec.is_none());
+        assert_eq!(records[1].worker_threads, None);
         // Unreadable/missing files merge as empty.
         assert!(read_existing_records(&dir.join("missing.json")).is_empty());
         std::fs::remove_dir_all(&dir).ok();
