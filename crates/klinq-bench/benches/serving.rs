@@ -12,9 +12,10 @@
 use criterion::{criterion_group, Criterion, Throughput};
 use klinq_core::testkit;
 use klinq_core::{Backend, KlinqSystem};
-use klinq_serve::{ReadoutServer, ServeConfig};
+use klinq_serve::{ReadoutServer, ServeConfig, ShardedReadoutServer, WireClient, WireServer};
 use klinq_sim::Shot;
 use std::hint::black_box;
+use std::net::TcpListener;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -79,6 +80,66 @@ fn bench_serving(c: &mut Criterion) {
             server.shutdown();
         });
     }
+
+    // Sharded fleet: two device shards (the same trained system twice —
+    // shard-routing overhead is what's being measured), two clients per
+    // device, each client covering half the test set. One iteration
+    // classifies the test set once per device.
+    group.throughput(Throughput::Elements(2 * shots.len() as u64));
+    group.bench_function("sharded_2dev_4_clients", |b| {
+        let fleet = ShardedReadoutServer::start(
+            vec![Arc::clone(&system), Arc::clone(&system)],
+            ServeConfig {
+                max_batch_shots: shots.len(),
+                max_linger: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        );
+        b.iter(|| {
+            let per_client = shots.len().div_ceil(2);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for device in 0..fleet.devices() {
+                    for chunk in shots.chunks(per_client) {
+                        let client = fleet.client(device);
+                        handles.push(scope.spawn(move || {
+                            client.classify_shots(chunk.to_vec()).expect("fleet alive").len()
+                        }));
+                    }
+                }
+                for handle in handles {
+                    black_box(handle.join().expect("client thread"));
+                }
+            });
+        });
+        fleet.shutdown();
+    });
+
+    // Wire protocol: the whole test set per request over localhost TCP —
+    // the out-of-process serving figure next to the in-process one
+    // (framing + loopback round trip is the measured overhead).
+    group.throughput(Throughput::Elements(shots.len() as u64));
+    group.bench_function("wire_testset", |b| {
+        let fleet = ShardedReadoutServer::start(
+            vec![Arc::clone(&system)],
+            ServeConfig {
+                max_batch_shots: shots.len(),
+                max_linger: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        );
+        let server = WireServer::start(
+            &fleet,
+            TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+        )
+        .expect("start wire server");
+        let mut client =
+            WireClient::connect(server.local_addr(), 0).expect("connect loopback");
+        b.iter(|| black_box(client.classify_shots(&shots).expect("served").len()));
+        drop(client);
+        server.shutdown();
+        fleet.shutdown();
+    });
     group.finish();
 }
 

@@ -31,6 +31,15 @@
 //!
 //! Unknown format markers and future versions are rejected with
 //! [`KlinqError::Artifact`] rather than misparsed.
+//!
+//! # Multi-device bundles
+//!
+//! Sharded serving (`klinq-serve`) runs several trained systems — one
+//! per physical device — behind one intake. [`save_device_bundle`] /
+//! [`load_device_bundle`] ship that fleet as one versioned artifact
+//! (`"format": "klinq-bundle"`) whose `devices` array holds ordinary
+//! system artifacts; every per-system guarantee (exact float round-trip,
+//! load-time consistency checks, typed errors) applies to each device.
 
 use crate::discriminator::{KlinqDiscriminator, KlinqSystem};
 use crate::error::KlinqError;
@@ -51,6 +60,13 @@ const FORMAT: &str = "klinq-system";
 ///   the new float path bit for bit, so they are rejected and retrained.
 const VERSION: u32 = 2;
 
+/// The device-bundle artifact's `format` marker.
+const BUNDLE_FORMAT: &str = "klinq-bundle";
+/// The current device-bundle version. The bundle versions independently
+/// of the per-system artifact it nests: version 1 wraps version-2 system
+/// artifacts.
+const BUNDLE_VERSION: u32 = 1;
+
 /// On-disk shape of a saved system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SystemArtifact {
@@ -59,6 +75,15 @@ struct SystemArtifact {
     config: ExperimentConfig,
     teachers: Vec<Teacher>,
     discriminators: Vec<KlinqDiscriminator>,
+}
+
+/// On-disk shape of a multi-device bundle: one system artifact per
+/// device, in shard order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BundleArtifact {
+    format: String,
+    version: u32,
+    devices: Vec<SystemArtifact>,
 }
 
 impl KlinqSystem {
@@ -70,14 +95,18 @@ impl KlinqSystem {
     /// possible for non-finite values, which a trained system never
     /// contains).
     pub fn to_artifact_json(&self) -> Result<String, KlinqError> {
-        let artifact = SystemArtifact {
+        serde_json::to_string(&self.artifact()).map_err(|e| KlinqError::Artifact(e.to_string()))
+    }
+
+    /// The serializable artifact view of this system.
+    fn artifact(&self) -> SystemArtifact {
+        SystemArtifact {
             format: FORMAT.to_string(),
             version: VERSION,
             config: self.config().clone(),
             teachers: self.teachers().to_vec(),
             discriminators: self.discriminators().to_vec(),
-        };
-        serde_json::to_string(&artifact).map_err(|e| KlinqError::Artifact(e.to_string()))
+        }
     }
 
     /// Rebuilds a system from artifact JSON, regenerating the datasets
@@ -96,22 +125,30 @@ impl KlinqSystem {
         // rows), so a typed parse of a v1 file would die on a field-shape
         // serde error instead of the version message this module
         // promises.
-        let peek: serde_json::Value =
-            serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
-        let format = peek.get("format").and_then(|v| v.as_str()).unwrap_or("");
-        if format != FORMAT {
-            return Err(KlinqError::Artifact(format!(
-                "unknown format marker `{format}` (expected `{FORMAT}`)"
-            )));
-        }
-        let version = peek.get("version").and_then(|v| v.as_f64()).unwrap_or(0.0) as u32;
-        if version != VERSION {
-            return Err(KlinqError::Artifact(format!(
-                "unsupported artifact version {version} (this build reads {VERSION})"
-            )));
-        }
+        peek_marker(json, FORMAT, VERSION)?;
         let artifact: SystemArtifact =
             serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+        Self::from_artifact(artifact)
+    }
+
+    /// Validates an already-parsed artifact and rebuilds its system,
+    /// regenerating the datasets from the stored configuration.
+    fn from_artifact(artifact: SystemArtifact) -> Result<Self, KlinqError> {
+        // Re-checked here (not only in the top-level peek) because
+        // bundle loading reaches this point with *nested* artifacts whose
+        // markers the peek never saw.
+        if artifact.format != FORMAT {
+            return Err(KlinqError::Artifact(format!(
+                "unknown format marker `{}` (expected `{FORMAT}`)",
+                artifact.format
+            )));
+        }
+        if artifact.version != VERSION {
+            return Err(KlinqError::Artifact(format!(
+                "unsupported artifact version {} (this build reads {VERSION})",
+                artifact.version
+            )));
+        }
         if artifact.discriminators.len() != 5 || artifact.teachers.len() != 5 {
             return Err(KlinqError::Artifact(format!(
                 "expected 5 discriminators and 5 teachers, got {} and {}",
@@ -182,11 +219,7 @@ impl KlinqSystem {
     /// Returns [`KlinqError::Io`] if the file cannot be written and
     /// [`KlinqError::Artifact`] if serialization fails.
     pub fn save(&self, path: &Path) -> Result<(), KlinqError> {
-        let json = self.to_artifact_json()?;
-        let io_err = |e: std::io::Error| KlinqError::Io(format!("{}: {e}", path.display()));
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, json).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        write_atomic(path, &self.to_artifact_json()?)
     }
 
     /// Loads a system previously written by [`Self::save`].
@@ -205,6 +238,122 @@ impl KlinqSystem {
             .map_err(|e| KlinqError::Io(format!("{}: {e}", path.display())))?;
         Self::from_artifact_json(&json)
     }
+}
+
+/// Checks a JSON artifact's `format`/`version` markers through an
+/// untyped parse *before* the typed deserialize: structurally old
+/// versions would otherwise die on a field-shape serde error instead of
+/// the version message this module promises.
+fn peek_marker(json: &str, want_format: &str, want_version: u32) -> Result<(), KlinqError> {
+    let peek: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+    let format = peek.get("format").and_then(|v| v.as_str()).unwrap_or("");
+    if format != want_format {
+        return Err(KlinqError::Artifact(format!(
+            "unknown format marker `{format}` (expected `{want_format}`)"
+        )));
+    }
+    // `as_u64`, not a float parse: `as_f64() as u32` would truncate a
+    // fractional version (2.3 → 2) into a spurious pass and wrap a
+    // negative one — the same lossy-parse class benchdiff's
+    // `worker_threads` fix addresses.
+    let version = match peek.get("version") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            KlinqError::Artifact(format!(
+                "artifact version {v:?} is not an unsigned integer"
+            ))
+        })?,
+    };
+    if version != u64::from(want_version) {
+        return Err(KlinqError::Artifact(format!(
+            "unsupported artifact version {version} (this build reads {want_version})"
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes a fleet of trained systems — one per physical device, in
+/// shard order — to the versioned `klinq-bundle` JSON.
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Artifact`] for an empty fleet (a bundle with no
+/// devices cannot shard anything) or if serialization fails.
+pub fn device_bundle_to_json(systems: &[&KlinqSystem]) -> Result<String, KlinqError> {
+    if systems.is_empty() {
+        return Err(KlinqError::Artifact(
+            "a device bundle needs at least one system".to_string(),
+        ));
+    }
+    let bundle = BundleArtifact {
+        format: BUNDLE_FORMAT.to_string(),
+        version: BUNDLE_VERSION,
+        devices: systems.iter().map(|s| s.artifact()).collect(),
+    };
+    serde_json::to_string(&bundle).map_err(|e| KlinqError::Artifact(e.to_string()))
+}
+
+/// Rebuilds a device fleet from bundle JSON; element `i` is device `i`'s
+/// system, with its datasets regenerated exactly as [`KlinqSystem::load`]
+/// would.
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Artifact`] on malformed JSON, wrong markers, an
+/// empty `devices` array, or any device artifact that fails the
+/// per-system consistency checks.
+pub fn device_bundle_from_json(json: &str) -> Result<Vec<KlinqSystem>, KlinqError> {
+    peek_marker(json, BUNDLE_FORMAT, BUNDLE_VERSION)?;
+    let bundle: BundleArtifact =
+        serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+    if bundle.devices.is_empty() {
+        return Err(KlinqError::Artifact(
+            "device bundle holds no devices".to_string(),
+        ));
+    }
+    bundle
+        .devices
+        .into_iter()
+        .enumerate()
+        .map(|(dev, artifact)| {
+            KlinqSystem::from_artifact(artifact)
+                .map_err(|e| KlinqError::Artifact(format!("device {dev}: {e}")))
+        })
+        .collect()
+}
+
+/// Writes a multi-device bundle to `path` (atomic rename, like
+/// [`KlinqSystem::save`]).
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Io`] if the file cannot be written and
+/// [`KlinqError::Artifact`] if serialization fails or the fleet is empty.
+pub fn save_device_bundle(path: &Path, systems: &[&KlinqSystem]) -> Result<(), KlinqError> {
+    write_atomic(path, &device_bundle_to_json(systems)?)
+}
+
+/// The one atomic artifact writer every save path shares: a sibling
+/// temporary file plus rename, so a crash mid-save never leaves a
+/// truncated artifact where a loadable one is expected.
+fn write_atomic(path: &Path, json: &str) -> Result<(), KlinqError> {
+    let io_err = |e: std::io::Error| KlinqError::Io(format!("{}: {e}", path.display()));
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Loads a device fleet previously written by [`save_device_bundle`].
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Io`] if the file cannot be read and
+/// [`KlinqError::Artifact`] if its contents are malformed.
+pub fn load_device_bundle(path: &Path) -> Result<Vec<KlinqSystem>, KlinqError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| KlinqError::Io(format!("{}: {e}", path.display())))?;
+    device_bundle_from_json(&json)
 }
 
 #[cfg(test)]
@@ -230,13 +379,61 @@ mod tests {
     #[test]
     fn save_and_load_through_a_file() {
         let sys = smoke_system();
-        let dir = std::env::temp_dir().join("klinq_persist_test");
+        // Per-process dir: a fixed path would collide across concurrent
+        // workspaces sharing the same temp dir.
+        let dir = std::env::temp_dir().join(format!("klinq_persist_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("system.json");
         sys.save(&path).unwrap();
         let loaded = KlinqSystem::load(&path).unwrap();
         assert_eq!(&loaded, sys);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn device_bundle_round_trips_every_device() {
+        let sys = smoke_system();
+        // A two-device fleet (same trained system on both shards — a
+        // distinct second training would dominate the suite's wall
+        // clock without exercising any extra bundle code).
+        let json = device_bundle_to_json(&[sys, sys]).unwrap();
+        let fleet = device_bundle_from_json(&json).unwrap();
+        assert_eq!(fleet.len(), 2);
+        for device in &fleet {
+            assert_eq!(device, sys);
+        }
+        let dir = std::env::temp_dir().join(format!("klinq_bundle_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        save_device_bundle(&path, &[sys, sys]).unwrap();
+        assert_eq!(load_device_bundle(&path).unwrap(), fleet);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_bundles_are_rejected_typed() {
+        let sys = smoke_system();
+        assert!(matches!(
+            device_bundle_to_json(&[]),
+            Err(KlinqError::Artifact(_))
+        ));
+        // A plain system artifact is not a bundle.
+        let system_json = sys.to_artifact_json().unwrap();
+        let err = device_bundle_from_json(&system_json).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+        // Future bundle versions are refused with the version message.
+        let json = device_bundle_to_json(&[sys]).unwrap();
+        let wrong_version = json.replacen("\"version\":1", "\"version\":99", 1);
+        let err = device_bundle_from_json(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        // An empty device array sharded nothing.
+        let empty = r#"{"format":"klinq-bundle","version":1,"devices":[]}"#;
+        let err = device_bundle_from_json(empty).unwrap_err();
+        assert!(err.to_string().contains("no devices"), "{err}");
+        // A corrupted nested device fails with its device index.
+        let corrupt = json.replacen("klinq-system", "not-a-system", 1);
+        let err = device_bundle_from_json(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("device 0"), "{err}");
     }
 
     #[test]
@@ -257,6 +454,11 @@ mod tests {
         let wrong_version = json.replacen("\"version\":2", "\"version\":99", 1);
         let err = KlinqSystem::from_artifact_json(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+        // A fractional version must not truncate into a spurious match
+        // (2.3 as u32 == 2): it is rejected typed before the shape parse.
+        let frac_version = json.replacen("\"version\":2", "\"version\":2.3", 1);
+        let err = KlinqSystem::from_artifact_json(&frac_version).unwrap_err();
+        assert!(err.to_string().contains("not an unsigned integer"), "{err}");
         // A structurally old artifact (v1 bodies differ — nested
         // QuantizedDense weight rows, fields missing here entirely) must
         // still produce the version message, not a serde shape error:

@@ -82,6 +82,15 @@ fn try_load_fresh(path: &Path, config: &ExperimentConfig) -> Option<KlinqSystem>
 mod tests {
     use super::*;
 
+    /// A per-process scratch directory: the fixed
+    /// `temp_dir()/klinq_testkit_*` paths these tests previously used
+    /// collide across concurrent workspaces/CI runs sharing one temp
+    /// dir, and the teardown `remove_dir_all` could delete a sibling
+    /// run's cache mid-test.
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("klinq_testkit_{name}_{}", std::process::id()))
+    }
+
     #[test]
     fn warm_cache_is_loaded_not_retrained() {
         // Seed a cache directory from the shared in-memory fixture (so
@@ -89,7 +98,7 @@ mod tests {
         // `cached_smoke_system` picks it up bit for bit. The cache file
         // is written now, hence newer than this test executable.
         let fixture = crate::testutil::smoke_system();
-        let dir = std::env::temp_dir().join("klinq_testkit_warm");
+        let dir = scratch_dir("warm");
         std::fs::create_dir_all(&dir).unwrap();
         fixture.save(&dir.join(CACHE_FILE)).unwrap();
         let cached = cached_smoke_system(&dir);
@@ -99,7 +108,7 @@ mod tests {
 
     #[test]
     fn stale_or_mismatched_cache_is_ignored() {
-        let dir = std::env::temp_dir().join("klinq_testkit_stale");
+        let dir = scratch_dir("stale");
         std::fs::create_dir_all(&dir).ok();
         let path = dir.join(CACHE_FILE);
         std::fs::write(&path, "{not valid json").unwrap();

@@ -1,5 +1,5 @@
 //! Micro-batching readout serving: many concurrent clients, one batched
-//! discriminator.
+//! discriminator per device shard.
 //!
 //! The per-shot API ([`klinq_core::KlinqSystem::measure_on`]) is built
 //! for mid-circuit latency; a readout *service* instead sees throughput —
@@ -18,6 +18,24 @@
 //! invisible to clients: every response is exactly what a direct
 //! [`measure_on`](klinq_core::KlinqDiscriminator::measure_on) loop would
 //! have produced, on either [`Backend`].
+//!
+//! Serving at scale adds three layers on the coalescing core:
+//!
+//! - **Scheduling policies**: the intake queue is bounded
+//!   ([`ServeConfig::max_pending`]) — a saturated server sheds with
+//!   [`ServeError::Overloaded`] instead of queueing unboundedly — and
+//!   [`Priority::Latency`] requests close their micro-batch immediately
+//!   instead of waiting out the linger window tuned for throughput
+//!   traffic.
+//! - **Multi-device sharding**: [`ShardedReadoutServer`]
+//!   runs one collector per [`KlinqSystem`](klinq_core::KlinqSystem)
+//!   (e.g. one per chip in the fridge), deployable from a single
+//!   multi-device artifact bundle, routing each request to its device's
+//!   collector at intake.
+//! - **A wire protocol** ([`wire`]): a length-prefixed binary codec over
+//!   plain TCP ([`WireServer`]/[`WireClient`], std threads only) so
+//!   out-of-process clients reach the very same coalescing path,
+//!   bitwise-identically to in-process calls.
 //!
 //! # Example
 //!
@@ -38,8 +56,12 @@
 //! ```
 
 mod server;
+mod shard;
+pub mod wire;
 
-pub use server::{ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats};
+pub use server::{Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats};
+pub use shard::ShardedReadoutServer;
+pub use wire::{WireClient, WireError, WireMessage, WireServer};
 
 // Re-exported so downstream code can name the request/response types
 // without depending on klinq-core / klinq-sim directly.

@@ -8,15 +8,41 @@
 //! or the linger window ([`ServeConfig::max_linger`]) expires, classifies
 //! the whole batch in one call, and scatters the per-request slices back.
 //! An idle server blocks on `recv` and costs nothing.
+//!
+//! Two scheduling policies shape the intake:
+//!
+//! - **Backpressure**: the intake queue is bounded
+//!   ([`ServeConfig::max_pending`]). A full queue sheds the request with
+//!   [`ServeError::Overloaded`] instead of letting senders pile up
+//!   unboundedly behind a saturated collector — the client sees the
+//!   overload immediately and can retry, downgrade, or fail over.
+//! - **Priority lanes**: [`Priority::Latency`] requests bypass the
+//!   linger window — the batch they join closes immediately — while
+//!   [`Priority::Throughput`] requests coalesce as usual. A mid-circuit
+//!   measurement that gates a conditional pulse cannot wait out a linger
+//!   tuned for throughput traffic.
 
 use klinq_core::{Backend, BatchDiscriminator, KlinqSystem, ShotStates};
 use klinq_sim::Shot;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Scheduling class of a classification request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Coalesce freely: wait out the linger window so the batch fills.
+    /// The default for bulk readout traffic.
+    #[default]
+    Throughput,
+    /// Latency-sensitive (e.g. a mid-circuit measurement gating a
+    /// conditional pulse): the batch this request joins closes
+    /// immediately instead of lingering for more traffic.
+    Latency,
+}
 
 /// Tuning knobs for a [`ReadoutServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,8 +56,14 @@ pub struct ServeConfig {
     pub max_batch_shots: usize,
     /// How long a non-full batch may wait for more requests to coalesce
     /// before it is classified anyway. Zero means "drain whatever is
-    /// already queued, never wait".
+    /// already queued, never wait"; durations too large to express as a
+    /// deadline (e.g. [`Duration::MAX`]) mean "wait until the budget
+    /// fills or the server shuts down".
     pub max_linger: Duration,
+    /// Intake-queue bound, in queued requests: a client whose send finds
+    /// the queue full is shed with [`ServeError::Overloaded`] instead of
+    /// queueing unboundedly behind a saturated collector.
+    pub max_pending: usize,
     /// Optional scheduling chunk-size override forwarded to
     /// [`BatchDiscriminator::with_chunk_size`] (`None` keeps the
     /// engine's default). Purely a performance knob — results are
@@ -40,12 +72,14 @@ pub struct ServeConfig {
 }
 
 impl Default for ServeConfig {
-    /// Float backend, 1024-shot batches, 200 µs linger.
+    /// Float backend, 1024-shot batches, 200 µs linger, 1024-request
+    /// intake queue.
     fn default() -> Self {
         Self {
             backend: Backend::Float,
             max_batch_shots: 1024,
             max_linger: Duration::from_micros(200),
+            max_pending: 1024,
             chunk_size: None,
         }
     }
@@ -61,6 +95,15 @@ pub enum ServeError {
     /// front end's floor). Only the offending request is rejected — the
     /// server keeps serving everyone else.
     InvalidRequest(String),
+    /// The intake queue was full ([`ServeConfig::max_pending`]): the
+    /// request was shed without queueing. Retry later, or against
+    /// another shard.
+    Overloaded,
+    /// The reply violated the serving contract (e.g. a response whose
+    /// length does not match the request's shot count, or a malformed
+    /// wire frame). Indicates a buggy or mismatched server, never a bad
+    /// request.
+    Protocol(String),
 }
 
 impl fmt::Display for ServeError {
@@ -68,6 +111,8 @@ impl fmt::Display for ServeError {
         match self {
             Self::Closed => write!(f, "readout server is closed"),
             Self::InvalidRequest(msg) => write!(f, "invalid readout request: {msg}"),
+            Self::Overloaded => write!(f, "readout server overloaded: intake queue full"),
+            Self::Protocol(msg) => write!(f, "readout serving protocol violation: {msg}"),
         }
     }
 }
@@ -76,11 +121,14 @@ impl std::error::Error for ServeError {}
 
 /// Counters the collector maintains (shared snapshot-style with handles).
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     requests: AtomicU64,
     shots: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicU64,
+    shed: AtomicU64,
+    latency_requests: AtomicU64,
+    expedited_batches: AtomicU64,
 }
 
 /// A point-in-time snapshot of a server's coalescing behaviour.
@@ -94,6 +142,14 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest micro-batch, in shots.
     pub largest_batch: u64,
+    /// Requests shed with [`ServeError::Overloaded`] because the intake
+    /// queue was full.
+    pub shed: u64,
+    /// Answered requests that carried [`Priority::Latency`].
+    pub latency_requests: u64,
+    /// Micro-batches that closed early — skipping the linger window —
+    /// because they contained a [`Priority::Latency`] request.
+    pub expedited_batches: u64,
 }
 
 impl ServeStats {
@@ -105,11 +161,26 @@ impl ServeStats {
             self.shots as f64 / self.batches as f64
         }
     }
+
+    /// Field-wise sum — aggregates per-shard stats into a fleet view
+    /// (`largest_batch` takes the max, the rest add).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            requests: self.requests + other.requests,
+            shots: self.shots + other.shots,
+            batches: self.batches + other.batches,
+            largest_batch: self.largest_batch.max(other.largest_batch),
+            shed: self.shed + other.shed,
+            latency_requests: self.latency_requests + other.latency_requests,
+            expedited_batches: self.expedited_batches + other.expedited_batches,
+        }
+    }
 }
 
 /// One in-flight request: the shots to classify and where to answer.
 struct Request {
     shots: Vec<Shot>,
+    priority: Priority,
     reply: Sender<Result<Vec<ShotStates>, ServeError>>,
 }
 
@@ -128,12 +199,14 @@ enum Msg {
 /// only in the sense that calls fail fast with [`ServeError::Closed`].
 #[derive(Debug, Clone)]
 pub struct ReadoutClient {
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
+    counters: Arc<Counters>,
 }
 
 impl ReadoutClient {
-    /// Classifies a batch of shots, blocking until the coalesced result
-    /// arrives. Response index `i` is always shot `i`'s states.
+    /// Classifies a batch of shots at [`Priority::Throughput`], blocking
+    /// until the coalesced result arrives. Response index `i` is always
+    /// shot `i`'s states.
     ///
     /// An empty request completes immediately without a server round
     /// trip.
@@ -141,21 +214,60 @@ impl ReadoutClient {
     /// # Errors
     ///
     /// Returns [`ServeError::Closed`] if the server shut down before
-    /// answering, or [`ServeError::InvalidRequest`] if the shots cannot
-    /// be classified by the serving system (the request is rejected at
-    /// intake; the server keeps running).
+    /// answering, [`ServeError::Overloaded`] if the intake queue was
+    /// full (the request was shed, not queued), or
+    /// [`ServeError::InvalidRequest`] if the shots cannot be classified
+    /// by the serving system (the request is rejected at intake; the
+    /// server keeps running).
     pub fn classify_shots(&self, shots: Vec<Shot>) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_shots_with_priority(Priority::Throughput, shots)
+    }
+
+    /// Like [`Self::classify_shots`], with an explicit [`Priority`]:
+    /// `Latency` requests close their micro-batch immediately instead of
+    /// waiting out the linger window.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`].
+    pub fn classify_shots_with_priority(
+        &self,
+        priority: Priority,
+        shots: Vec<Shot>,
+    ) -> Result<Vec<ShotStates>, ServeError> {
         if shots.is_empty() {
             return Ok(Vec::new());
         }
+        let n_shots = shots.len();
         let (reply_tx, reply_rx) = mpsc::channel();
+        // A bounded `try_send` is the backpressure policy: a full queue
+        // means the collector is saturated, and the honest answer is an
+        // immediate `Overloaded`, not an unbounded invisible wait.
         self.tx
-            .send(Msg::Request(Request {
+            .try_send(Msg::Request(Request {
                 shots,
+                priority,
                 reply: reply_tx,
             }))
-            .map_err(|_| ServeError::Closed)?;
-        reply_rx.recv().map_err(|_| ServeError::Closed)?
+            .map_err(|e| match e {
+                TrySendError::Full(_) => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    ServeError::Overloaded
+                }
+                TrySendError::Disconnected(_) => ServeError::Closed,
+            })?;
+        let states = reply_rx.recv().map_err(|_| ServeError::Closed)??;
+        // The scatter contract is one state row per requested shot. An
+        // in-process collector upholds it by construction, but a remote
+        // (wire) or buggy server might not — and a silently short reply
+        // must fail typed on the *client*, never panic it.
+        if states.len() != n_shots {
+            return Err(ServeError::Protocol(format!(
+                "reply carries {} shot states for a {n_shots}-shot request",
+                states.len()
+            )));
+        }
+        Ok(states)
     }
 
     /// Classifies one shot, blocking until its coalesced result arrives.
@@ -165,6 +277,8 @@ impl ReadoutClient {
     /// Same contract as [`Self::classify_shots`].
     pub fn classify_shot(&self, shot: Shot) -> Result<ShotStates, ServeError> {
         let states = self.classify_shots(vec![shot])?;
+        // `classify_shots` already rejected length mismatches, so the
+        // indexing below cannot panic.
         Ok(states[0])
     }
 }
@@ -175,7 +289,7 @@ impl ReadoutClient {
 /// channel, lets the collector finish the batch in flight, and joins it.
 #[derive(Debug)]
 pub struct ReadoutServer {
-    tx: Option<Sender<Msg>>,
+    tx: Option<SyncSender<Msg>>,
     collector: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
 }
@@ -187,12 +301,16 @@ impl ReadoutServer {
     /// # Panics
     ///
     /// Panics immediately (not later on the collector thread) if the
-    /// configuration is unusable: a zero `max_batch_shots` or a zero
-    /// `chunk_size` override.
+    /// configuration is unusable: a zero `max_batch_shots`, a zero
+    /// `max_pending`, or a zero `chunk_size` override.
     pub fn start(system: Arc<KlinqSystem>, config: ServeConfig) -> Self {
         assert!(config.max_batch_shots > 0, "max_batch_shots must be non-zero");
+        assert!(
+            config.max_pending > 0,
+            "max_pending must be non-zero (a zero-capacity intake queue would shed everything)"
+        );
         assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(config.max_pending);
         let counters = Arc::new(Counters::default());
         let collector_counters = Arc::clone(&counters);
         let collector = std::thread::Builder::new()
@@ -215,6 +333,7 @@ impl ReadoutServer {
     pub fn client(&self) -> ReadoutClient {
         ReadoutClient {
             tx: self.tx.as_ref().expect("server is running").clone(),
+            counters: Arc::clone(&self.counters),
         }
     }
 
@@ -225,6 +344,9 @@ impl ReadoutServer {
             shots: self.counters.shots.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            latency_requests: self.counters.latency_requests.load(Ordering::Relaxed),
+            expedited_batches: self.counters.expedited_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -240,7 +362,9 @@ impl ReadoutServer {
         // disconnection) lets shutdown complete even while cloned
         // `ReadoutClient` handles are still alive; the collector finishes
         // the batch in flight and exits, after which those clients fail
-        // fast with `ServeError::Closed`.
+        // fast with `ServeError::Closed`. The blocking `send` (not
+        // `try_send`) guarantees delivery through a momentarily full
+        // intake queue — the collector is draining it, so space appears.
         if let Some(tx) = self.tx.take() {
             let _ = tx.send(Msg::Shutdown);
         }
@@ -306,15 +430,34 @@ fn collector_loop(
         };
         let mut pending = vec![first];
         let mut n_shots = pending[0].shots.len();
-        let deadline = Instant::now() + config.max_linger;
-        while n_shots < config.max_batch_shots {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+        // A latency-lane request never lingers: its batch closes the
+        // moment it is admitted.
+        let mut expedited = pending[0].priority == Priority::Latency;
+        // `checked_add` because huge lingers (`Duration::MAX` as "wait
+        // until the budget fills") overflow `Instant` arithmetic — the
+        // old `Instant::now() + max_linger` panicked the collector and
+        // failed every client with `Closed`. `None` means "no deadline":
+        // wait on a plain `recv` until the budget fills, a latency
+        // request arrives, or the server shuts down.
+        let deadline = Instant::now().checked_add(config.max_linger);
+        while !expedited && n_shots < config.max_batch_shots {
             // `recv_timeout` drains already-queued requests even with a
             // zero budget, so an expired linger still soaks up whatever
             // arrived meanwhile — it just never *waits* any longer.
-            match rx.recv_timeout(remaining) {
+            let next = match deadline {
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    rx.recv_timeout(remaining)
+                }
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match next {
                 Ok(Msg::Request(req)) => {
                     if let Some(req) = admit(req) {
+                        // An admitted latency request closes the batch
+                        // immediately — it has already waited once in the
+                        // queue and must not wait out the linger too.
+                        expedited = req.priority == Priority::Latency;
                         n_shots += req.shots.len();
                         pending.push(req);
                     }
@@ -332,7 +475,11 @@ fn collector_loop(
         // never cloned.
         let mut shots = Vec::with_capacity(n_shots);
         let mut replies = Vec::with_capacity(pending.len());
+        let mut latency_requests = 0u64;
         for req in pending {
+            if req.priority == Priority::Latency {
+                latency_requests += 1;
+            }
             replies.push((req.reply, req.shots.len()));
             shots.extend(req.shots);
         }
@@ -344,6 +491,12 @@ fn collector_loop(
         counters
             .largest_batch
             .fetch_max(shots.len() as u64, Ordering::Relaxed);
+        counters
+            .latency_requests
+            .fetch_add(latency_requests, Ordering::Relaxed);
+        if expedited {
+            counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
+        }
 
         let mut offset = 0;
         for (reply, count) in replies {

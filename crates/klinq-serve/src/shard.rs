@@ -1,0 +1,109 @@
+//! Multi-device sharding: several [`KlinqSystem`]s behind one intake.
+//!
+//! One readout service rarely fronts one device: a dilution fridge hosts
+//! several 5-qubit chips, each with its own trained discriminator fleet.
+//! [`ShardedReadoutServer`] owns one coalescing collector per device
+//! (each an ordinary [`ReadoutServer`], so every per-server guarantee —
+//! bitwise-identical coalescing, backpressure, priority lanes — holds
+//! per shard) and routes each request to its device's collector **at
+//! intake**: [`ShardedReadoutServer::client`] hands out a plain
+//! [`ReadoutClient`] bound to the chosen device, so the request path
+//! after routing is exactly the single-server path and sharding adds
+//! zero per-request overhead.
+//!
+//! Fleets deploy from a single multi-device artifact
+//! ([`klinq_core::persist::save_device_bundle`]) via [`ShardedReadoutServer::load_bundle`].
+
+use crate::server::{ReadoutClient, ReadoutServer, ServeConfig, ServeStats};
+use klinq_core::{persist, KlinqError, KlinqSystem};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A fleet of per-device coalescing servers behind one handle.
+///
+/// Shutting the fleet down (explicitly or by drop) shuts every shard
+/// down; a panic on any shard's collector is re-raised on the owner,
+/// exactly like a single [`ReadoutServer`].
+#[derive(Debug)]
+pub struct ShardedReadoutServer {
+    shards: Vec<ReadoutServer>,
+}
+
+impl ShardedReadoutServer {
+    /// Starts one collector per system; `systems[i]` serves device `i`.
+    /// Every shard runs the same `config` (backend, batching, intake
+    /// bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `systems` is empty or the configuration is unusable
+    /// (same contract as [`ReadoutServer::start`]).
+    pub fn start(systems: Vec<Arc<KlinqSystem>>, config: ServeConfig) -> Self {
+        assert!(!systems.is_empty(), "a sharded server needs at least one device");
+        Self {
+            shards: systems
+                .into_iter()
+                .map(|system| ReadoutServer::start(system, config))
+                .collect(),
+        }
+    }
+
+    /// Loads a device fleet from a multi-device bundle artifact (see
+    /// [`klinq_core::persist::load_device_bundle`]) and starts one shard
+    /// per stored device, in bundle order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`KlinqError`] if the bundle cannot be
+    /// read or fails its consistency checks.
+    pub fn load_bundle(path: &Path, config: ServeConfig) -> Result<Self, KlinqError> {
+        let systems = persist::load_device_bundle(path)?;
+        Ok(Self::start(systems.into_iter().map(Arc::new).collect(), config))
+    }
+
+    /// Number of device shards.
+    pub fn devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A client handle bound to `device`'s shard — the routing decision.
+    /// The returned handle is an ordinary [`ReadoutClient`]; everything
+    /// downstream of intake is the single-server path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()`: binding a handle to a
+    /// device that does not exist is a deployment bug, not a runtime
+    /// condition (the wire front end validates device ids from
+    /// untrusted requests before calling this).
+    pub fn client(&self, device: usize) -> ReadoutClient {
+        assert!(
+            device < self.shards.len(),
+            "device {device} out of range: this fleet serves {} devices",
+            self.shards.len()
+        );
+        self.shards[device].client()
+    }
+
+    /// Per-device counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(ReadoutServer::stats).collect()
+    }
+
+    /// Fleet-wide counters: per-shard stats merged (sums, with
+    /// `largest_batch` taking the max).
+    pub fn stats(&self) -> ServeStats {
+        self.shard_stats()
+            .iter()
+            .fold(ServeStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Shuts every shard down (draining each in-flight batch) and
+    /// returns the final fleet-wide counters.
+    pub fn shutdown(self) -> ServeStats {
+        self.shards
+            .into_iter()
+            .map(ReadoutServer::shutdown)
+            .fold(ServeStats::default(), |acc, s| acc.merge(&s))
+    }
+}

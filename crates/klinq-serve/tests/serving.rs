@@ -4,10 +4,10 @@
 
 use klinq_core::testkit;
 use klinq_core::{Backend, BatchDiscriminator, KlinqSystem};
-use klinq_serve::{ReadoutServer, ServeConfig, ServeError};
+use klinq_serve::{Priority, ReadoutServer, ServeConfig, ServeError};
 use std::path::Path;
 use std::sync::{Arc, Barrier, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The shared smoke system (disk-cached across the workspace's test
 /// binaries, see `klinq_core::testkit`).
@@ -129,6 +129,232 @@ fn single_shot_api_and_empty_requests() {
     assert!(client.classify_shots(Vec::new()).expect("empty ok").is_empty());
     let stats = server.shutdown();
     assert_eq!(stats.requests, 1);
+}
+
+#[test]
+fn huge_linger_does_not_panic_the_collector() {
+    // Regression: `Instant::now() + max_linger` overflowed (and panicked
+    // the collector) for huge lingers like `Duration::MAX` as "wait
+    // until the budget fills", after which every client got `Closed`.
+    let sys = system();
+    let shot = sys.test_data().shot(0).clone();
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_linger: Duration::MAX,
+            // Budget of one: the first request closes its own batch, so
+            // the infinite linger never actually waits.
+            max_batch_shots: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let states = server.client().classify_shot(shot.clone()).expect("server alive");
+    assert_eq!(
+        states,
+        BatchDiscriminator::new(sys.discriminators()).classify_shot(&shot)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_mid_coalesce_answers_the_in_flight_batch() {
+    // An infinite linger with an unreachable budget parks the collector
+    // in a plain `recv` with a batch open; `Shutdown` must close that
+    // batch and answer it, not strand the client.
+    let sys = system();
+    let shots = sys.test_data().shots()[..3].to_vec();
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots(&shots);
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_linger: Duration::MAX,
+            max_batch_shots: usize::MAX,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| client.classify_shots(shots.clone()));
+        // Let the request open its batch before shutting down.
+        std::thread::sleep(Duration::from_millis(200));
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        let states = handle.join().expect("client thread").expect("answered at shutdown");
+        assert_eq!(states, direct);
+    });
+}
+
+#[test]
+fn latency_priority_skips_the_linger_window() {
+    let sys = system();
+    let shot = sys.test_data().shot(0).clone();
+    // A linger long enough that a lingering batch would time the test
+    // out; only the priority lane can answer quickly.
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_linger: Duration::from_secs(600),
+            max_batch_shots: usize::MAX,
+            ..ServeConfig::default()
+        },
+    );
+    let client = server.client();
+    let start = Instant::now();
+    let states = client
+        .classify_shots_with_priority(Priority::Latency, vec![shot.clone()])
+        .expect("server alive");
+    let elapsed = start.elapsed();
+    assert_eq!(
+        states[0],
+        BatchDiscriminator::new(sys.discriminators()).classify_shot(&shot)
+    );
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "latency request waited out the linger: {elapsed:?}"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.latency_requests, 1);
+    assert_eq!(stats.expedited_batches, 1, "{stats:?}");
+}
+
+#[test]
+fn latency_arrival_closes_a_lingering_batch() {
+    let sys = system();
+    let shots = sys.test_data().shots();
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots(shots);
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_linger: Duration::from_secs(600),
+            max_batch_shots: usize::MAX,
+            ..ServeConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        let throughput_client = server.client();
+        let bulk: Vec<_> = shots[..4].to_vec();
+        let bulk_handle = scope.spawn(move || throughput_client.classify_shots(bulk));
+        // Give the throughput request time to open its batch and start
+        // lingering, then let a latency request cut the linger short.
+        std::thread::sleep(Duration::from_millis(200));
+        let latency_client = server.client();
+        let states = latency_client
+            .classify_shots_with_priority(Priority::Latency, vec![shots[7].clone()])
+            .expect("server alive");
+        assert_eq!(states[0], direct[7]);
+        // The bulk request rode in the same expedited batch.
+        let bulk_states = bulk_handle.join().expect("bulk thread").expect("server alive");
+        assert_eq!(bulk_states, direct[..4]);
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(
+        stats.batches, 1,
+        "the latency request must join the open batch, not start its own: {stats:?}"
+    );
+    assert_eq!(stats.expedited_batches, 1);
+    assert_eq!(stats.latency_requests, 1);
+}
+
+#[test]
+fn full_intake_queue_sheds_with_overloaded() {
+    let sys = system();
+    let shots = sys.test_data().shots();
+    // A deliberately long request keeps the collector busy classifying
+    // while the intake queue (capacity 1) fills behind it: the Q16.16
+    // backend (several times slower than float) and a request scaled by
+    // the worker-pool size keep the busy window well past the sleeps
+    // below even on fast release builds and multi-core pools.
+    let copies = 64 * std::thread::available_parallelism().map_or(1, |n| n.get());
+    let big: Vec<_> = std::iter::repeat_with(|| shots.iter().cloned())
+        .take(copies)
+        .flatten()
+        .collect();
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            backend: Backend::Hardware,
+            max_batch_shots: 1,
+            max_linger: Duration::ZERO,
+            max_pending: 1,
+            ..ServeConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        let big_client = server.client();
+        let big_request = {
+            let big = big.clone();
+            scope.spawn(move || big_client.classify_shots(big))
+        };
+        // Let the collector dequeue the big request and start
+        // classifying (it parks in `recv`, so pickup is immediate; the
+        // classification itself takes far longer than this sleep).
+        std::thread::sleep(Duration::from_millis(30));
+        let queued_client = server.client();
+        let queued = {
+            let shot = shots[0].clone();
+            scope.spawn(move || queued_client.classify_shot(shot))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // Queue slot taken and the collector is busy: shed, immediately.
+        let start = Instant::now();
+        let overflow = server.client().classify_shot(shots[1].clone());
+        assert_eq!(overflow, Err(ServeError::Overloaded));
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "shedding must not wait for the collector"
+        );
+        // The queued request is answered once the collector frees up.
+        let state = queued.join().expect("queued thread").expect("server alive");
+        assert_eq!(
+            state,
+            BatchDiscriminator::new(sys.discriminators())
+                .classify_shot_on(Backend::Hardware, &shots[0])
+        );
+        let big_states = big_request.join().expect("big thread").expect("server alive");
+        assert_eq!(big_states.len(), big.len());
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 1, "{stats:?}");
+    assert_eq!(stats.requests, 2, "shed requests must not count as served");
+}
+
+#[test]
+fn oversized_requests_scatter_one_to_one() {
+    // Two concurrent requests, each alone bigger than the batch budget:
+    // each must form its own oversized batch and get exactly its own
+    // states back — never a merged or split scatter.
+    let sys = system();
+    let shots = sys.test_data().shots();
+    let direct = BatchDiscriminator::new(sys.discriminators()).classify_shots(shots);
+    let half = shots.len() / 2;
+    let server = ReadoutServer::start(
+        system(),
+        ServeConfig {
+            max_batch_shots: 8,
+            max_linger: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = [(0, half), (half, shots.len())]
+            .into_iter()
+            .map(|(lo, hi)| {
+                let client = server.client();
+                let mine = shots[lo..hi].to_vec();
+                scope.spawn(move || (lo, client.classify_shots(mine).expect("server alive")))
+            })
+            .collect();
+        for handle in handles {
+            let (lo, states) = handle.join().expect("client thread");
+            assert_eq!(states, direct[lo..lo + states.len()]);
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.batches, 2, "oversized requests never coalesce: {stats:?}");
+    assert_eq!(stats.shots, shots.len() as u64);
 }
 
 #[test]

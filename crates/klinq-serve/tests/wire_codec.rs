@@ -1,0 +1,226 @@
+//! Wire-codec properties: encode→decode identity for every message
+//! type, and typed errors — never panics — for truncated or corrupted
+//! bytes.
+
+use klinq_serve::wire::{
+    decode_message, encode_error, encode_request, encode_response, read_frame, WireError,
+    WireMessage,
+};
+use klinq_serve::{Priority, ServeError, Shot, ShotStates};
+use klinq_sim::dataset::IqTrace;
+use klinq_sim::device::NUM_QUBITS;
+use klinq_sim::trajectory::StateEvolution;
+use proptest::prelude::*;
+
+/// Builds an unlabeled shot from per-trace sample vectors (the wire
+/// carries no labels, so decoded shots default them — mirror that here
+/// so round-trip equality is exact). I and Q carry distinct values so a
+/// codec that swapped or aliased the channels would fail the round trip.
+fn shot_from_samples(trace_samples: Vec<Vec<f32>>) -> Shot {
+    Shot {
+        prepared: [false; NUM_QUBITS],
+        evolutions: [StateEvolution::Ground; NUM_QUBITS],
+        traces: trace_samples
+            .into_iter()
+            .map(|i| {
+                let q = i.iter().map(|v| v * 0.5 - 1.0).collect();
+                IqTrace { i, q }
+            })
+            .collect(),
+    }
+}
+
+fn shots_strategy() -> impl Strategy<Value = Vec<Shot>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(-1.0e3f32..1.0e3, 0..12),
+            0..6,
+        )
+        .prop_map(shot_from_samples),
+        0..5,
+    )
+}
+
+fn states_strategy() -> impl Strategy<Value = Vec<ShotStates>> {
+    prop::collection::vec(
+        (0u32..32).prop_map(|mask| std::array::from_fn(|qb| mask & (1 << qb) != 0)),
+        0..20,
+    )
+}
+
+proptest! {
+    #[test]
+    fn request_round_trips_exactly(
+        shots in shots_strategy(),
+        device in 0u32..200,
+        latency in prop::bool::ANY
+    ) {
+        let device = device as u16;
+        let priority = if latency { Priority::Latency } else { Priority::Throughput };
+        let encoded = encode_request(device, priority, &shots);
+        match decode_message(&encoded) {
+            Ok(WireMessage::Request { device: d, priority: p, shots: s }) => {
+                prop_assert_eq!(d, device);
+                prop_assert_eq!(p, priority);
+                prop_assert_eq!(s, shots);
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn response_round_trips_exactly(states in states_strategy()) {
+        let encoded = encode_response(&states);
+        match decode_message(&encoded) {
+            Ok(WireMessage::Response { states: s }) => prop_assert_eq!(s, states),
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_request_is_a_typed_error(
+        shots in shots_strategy(),
+        cut_fraction in 0.0f64..1.0
+    ) {
+        // Any strict prefix of a valid frame payload must decode to a
+        // typed error — the declared counts can no longer be satisfied —
+        // and must never panic or silently succeed.
+        let encoded = encode_request(3, Priority::Throughput, &shots);
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < encoded.len());
+        prop_assert!(decode_message(&encoded[..cut]).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(0u32..256, 0..300)
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        // Any result is fine — only a panic would fail this test.
+        let _ = decode_message(&bytes);
+    }
+
+    #[test]
+    fn corrupting_the_header_yields_the_matching_typed_error(
+        states in states_strategy()
+    ) {
+        let good = encode_response(&states);
+        // Magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        prop_assert!(matches!(decode_message(&bad), Err(WireError::BadMagic(_))));
+        // Version.
+        let mut bad = good.clone();
+        bad[2] = 99;
+        prop_assert!(matches!(
+            decode_message(&bad),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+        // Message type.
+        let mut bad = good.clone();
+        bad[3] = 77;
+        prop_assert!(matches!(
+            decode_message(&bad),
+            Err(WireError::UnknownMessage(77))
+        ));
+    }
+}
+
+#[test]
+fn every_error_variant_round_trips() {
+    for error in [
+        ServeError::Closed,
+        ServeError::Overloaded,
+        ServeError::InvalidRequest("shot 3 qubit 1: ragged".to_string()),
+        ServeError::Protocol("reply carries 0 shot states".to_string()),
+    ] {
+        let encoded = encode_error(&error);
+        match decode_message(&encoded) {
+            Ok(WireMessage::Error(decoded)) => assert_eq!(decoded, error),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn response_masks_with_non_qubit_bits_are_malformed() {
+    let mut encoded = encode_response(&[[true; 5]]);
+    // Set a sixth-qubit bit in the (single) state mask.
+    let last = encoded.len() - 1;
+    encoded[last] |= 1 << 5;
+    assert!(matches!(
+        decode_message(&encoded),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+#[test]
+fn ragged_traces_round_trip_exactly() {
+    // The format carries separate I and Q counts precisely so ragged
+    // traces survive the trip and get rejected typed at intake.
+    let mut shot = shot_from_samples(vec![vec![1.0, 2.0, 3.0], vec![4.0]]);
+    shot.traces[0].q.truncate(1);
+    shot.traces[1].q.clear();
+    let encoded = encode_request(0, Priority::Throughput, std::slice::from_ref(&shot));
+    match decode_message(&encoded) {
+        Ok(WireMessage::Request { shots, .. }) => assert_eq!(shots, vec![shot]),
+        other => panic!("decoded {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_shot_counts_are_capped_before_allocation() {
+    // A frame declaring an absurd shot count must fail typed without
+    // the decoder allocating shot structs for it.
+    let mut payload = encode_request(0, Priority::Throughput, &[]);
+    // Overwrite the trailing u32 shot count (last 4 bytes of an empty
+    // request) with u32::MAX.
+    let len = payload.len();
+    payload[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    match decode_message(&payload) {
+        Err(WireError::Malformed(msg)) => assert!(msg.contains("limit"), "{msg}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // A count under the cap but unbacked by bytes is typed truncation,
+    // still before allocation.
+    payload[len - 4..].copy_from_slice(&1_000_000u32.to_le_bytes());
+    assert!(matches!(
+        decode_message(&payload),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn trailing_bytes_are_malformed() {
+    let mut encoded = encode_response(&[[false; 5]]);
+    encoded.push(0);
+    match decode_message(&encoded) {
+        Err(WireError::Malformed(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn framing_rejects_truncation_and_oversized_lengths() {
+    // Clean EOF at a frame boundary is `None`, not an error.
+    let empty: &[u8] = &[];
+    assert_eq!(read_frame(&mut &*empty).unwrap(), None);
+    // A stream that dies mid-length-prefix or mid-payload is typed.
+    let short_prefix: &[u8] = &[1, 0];
+    assert!(matches!(
+        read_frame(&mut &*short_prefix),
+        Err(WireError::Truncated { .. })
+    ));
+    let short_payload: &[u8] = &[8, 0, 0, 0, 1, 2, 3];
+    assert!(matches!(
+        read_frame(&mut &*short_payload),
+        Err(WireError::Truncated { expected: 8, have: 3 })
+    ));
+    // A garbage length prefix must produce a typed bound error, not a
+    // giant allocation.
+    let huge: &[u8] = &[0xff, 0xff, 0xff, 0xff];
+    assert!(matches!(
+        read_frame(&mut &*huge),
+        Err(WireError::FrameTooLarge(_))
+    ));
+}

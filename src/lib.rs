@@ -17,8 +17,9 @@
 //!   float/Q16.16 [`core::Backend`]), model persistence
 //!   ([`core::persist`]), baselines (Baseline FNN, HERQULES, quantized
 //!   FNN) and the paper's experiments.
-//! - [`serve`] — the micro-batching readout server: concurrent clients,
-//!   request coalescing, one batched discriminator.
+//! - [`serve`] — the serving stack: micro-batching request coalescing
+//!   with backpressure and priority lanes, multi-device sharding, and a
+//!   binary wire protocol over TCP for out-of-process clients.
 //!
 //! # Quickstart
 //!

@@ -1,4 +1,4 @@
-//! Workspace smoke test: all six `examples/` must keep compiling.
+//! Workspace smoke test: all seven `examples/` must keep compiling.
 //!
 //! `cargo test` already builds the root package's examples, but only in
 //! the test profile of the same invocation; this test pins the guarantee
@@ -21,6 +21,7 @@ fn all_examples_compile() {
         "crosstalk_compensation",
         "fpga_deployment",
         "serving",
+        "sharded_serving",
     ];
     for name in expected {
         assert!(

@@ -16,7 +16,32 @@ use std::fmt;
 pub const DEFAULT_THRESHOLD: f64 = 0.25;
 
 /// Default id prefix guarded by CI: the direct batch-engine figures.
+///
+/// The `serving/*` ids deliberately stay OUTSIDE the guarded prefix
+/// (warn-only, via the trajectory file's presence in the diff output):
+/// serving throughput folds in thread scheduling, channel wake-ups and
+/// TCP round trips, which jitter far more run-to-run on shared CI
+/// runners than the compute-bound `batched_inference/*` figures — a
+/// hard gate on them would flake without catching real engine
+/// regressions, which the guarded direct figures already catch.
 pub const DEFAULT_PREFIX: &str = "batched_inference/";
+
+/// How a bench entry recorded the worker-pool size it ran with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolSize {
+    /// The entry carries no `worker_threads` field (or an explicit
+    /// `null`): recorded before the field existed.
+    Unrecorded,
+    /// A recorded pool size.
+    Threads(u64),
+    /// The field is present but not a non-negative integer (fractional,
+    /// negative, or non-numeric) — never comparable to anything. The
+    /// raw value rides along for the skip reason. The old
+    /// `as_f64() as u64` parse silently truncated fractions and wrapped
+    /// negatives into huge pool sizes, corrupting the comparability
+    /// check either way.
+    Invalid(String),
+}
 
 /// One bench entry relevant to the diff.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +50,8 @@ pub struct BenchEntry {
     pub id: String,
     /// Throughput in units/s (`None` for latency-only entries).
     pub per_sec: Option<f64>,
-    /// Worker-pool size the measurement ran with, if recorded.
-    pub worker_threads: Option<u64>,
+    /// Worker-pool size the measurement ran with.
+    pub worker_threads: PoolSize,
 }
 
 /// Outcome of diffing one id present in both files.
@@ -105,10 +130,13 @@ pub fn parse_entries(json: &str) -> Result<Vec<BenchEntry>, String> {
             Some(BenchEntry {
                 id: entry.get("id")?.as_str()?.to_string(),
                 per_sec: entry.get("per_sec").and_then(|v| v.as_f64()),
-                worker_threads: entry
-                    .get("worker_threads")
-                    .and_then(|v| v.as_f64())
-                    .map(|n| n as u64),
+                worker_threads: match entry.get("worker_threads") {
+                    None | Some(serde_json::Value::Null) => PoolSize::Unrecorded,
+                    Some(v) => match v.as_u64() {
+                        Some(n) => PoolSize::Threads(n),
+                        None => PoolSize::Invalid(format!("{v:?}")),
+                    },
+                },
             })
         })
         .collect())
@@ -137,6 +165,20 @@ pub fn diff(
                     reason: "not measured in the fresh run".into(),
                 };
             };
+            // An unparseable pool size can never certify comparability:
+            // skip with the raw value rather than guessing.
+            if let PoolSize::Invalid(raw) = &base.worker_threads {
+                return Verdict::Skipped {
+                    id,
+                    reason: format!("baseline worker_threads is not a non-negative integer: {raw}"),
+                };
+            }
+            if let PoolSize::Invalid(raw) = &new.worker_threads {
+                return Verdict::Skipped {
+                    id,
+                    reason: format!("fresh worker_threads is not a non-negative integer: {raw}"),
+                };
+            }
             if base.worker_threads != new.worker_threads {
                 return Verdict::Skipped {
                     id,
@@ -181,7 +223,10 @@ mod tests {
         BenchEntry {
             id: id.to_string(),
             per_sec,
-            worker_threads: workers,
+            worker_threads: match workers {
+                Some(n) => PoolSize::Threads(n),
+                None => PoolSize::Unrecorded,
+            },
         }
     }
 
@@ -198,10 +243,51 @@ mod tests {
         let entries = parse_entries(json).unwrap();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].per_sec, Some(291750.6));
-        assert_eq!(entries[0].worker_threads, Some(1));
+        assert_eq!(entries[0].worker_threads, PoolSize::Threads(1));
         assert_eq!(entries[1].per_sec, None);
+        assert_eq!(entries[1].worker_threads, PoolSize::Unrecorded);
         assert!(parse_entries("not json").is_err());
         assert!(parse_entries("{}").is_err());
+    }
+
+    #[test]
+    fn non_integer_worker_threads_parse_invalid_and_skip_with_a_reason() {
+        // Regression: `as_f64() as u64` silently truncated 1.5 to 1 and
+        // wrapped -3 into a huge pool size, so corrupted fields could
+        // satisfy (or vacuously fail) the comparability check. They must
+        // parse as `Invalid` and never compare.
+        let json = r#"{"results": [
+    {"id": "batched_inference/frac", "per_sec": 100.0, "worker_threads": 1.5},
+    {"id": "batched_inference/neg", "per_sec": 100.0, "worker_threads": -3},
+    {"id": "batched_inference/str", "per_sec": 100.0, "worker_threads": "four"}
+  ]}"#;
+        let bad = parse_entries(json).unwrap();
+        for e in &bad {
+            assert!(
+                matches!(e.worker_threads, PoolSize::Invalid(_)),
+                "{:?} must parse as Invalid",
+                e.worker_threads
+            );
+        }
+        // A fractional baseline must not be mistaken for the truncated
+        // integer it would previously have become.
+        assert_ne!(bad[0].worker_threads, PoolSize::Threads(1));
+        let fresh = [
+            entry("batched_inference/frac", Some(100.0), Some(1)),
+            entry("batched_inference/neg", Some(100.0), Some(1)),
+            entry("batched_inference/str", Some(100.0), Some(1)),
+        ];
+        for v in diff(&bad, &fresh, DEFAULT_PREFIX, 0.25) {
+            assert!(!v.is_regression());
+            assert!(
+                v.to_string().contains("not a non-negative integer"),
+                "unexpected verdict: {v}"
+            );
+        }
+        // And symmetrically when the *fresh* side is corrupt.
+        let verdicts = diff(&fresh, &bad, DEFAULT_PREFIX, 0.25);
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
+        assert!(verdicts[0].to_string().contains("fresh worker_threads"));
     }
 
     #[test]
