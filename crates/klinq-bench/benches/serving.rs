@@ -12,13 +12,15 @@
 use criterion::{criterion_group, Criterion, Throughput};
 use klinq_core::testkit;
 use klinq_core::{Backend, KlinqSystem};
-use klinq_serve::{ReadoutServer, ServeConfig, ShardedReadoutServer, WireClient, WireServer};
+use klinq_serve::{
+    ReadoutServer, ServeConfig, ShardedReadoutServer, WireClient, WireConfig, WireServer,
+};
 use klinq_sim::Shot;
 use std::hint::black_box;
 use std::net::TcpListener;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One trained smoke system shared by every benchmark in this binary
 /// (disk-cached across the workspace's test/bench binaries).
@@ -143,7 +145,115 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+/// Shots per pipelined wire request in the concurrency sweep.
+const SWEEP_SLICE: usize = 4;
+/// Wall clock per measured concurrency level.
+const SWEEP_MEASURE_TIME: Duration = Duration::from_secs(1);
+
+/// Reactor concurrency scaling: `serving/wire_c{64,256,1024}` drive that
+/// many *concurrent pipelined connections* against one wire server (one
+/// reactor thread, one device shard) and record aggregate throughput
+/// plus per-request latency percentiles (`…_p50`/`…_p99`, `ns_per_iter`
+/// carries the percentile, no throughput figure).
+///
+/// One round = one in-flight request per connection (submit everything,
+/// then drain), so a round's shot total is `conns * SWEEP_SLICE` and the
+/// coalescer sees exactly the many-small-clients shape the reactor
+/// exists for. A single driver thread suffices *because* the protocol
+/// pipelines — no thread-per-connection on either side of the wire.
+///
+/// `Bencher::iter`'s single median cannot express percentiles, so this
+/// measures by hand: in test mode each level runs one round as a smoke
+/// test, in bench mode rounds repeat for [`SWEEP_MEASURE_TIME`] after a
+/// warmup round, and the three figures are recorded directly.
+fn bench_wire_concurrency(c: &mut Criterion) {
+    let system = system();
+    let shots: Vec<Shot> = system.test_data().shots().to_vec();
+    for conns in [64usize, 256, 1024] {
+        let id = format!("serving/wire_c{conns}");
+        if !c.is_selected(&id) {
+            continue;
+        }
+        let fleet = ShardedReadoutServer::start(
+            vec![Arc::clone(&system)],
+            ServeConfig {
+                // Batches close on the aggregate in-flight shot count —
+                // one round fills one batch exactly, so the linger is a
+                // straggler bound, not a wait (batches close on count);
+                // the queue bound must admit every connection's request
+                // at once.
+                max_batch_shots: conns * SWEEP_SLICE,
+                max_linger: Duration::from_millis(10),
+                max_pending: (2 * conns).max(1024),
+                ..ServeConfig::default()
+            },
+        );
+        let server = WireServer::start_with(
+            &fleet,
+            TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+            WireConfig {
+                max_connections: conns + 8,
+                ..WireConfig::default()
+            },
+        )
+        .expect("start wire server");
+        let mut clients: Vec<WireClient> = (0..conns)
+            .map(|_| WireClient::connect(server.local_addr(), 0).expect("connect loopback"))
+            .collect();
+        let slice_of = |i: usize| {
+            let s = (i * SWEEP_SLICE) % (shots.len() - SWEEP_SLICE);
+            &shots[s..s + SWEEP_SLICE]
+        };
+        // One request per connection in flight; returns per-request
+        // latencies (submit → response drained) in nanoseconds.
+        let round = |clients: &mut [WireClient], latencies: &mut Vec<f64>| {
+            let mut submitted = Vec::with_capacity(clients.len());
+            for (i, client) in clients.iter_mut().enumerate() {
+                client.submit(slice_of(i)).expect("submitted");
+                submitted.push(Instant::now());
+            }
+            for (i, client) in clients.iter_mut().enumerate() {
+                let (_, result) = client.recv_response().expect("server alive");
+                black_box(result.expect("served").len());
+                latencies.push(submitted[i].elapsed().as_nanos() as f64);
+            }
+        };
+        let mut latencies = Vec::new();
+        round(&mut clients, &mut latencies); // warmup / smoke
+        if c.is_bench() {
+            latencies.clear();
+            let mut rounds = 0u64;
+            let t0 = Instant::now();
+            let elapsed = loop {
+                round(&mut clients, &mut latencies);
+                rounds += 1;
+                let elapsed = t0.elapsed();
+                if elapsed >= SWEEP_MEASURE_TIME {
+                    break elapsed;
+                }
+            };
+            let ns = elapsed.as_nanos() as f64;
+            let total_shots = (rounds * (conns * SWEEP_SLICE) as u64) as f64;
+            criterion::record_measurement(
+                &id,
+                ns / rounds as f64,
+                Some((total_shots / (ns * 1e-9), "elem/s")),
+            );
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            for (tag, q) in [("p50", 0.50), ("p99", 0.99)] {
+                let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+                criterion::record_measurement(&format!("{id}_{tag}"), latencies[idx], None);
+            }
+        } else {
+            println!("{id}: ok (test mode, 1 round)");
+        }
+        drop(clients);
+        server.shutdown();
+        fleet.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_wire_concurrency);
 
 fn main() {
     let mut criterion = Criterion::from_args();

@@ -60,10 +60,18 @@ impl TeacherConfig {
         }
     }
 
-    /// A tiny teacher for smoke tests (hidden 32/16/8).
+    /// A tiny teacher for smoke tests (hidden 24/12/6).
+    ///
+    /// Sized by wall clock: teacher training dominates the cold cost of
+    /// the shared smoke fixture (`klinq_core::testkit`), which every CI
+    /// run pays once. 24/12/6 holds every statistical floor with the
+    /// same margins as the former 32/16/8 (see `stat_floors` — floors
+    /// are never loosened to buy speed) while cutting the first-layer
+    /// weight count — the input dimension dwarfs the hidden sizes — by
+    /// a quarter.
     pub fn smoke() -> Self {
         Self {
-            hidden: vec![32, 16, 8],
+            hidden: vec![24, 12, 6],
             train: TrainConfig {
                 epochs: 40,
                 batch_size: 32,

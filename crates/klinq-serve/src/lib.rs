@@ -35,7 +35,12 @@
 //! - **A wire protocol** ([`wire`]): a length-prefixed binary codec over
 //!   plain TCP ([`WireServer`]/[`WireClient`], std threads only) so
 //!   out-of-process clients reach the very same coalescing path,
-//!   bitwise-identically to in-process calls.
+//!   bitwise-identically to in-process calls. The server side is a
+//!   readiness-driven reactor (epoll on Linux, a portable poll-loop
+//!   fallback elsewhere — [`Transport`]): one event-loop thread
+//!   multiplexes thousands of connections under a configurable budget
+//!   ([`WireConfig`]), and the protocol's per-frame request ids let each
+//!   connection **pipeline** many requests with out-of-order completion.
 //!
 //! # Example
 //!
@@ -61,7 +66,7 @@ pub mod wire;
 
 pub use server::{Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats};
 pub use shard::ShardedReadoutServer;
-pub use wire::{WireClient, WireError, WireMessage, WireServer};
+pub use wire::{Transport, WireClient, WireConfig, WireError, WireMessage, WireServer};
 
 // Re-exported so downstream code can name the request/response types
 // without depending on klinq-core / klinq-sim directly.

@@ -26,7 +26,7 @@ use klinq_core::{Backend, BatchDiscriminator, KlinqSystem, ShotStates};
 use klinq_sim::Shot;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -104,6 +104,10 @@ pub enum ServeError {
     /// wire frame). Indicates a buggy or mismatched server, never a bad
     /// request.
     Protocol(String),
+    /// A client-side deadline expired before the server answered (wire
+    /// clients with a read timeout configured). The request may still be
+    /// executing server-side; only the wait was abandoned.
+    Timeout,
 }
 
 impl fmt::Display for ServeError {
@@ -113,6 +117,7 @@ impl fmt::Display for ServeError {
             Self::InvalidRequest(msg) => write!(f, "invalid readout request: {msg}"),
             Self::Overloaded => write!(f, "readout server overloaded: intake queue full"),
             Self::Protocol(msg) => write!(f, "readout serving protocol violation: {msg}"),
+            Self::Timeout => write!(f, "readout request timed out before the server answered"),
         }
     }
 }
@@ -150,6 +155,15 @@ pub struct ServeStats {
     /// Micro-batches that closed early — skipping the linger window —
     /// because they contained a [`Priority::Latency`] request.
     pub expedited_batches: u64,
+    /// TCP connections a wire front end accepted over its lifetime
+    /// (0 for a purely in-process server).
+    pub wire_accepted: u64,
+    /// Wire connections reaped for exceeding the idle timeout.
+    pub wire_reaped: u64,
+    /// Wire connections open right now.
+    pub wire_open: u64,
+    /// High-water mark of simultaneously open wire connections.
+    pub wire_peak_open: u64,
 }
 
 impl ServeStats {
@@ -163,7 +177,7 @@ impl ServeStats {
     }
 
     /// Field-wise sum — aggregates per-shard stats into a fleet view
-    /// (`largest_batch` takes the max, the rest add).
+    /// (`largest_batch` and `wire_peak_open` take the max, the rest add).
     pub fn merge(&self, other: &Self) -> Self {
         Self {
             requests: self.requests + other.requests,
@@ -173,15 +187,28 @@ impl ServeStats {
             shed: self.shed + other.shed,
             latency_requests: self.latency_requests + other.latency_requests,
             expedited_batches: self.expedited_batches + other.expedited_batches,
+            wire_accepted: self.wire_accepted + other.wire_accepted,
+            wire_reaped: self.wire_reaped + other.wire_reaped,
+            wire_open: self.wire_open + other.wire_open,
+            wire_peak_open: self.wire_peak_open.max(other.wire_peak_open),
         }
     }
 }
+
+/// How a finished request's result reaches its submitter.
+///
+/// A callback rather than a channel sender: the wire reactor serves
+/// thousands of connections from one event loop and cannot park a
+/// thread per request, so its completions are pushed straight into the
+/// loop's queue by the callback. The blocking client path simply wraps
+/// a channel sender in one — same coalescing, same results.
+pub(crate) type ReplyFn = Box<dyn FnOnce(Result<Vec<ShotStates>, ServeError>) + Send>;
 
 /// One in-flight request: the shots to classify and where to answer.
 struct Request {
     shots: Vec<Shot>,
     priority: Priority,
-    reply: Sender<Result<Vec<ShotStates>, ServeError>>,
+    reply: ReplyFn,
 }
 
 /// What travels over the intake channel.
@@ -235,27 +262,13 @@ impl ReadoutClient {
         priority: Priority,
         shots: Vec<Shot>,
     ) -> Result<Vec<ShotStates>, ServeError> {
-        if shots.is_empty() {
-            return Ok(Vec::new());
-        }
         let n_shots = shots.len();
         let (reply_tx, reply_rx) = mpsc::channel();
-        // A bounded `try_send` is the backpressure policy: a full queue
-        // means the collector is saturated, and the honest answer is an
-        // immediate `Overloaded`, not an unbounded invisible wait.
-        self.tx
-            .try_send(Msg::Request(Request {
-                shots,
-                priority,
-                reply: reply_tx,
-            }))
-            .map_err(|e| match e {
-                TrySendError::Full(_) => {
-                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    ServeError::Overloaded
-                }
-                TrySendError::Disconnected(_) => ServeError::Closed,
-            })?;
+        self.submit_with_priority(priority, shots, move |result| {
+            // A submitter that gave up (dropped its receiver) is not an
+            // error for the batch.
+            let _ = reply_tx.send(result);
+        })?;
         let states = reply_rx.recv().map_err(|_| ServeError::Closed)??;
         // The scatter contract is one state row per requested shot. An
         // in-process collector upholds it by construction, but a remote
@@ -268,6 +281,50 @@ impl ReadoutClient {
             )));
         }
         Ok(states)
+    }
+
+    /// Submits shots without blocking for the result: `on_complete` runs
+    /// exactly once with the coalesced result (on the collector thread)
+    /// once the request's micro-batch executes. This is the submission
+    /// path the wire reactor uses — one event loop, thousands of
+    /// requests in flight, no parked thread per request.
+    ///
+    /// An empty request completes immediately: `on_complete` runs with
+    /// `Ok(vec![])` before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] (request shed, queue full) or
+    /// [`ServeError::Closed`] (server gone) **without** running
+    /// `on_complete` — a rejected submission has no completion. Requests
+    /// that fail later (e.g. [`ServeError::InvalidRequest`] at intake
+    /// validation) deliver their error through `on_complete` instead.
+    pub fn submit_with_priority(
+        &self,
+        priority: Priority,
+        shots: Vec<Shot>,
+        on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        if shots.is_empty() {
+            on_complete(Ok(Vec::new()));
+            return Ok(());
+        }
+        // A bounded `try_send` is the backpressure policy: a full queue
+        // means the collector is saturated, and the honest answer is an
+        // immediate `Overloaded`, not an unbounded invisible wait.
+        self.tx
+            .try_send(Msg::Request(Request {
+                shots,
+                priority,
+                reply: Box::new(on_complete),
+            }))
+            .map_err(|e| match e {
+                TrySendError::Full(_) => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    ServeError::Overloaded
+                }
+                TrySendError::Disconnected(_) => ServeError::Closed,
+            })
     }
 
     /// Classifies one shot, blocking until its coalesced result arrives.
@@ -337,7 +394,8 @@ impl ReadoutServer {
         }
     }
 
-    /// A snapshot of the coalescing counters.
+    /// A snapshot of the coalescing counters (the `wire_*` fields stay
+    /// zero here — they belong to a wire front end's own stats).
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
@@ -347,6 +405,7 @@ impl ReadoutServer {
             shed: self.counters.shed.load(Ordering::Relaxed),
             latency_requests: self.counters.latency_requests.load(Ordering::Relaxed),
             expedited_batches: self.counters.expedited_batches.load(Ordering::Relaxed),
+            ..ServeStats::default()
         }
     }
 
@@ -414,7 +473,7 @@ fn collector_loop(
         match validate_shots(&req.shots, &min_samples) {
             Ok(()) => Some(req),
             Err(msg) => {
-                let _ = req.reply.send(Err(ServeError::InvalidRequest(msg)));
+                (req.reply)(Err(ServeError::InvalidRequest(msg)));
                 None
             }
         }
@@ -500,9 +559,7 @@ fn collector_loop(
 
         let mut offset = 0;
         for (reply, count) in replies {
-            // A client that gave up (dropped its receiver) is not an
-            // error for the batch; everyone else still gets answered.
-            let _ = reply.send(Ok(states[offset..offset + count].to_vec()));
+            reply(Ok(states[offset..offset + count].to_vec()));
             offset += count;
         }
     }

@@ -1,0 +1,380 @@
+//! The wire protocol: out-of-process clients over plain TCP.
+//!
+//! PR 3's server is in-process only — clients are threads holding a
+//! channel handle. A readout *service* needs clients that live in other
+//! processes (control-stack software, calibration daemons, other
+//! hosts), so this module speaks a small length-prefixed binary
+//! protocol over [`std::net::TcpStream`] — std threads only, no async
+//! runtime.
+//!
+//! The module splits along the serving stack's layers:
+//!
+//! - [`codec`]: the protocol grammar — framing, encoding, panic-free
+//!   bounds-checked decoding, incremental [`FrameAssembler`] reassembly.
+//! - `conn` (private): per-connection non-blocking buffers and
+//!   lifecycle state.
+//! - [`reactor`]: the readiness-driven event loop serving thousands of
+//!   connections from one thread ([`WireServer`], [`WireConfig`],
+//!   [`Transport`]).
+//! - this module: the [`WireClient`], with blocking convenience calls
+//!   and a pipelined submit/receive API.
+//!
+//! The [`WireServer`] submits each decoded request through an ordinary
+//! in-process [`ReadoutClient`](crate::ReadoutClient) bound to the
+//! request's device shard, so **wire requests take exactly the
+//! in-process coalescing path**: responses are bitwise-identical to a
+//! local `classify_shots` call, and wire traffic coalesces into the
+//! same micro-batches as in-process traffic. I/Q samples travel as
+//! IEEE-754 little-endian bits, so no value is ever re-quantized in
+//! transit.
+//!
+//! # Pipelining
+//!
+//! Since protocol version 2 every frame carries a request id, so one
+//! connection can hold many requests in flight and the server answers
+//! in whatever order the micro-batches complete. [`WireClient::submit`]
+//! sends without waiting; [`WireClient::recv_response`] returns the
+//! next completed `(request id, result)` pair, whichever request it
+//! belongs to. The blocking `classify_*` calls are small wrappers that
+//! submit one request and wait for its id.
+
+pub mod codec;
+mod conn;
+pub mod reactor;
+
+pub use codec::{
+    decode_message, encode_error, encode_request, encode_response, read_frame, write_frame,
+    FrameAssembler, WireError, WireMessage, CONNECTION_REQ_ID, MAX_REQUEST_SHOTS,
+};
+pub use reactor::{Transport, WireConfig, WireServer};
+
+use crate::server::{Priority, ServeError};
+use klinq_core::ShotStates;
+use klinq_sim::Shot;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A wire client bound to one device shard at connect time — the same
+/// blocking call surface as the in-process
+/// [`ReadoutClient`](crate::ReadoutClient) (`classify_shots` /
+/// `classify_shot` / `classify_shots_with_priority`, returning the same
+/// [`ServeError`]s), plus the pipelined [`submit`](Self::submit) /
+/// [`recv_response`](Self::recv_response) pair for keeping many
+/// requests in flight on one connection.
+///
+/// Methods take `&mut self`: one thread drives a connection. For
+/// concurrent request *streams*, either pipeline on one client or open
+/// one client per thread.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    device: u16,
+    next_req_id: u64,
+    /// In-flight request ids → their shot counts (for reply-length
+    /// validation).
+    pending: HashMap<u64, usize>,
+    /// Completions read from the socket while waiting for a different
+    /// request id, delivered by later `recv_response` calls.
+    ready: VecDeque<(u64, Result<Vec<ShotStates>, ServeError>)>,
+    /// Inbound frame reassembly. Receives are buffered through this so
+    /// one read syscall can drain a whole burst of pipelined responses
+    /// (they are ~20 bytes each) instead of paying two syscalls per
+    /// frame.
+    rx: FrameAssembler,
+    /// Outbound scratch buffer: every submit encodes its frame in here
+    /// (cleared, capacity kept), so a pipelining client does not
+    /// allocate ~70 KB per bulk request.
+    tx: Vec<u8>,
+}
+
+/// How much a client receive asks the socket for at once — sized to
+/// swallow a burst of completed pipelined responses in one syscall.
+const RECV_CHUNK: usize = 16 * 1024;
+
+impl WireClient {
+    /// Connects to a [`WireServer`] and binds this handle to `device`'s
+    /// shard (the routing decision, made once at intake).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TCP connect error.
+    pub fn connect(addr: impl ToSocketAddrs, device: u16) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, device)
+    }
+
+    /// Like [`Self::connect`], but gives up with
+    /// [`io::ErrorKind::TimedOut`] if the server does not accept within
+    /// `timeout` — a dead or unroutable server fails the connect in
+    /// bounded time instead of hanging for the OS default (minutes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the TCP connect error, including the timeout.
+    pub fn connect_timeout(addr: &SocketAddr, device: u16, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Self::from_stream(stream, device)
+    }
+
+    fn from_stream(stream: TcpStream, device: u16) -> io::Result<Self> {
+        // Request frames should go out immediately: latency matters
+        // more than segment packing.
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            device,
+            // Id 0 is CONNECTION_REQ_ID — reserved for connection-level
+            // errors — so client ids count from 1.
+            next_req_id: 1,
+            pending: HashMap::new(),
+            ready: VecDeque::new(),
+            rx: FrameAssembler::new(),
+            tx: Vec::new(),
+        })
+    }
+
+    /// Bounds every receive: once set, a wait in
+    /// [`recv_response`](Self::recv_response) (or the blocking
+    /// `classify_*` wrappers) fails with [`ServeError::Timeout`] instead
+    /// of hanging forever on a server that accepted but never replies.
+    ///
+    /// After a timeout the connection may hold a partial frame and must
+    /// be discarded — reconnect rather than retrying on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option error. A zero duration is rejected
+    /// by the OS; use `None` to wait forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Requests in flight: submitted, not yet returned by
+    /// [`recv_response`](Self::recv_response).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.ready.len()
+    }
+
+    /// Submits a classification request at [`Priority::Throughput`]
+    /// without waiting for the result; returns the request id to match
+    /// against [`recv_response`](Self::recv_response). Many submits may
+    /// be in flight at once — that is the point.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the transport failed, or
+    /// [`ServeError::InvalidRequest`] for a request over the frame-size
+    /// bound (refused before any byte is sent).
+    pub fn submit(&mut self, shots: &[Shot]) -> Result<u64, ServeError> {
+        self.submit_with_priority(Priority::Throughput, shots)
+    }
+
+    /// Like [`Self::submit`], with an explicit [`Priority`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`].
+    pub fn submit_with_priority(
+        &mut self,
+        priority: Priority,
+        shots: &[Shot],
+    ) -> Result<u64, ServeError> {
+        self.submit_to(self.device, priority, shots)
+    }
+
+    /// Like [`Self::submit_with_priority`], overriding the device bound
+    /// at connect time: the protocol routes per request, so one
+    /// pipelined connection can spread work across a fleet's shards.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`]. (An out-of-range device is
+    /// answered by the *server* with [`ServeError::InvalidRequest`]
+    /// through [`recv_response`](Self::recv_response), like any other
+    /// per-request failure.)
+    pub fn submit_to(
+        &mut self,
+        device: u16,
+        priority: Priority,
+        shots: &[Shot],
+    ) -> Result<u64, ServeError> {
+        let req_id = self.next_req_id;
+        // Encoded straight into its frame, in the reused scratch
+        // buffer: one buffer, one write, no second payload copy and no
+        // per-request allocation on the submit path.
+        codec::encode_request_frame_into(&mut self.tx, req_id, device, priority, shots).map_err(
+            // Over the frame-size bound: the request itself is the
+            // problem, not the transport — refused before any byte
+            // goes out.
+            |len| {
+                ServeError::InvalidRequest(format!(
+                    "frame of {len} bytes exceeds the {}-byte bound",
+                    codec::MAX_FRAME
+                ))
+            },
+        )?;
+        self.stream
+            .write_all(&self.tx)
+            .map_err(|_| ServeError::Closed)?;
+        self.next_req_id += 1;
+        self.pending.insert(req_id, shots.len());
+        Ok(req_id)
+    }
+
+    /// Waits for the next completed request — whichever of the in-flight
+    /// ids finishes first — and returns `(request id, per-request
+    /// result)`. Responses arriving out of submission order are normal:
+    /// different priorities and batch closings reorder freely.
+    ///
+    /// The per-request result is `Ok(states)` (bitwise-identical to an
+    /// in-process call) or the server's typed [`ServeError`] for that
+    /// request (e.g. `InvalidRequest`, `Overloaded`) — those leave the
+    /// connection usable.
+    ///
+    /// # Errors
+    ///
+    /// The *outer* error means the connection itself is done for:
+    /// [`ServeError::Closed`] (transport failed or nothing in flight to
+    /// wait on), [`ServeError::Timeout`] (read deadline expired — see
+    /// [`Self::set_read_timeout`]), or [`ServeError::Protocol`]
+    /// (undecodable frame, unknown request id, short reply, or a
+    /// connection-level error frame from the server).
+    #[allow(clippy::type_complexity)]
+    pub fn recv_response(
+        &mut self,
+    ) -> Result<(u64, Result<Vec<ShotStates>, ServeError>), ServeError> {
+        if let Some(done) = self.ready.pop_front() {
+            return Ok(done);
+        }
+        if self.pending.is_empty() {
+            return Err(ServeError::Closed);
+        }
+        // Extract a buffered frame; read (blocking, possibly under a
+        // deadline) only when the reassembly buffer has no complete
+        // frame — so a burst of small responses costs one syscall, not
+        // two per frame.
+        let message = loop {
+            let decoded = match self.rx.next_frame_ref() {
+                Ok(Some(payload)) => Some(decode_message(payload)),
+                Ok(None) => None,
+                Err(e) => return Err(ServeError::Protocol(e.to_string())),
+            };
+            if let Some(decoded) = decoded {
+                break decoded;
+            }
+            match self.rx.read_from(&mut self.stream, RECV_CHUNK) {
+                Ok(0) if self.rx.pending() == 0 => return Err(ServeError::Closed),
+                Ok(0) => {
+                    return Err(ServeError::Protocol(
+                        "stream ended mid-frame".to_string(),
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A blocking socket with a read deadline (SO_RCVTIMEO)
+                // reports expiry as WouldBlock on unix, TimedOut on
+                // windows.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(ServeError::Timeout)
+                }
+                Err(_) => return Err(ServeError::Closed),
+            }
+        };
+        match message {
+            Ok(WireMessage::Response { req_id, states }) => {
+                let Some(expected) = self.pending.remove(&req_id) else {
+                    return Err(ServeError::Protocol(format!(
+                        "response for unknown request id {req_id}"
+                    )));
+                };
+                // Same contract as the in-process client: a short reply
+                // is a typed protocol error, never a panic.
+                let result = if states.len() == expected {
+                    Ok(states)
+                } else {
+                    Err(ServeError::Protocol(format!(
+                        "reply carries {} shot states for a {expected}-shot request",
+                        states.len()
+                    )))
+                };
+                Ok((req_id, result))
+            }
+            Ok(WireMessage::Error { req_id, error }) => {
+                if req_id == CONNECTION_REQ_ID {
+                    // Connection-level: the server is hanging up on
+                    // this whole connection, not failing one request.
+                    return Err(error);
+                }
+                if self.pending.remove(&req_id).is_none() {
+                    return Err(ServeError::Protocol(format!(
+                        "error frame for unknown request id {req_id}"
+                    )));
+                }
+                Ok((req_id, Err(error)))
+            }
+            Ok(WireMessage::Request { .. }) => Err(ServeError::Protocol(
+                "server sent a request message".to_string(),
+            )),
+            Err(e) => Err(ServeError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Classifies a batch of shots over the wire at
+    /// [`Priority::Throughput`], blocking until the result arrives;
+    /// response index `i` is shot `i`'s states, bitwise-identical to an
+    /// in-process `classify_shots` call against the same shard.
+    ///
+    /// An empty request completes without a server round trip.
+    ///
+    /// # Errors
+    ///
+    /// The server's own [`ServeError`]s pass through (`Closed`,
+    /// `Overloaded`, `InvalidRequest`); transport failures surface as
+    /// [`ServeError::Closed`], expired read deadlines as
+    /// [`ServeError::Timeout`], and protocol violations as
+    /// [`ServeError::Protocol`].
+    pub fn classify_shots(&mut self, shots: &[Shot]) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_shots_with_priority(Priority::Throughput, shots)
+    }
+
+    /// Like [`Self::classify_shots`], with an explicit [`Priority`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`].
+    pub fn classify_shots_with_priority(
+        &mut self,
+        priority: Priority,
+        shots: &[Shot],
+    ) -> Result<Vec<ShotStates>, ServeError> {
+        if shots.is_empty() {
+            return Ok(Vec::new());
+        }
+        let want = self.submit_with_priority(priority, shots)?;
+        loop {
+            let (req_id, result) = self.recv_response()?;
+            if req_id == want {
+                return result;
+            }
+            // A completion for an *earlier* pipelined submit: keep it
+            // for the recv_response call that wants it.
+            self.ready.push_back((req_id, result));
+        }
+    }
+
+    /// Classifies one shot over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`].
+    pub fn classify_shot(&mut self, shot: &Shot) -> Result<ShotStates, ServeError> {
+        let states = self.classify_shots(std::slice::from_ref(shot))?;
+        // `classify_shots` already rejected length mismatches.
+        Ok(states[0])
+    }
+}

@@ -251,10 +251,13 @@ fn garbage_frames_get_a_typed_protocol_error_not_a_dead_server() {
         .expect("server answers before hanging up")
         .expect("an error frame, not a silent close");
     match wire::decode_message(&payload) {
-        Ok(wire::WireMessage::Error(ServeError::Protocol(msg))) => {
+        Ok(wire::WireMessage::Error {
+            req_id: wire::CONNECTION_REQ_ID,
+            error: ServeError::Protocol(msg),
+        }) => {
             assert!(msg.contains("magic"), "{msg}")
         }
-        other => panic!("expected a protocol error frame, got {other:?}"),
+        other => panic!("expected a connection-level protocol error frame, got {other:?}"),
     }
     // After the error the server hangs up on the corrupt stream.
     let mut rest = Vec::new();

@@ -1,10 +1,11 @@
 //! Wire-codec properties: encode→decode identity for every message
-//! type, and typed errors — never panics — for truncated or corrupted
-//! bytes.
+//! type (request ids included), typed errors — never panics — for
+//! truncated or corrupted bytes, and incremental reassembly equivalence
+//! however the stream is fragmented.
 
 use klinq_serve::wire::{
-    decode_message, encode_error, encode_request, encode_response, read_frame, WireError,
-    WireMessage,
+    decode_message, encode_error, encode_request, encode_response, read_frame, FrameAssembler,
+    WireError, WireMessage,
 };
 use klinq_serve::{Priority, ServeError, Shot, ShotStates};
 use klinq_sim::dataset::IqTrace;
@@ -52,14 +53,16 @@ proptest! {
     #[test]
     fn request_round_trips_exactly(
         shots in shots_strategy(),
+        req_id in any::<u64>(),
         device in 0u32..200,
         latency in prop::bool::ANY
     ) {
         let device = device as u16;
         let priority = if latency { Priority::Latency } else { Priority::Throughput };
-        let encoded = encode_request(device, priority, &shots);
+        let encoded = encode_request(req_id, device, priority, &shots);
         match decode_message(&encoded) {
-            Ok(WireMessage::Request { device: d, priority: p, shots: s }) => {
+            Ok(WireMessage::Request { req_id: r, device: d, priority: p, shots: s }) => {
+                prop_assert_eq!(r, req_id);
                 prop_assert_eq!(d, device);
                 prop_assert_eq!(p, priority);
                 prop_assert_eq!(s, shots);
@@ -69,10 +72,16 @@ proptest! {
     }
 
     #[test]
-    fn response_round_trips_exactly(states in states_strategy()) {
-        let encoded = encode_response(&states);
+    fn response_round_trips_exactly(
+        states in states_strategy(),
+        req_id in any::<u64>()
+    ) {
+        let encoded = encode_response(req_id, &states);
         match decode_message(&encoded) {
-            Ok(WireMessage::Response { states: s }) => prop_assert_eq!(s, states),
+            Ok(WireMessage::Response { req_id: r, states: s }) => {
+                prop_assert_eq!(r, req_id);
+                prop_assert_eq!(s, states);
+            }
             other => prop_assert!(false, "decoded {:?}", other),
         }
     }
@@ -85,7 +94,7 @@ proptest! {
         // Any strict prefix of a valid frame payload must decode to a
         // typed error — the declared counts can no longer be satisfied —
         // and must never panic or silently succeed.
-        let encoded = encode_request(3, Priority::Throughput, &shots);
+        let encoded = encode_request(7, 3, Priority::Throughput, &shots);
         let cut = ((encoded.len() as f64) * cut_fraction) as usize;
         prop_assume!(cut < encoded.len());
         prop_assert!(decode_message(&encoded[..cut]).is_err());
@@ -104,7 +113,7 @@ proptest! {
     fn corrupting_the_header_yields_the_matching_typed_error(
         states in states_strategy()
     ) {
-        let good = encode_response(&states);
+        let good = encode_response(1, &states);
         // Magic.
         let mut bad = good.clone();
         bad[0] ^= 0xff;
@@ -124,6 +133,36 @@ proptest! {
             Err(WireError::UnknownMessage(77))
         ));
     }
+
+    #[test]
+    fn reassembly_is_invariant_to_fragmentation(
+        states in states_strategy(),
+        shots in shots_strategy(),
+        chunk in 1usize..64
+    ) {
+        // A byte stream carrying several frames must reassemble into
+        // exactly those frames no matter how the transport fragments it.
+        let payloads = [
+            encode_request(1, 0, Priority::Throughput, &shots),
+            encode_response(2, &states),
+            encode_error(3, &ServeError::Overloaded),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            stream.extend_from_slice(p);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            asm.extend(piece);
+            while let Some(frame) = asm.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, payloads.to_vec());
+        prop_assert_eq!(asm.pending(), 0);
+    }
 }
 
 #[test]
@@ -131,20 +170,42 @@ fn every_error_variant_round_trips() {
     for error in [
         ServeError::Closed,
         ServeError::Overloaded,
+        ServeError::Timeout,
         ServeError::InvalidRequest("shot 3 qubit 1: ragged".to_string()),
         ServeError::Protocol("reply carries 0 shot states".to_string()),
     ] {
-        let encoded = encode_error(&error);
+        let encoded = encode_error(42, &error);
         match decode_message(&encoded) {
-            Ok(WireMessage::Error(decoded)) => assert_eq!(decoded, error),
+            Ok(WireMessage::Error { req_id, error: decoded }) => {
+                assert_eq!(req_id, 42);
+                assert_eq!(decoded, error);
+            }
             other => panic!("decoded {other:?}"),
         }
     }
 }
 
 #[test]
+fn version_skew_is_a_typed_error() {
+    // A protocol-v1 frame (PR 5: no request id) against this build must
+    // fail typed as version skew — never parse the id-less header as if
+    // eight body bytes were a request id.
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&0x514Bu16.to_le_bytes());
+    v1.push(1); // version 1
+    v1.push(1); // request
+    v1.extend_from_slice(&0u16.to_le_bytes()); // device
+    v1.push(0); // priority
+    v1.extend_from_slice(&0u32.to_le_bytes()); // zero shots
+    assert!(matches!(
+        decode_message(&v1),
+        Err(WireError::UnsupportedVersion(1))
+    ));
+}
+
+#[test]
 fn response_masks_with_non_qubit_bits_are_malformed() {
-    let mut encoded = encode_response(&[[true; 5]]);
+    let mut encoded = encode_response(1, &[[true; 5]]);
     // Set a sixth-qubit bit in the (single) state mask.
     let last = encoded.len() - 1;
     encoded[last] |= 1 << 5;
@@ -161,7 +222,7 @@ fn ragged_traces_round_trip_exactly() {
     let mut shot = shot_from_samples(vec![vec![1.0, 2.0, 3.0], vec![4.0]]);
     shot.traces[0].q.truncate(1);
     shot.traces[1].q.clear();
-    let encoded = encode_request(0, Priority::Throughput, std::slice::from_ref(&shot));
+    let encoded = encode_request(1, 0, Priority::Throughput, std::slice::from_ref(&shot));
     match decode_message(&encoded) {
         Ok(WireMessage::Request { shots, .. }) => assert_eq!(shots, vec![shot]),
         other => panic!("decoded {other:?}"),
@@ -172,7 +233,7 @@ fn ragged_traces_round_trip_exactly() {
 fn hostile_shot_counts_are_capped_before_allocation() {
     // A frame declaring an absurd shot count must fail typed without
     // the decoder allocating shot structs for it.
-    let mut payload = encode_request(0, Priority::Throughput, &[]);
+    let mut payload = encode_request(1, 0, Priority::Throughput, &[]);
     // Overwrite the trailing u32 shot count (last 4 bytes of an empty
     // request) with u32::MAX.
     let len = payload.len();
@@ -192,7 +253,7 @@ fn hostile_shot_counts_are_capped_before_allocation() {
 
 #[test]
 fn trailing_bytes_are_malformed() {
-    let mut encoded = encode_response(&[[false; 5]]);
+    let mut encoded = encode_response(1, &[[false; 5]]);
     encoded.push(0);
     match decode_message(&encoded) {
         Err(WireError::Malformed(msg)) => assert!(msg.contains("trailing"), "{msg}"),
@@ -221,6 +282,14 @@ fn framing_rejects_truncation_and_oversized_lengths() {
     let huge: &[u8] = &[0xff, 0xff, 0xff, 0xff];
     assert!(matches!(
         read_frame(&mut &*huge),
+        Err(WireError::FrameTooLarge(_))
+    ));
+    // The incremental assembler enforces the same bound the moment the
+    // prefix is visible — before any payload bytes arrive.
+    let mut asm = FrameAssembler::new();
+    asm.extend(&[0xff, 0xff, 0xff, 0xff]);
+    assert!(matches!(
+        asm.next_frame(),
         Err(WireError::FrameTooLarge(_))
     ));
 }

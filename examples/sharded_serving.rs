@@ -1,12 +1,15 @@
 //! Serving at scale: a two-device sharded fleet deployed from one model
-//! bundle, fronted by the TCP wire protocol, with priority lanes.
+//! bundle, fronted by the reactor-based TCP wire protocol, with
+//! priority lanes and request pipelining.
 //!
 //! Run with `cargo run --release --example sharded_serving`. The first
 //! run trains the smoke-scale system and saves a two-device bundle;
 //! later runs load the fleet in milliseconds. The example then serves
 //! out-of-process-style clients over localhost TCP — bulk throughput
-//! requests on both devices plus a latency-priority request that skips
-//! the linger window — and prints the fleet's coalescing stats.
+//! requests on both devices, a latency-priority request that skips the
+//! linger window, and a single pipelined connection with many requests
+//! in flight at once — and prints the fleet's coalescing stats plus the
+//! reactor's connection accounting.
 
 use klinq::core::experiments::ExperimentConfig;
 use klinq::core::{persist, KlinqError, KlinqSystem};
@@ -92,8 +95,37 @@ fn main() -> Result<(), KlinqError> {
             );
         });
     });
+
+    // Request pipelining: ONE connection keeps many requests in flight
+    // (each frame carries a request id; responses may complete out of
+    // order and are matched back by id), so a single client thread can
+    // saturate the coalescer without opening a connection per request.
+    let mut pipelined = WireClient::connect(addr, 0).map_err(|e| KlinqError::Io(e.to_string()))?;
+    let mut submitted = 0usize;
+    for chunk in shots.chunks(64) {
+        pipelined
+            .submit_with_priority(Priority::Throughput, chunk)
+            .expect("fleet alive");
+        submitted += 1;
+    }
+    let mut answered = 0usize;
+    while pipelined.in_flight() > 0 {
+        let (id, result) = pipelined.recv_response().expect("fleet alive");
+        let states = result.expect("served");
+        assert!(!states.is_empty(), "request {id} answered empty");
+        answered += 1;
+    }
+    println!(
+        "  pipelined {submitted} requests over one connection, {answered} responses matched by id"
+    );
+    drop(pipelined);
     let elapsed = start.elapsed().as_secs_f64();
 
+    let wire_stats = server.stats();
+    println!(
+        "reactor accepted {} connections (peak {} open)",
+        wire_stats.wire_accepted, wire_stats.wire_peak_open,
+    );
     server.shutdown();
     let stats = fleet.shutdown();
     println!(

@@ -17,14 +17,22 @@ pub const DEFAULT_THRESHOLD: f64 = 0.25;
 
 /// Default id prefix guarded by CI: the direct batch-engine figures.
 ///
-/// The `serving/*` ids deliberately stay OUTSIDE the guarded prefix
-/// (warn-only, via the trajectory file's presence in the diff output):
+/// The `serving/*` ids deliberately stay OUTSIDE the guarded prefix:
 /// serving throughput folds in thread scheduling, channel wake-ups and
 /// TCP round trips, which jitter far more run-to-run on shared CI
 /// runners than the compute-bound `batched_inference/*` figures — a
 /// hard gate on them would flake without catching real engine
-/// regressions, which the guarded direct figures already catch.
+/// regressions, which the guarded direct figures already catch. They
+/// are instead diffed under [`WARN_PREFIX`]: drifts surface as
+/// warnings, never failures.
 pub const DEFAULT_PREFIX: &str = "batched_inference/";
+
+/// Id prefix diffed warn-only by the CLI: serving figures (throughput
+/// *and* the `*_p50`/`*_p99` latency entries, which carry no `per_sec`
+/// and compare on `ns_per_iter`, lower-is-better) are reported — as
+/// GitHub warning annotations in Actions — without affecting the exit
+/// code.
+pub const WARN_PREFIX: &str = "serving/";
 
 /// How a bench entry recorded the worker-pool size it ran with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +58,10 @@ pub struct BenchEntry {
     pub id: String,
     /// Throughput in units/s (`None` for latency-only entries).
     pub per_sec: Option<f64>,
+    /// The recorded time figure in nanoseconds (a per-iteration time,
+    /// or the percentile itself for latency entries). Entries without
+    /// `per_sec` on either side compare on this, lower-is-better.
+    pub ns_per_iter: Option<f64>,
     /// Worker-pool size the measurement ran with.
     pub worker_threads: PoolSize,
 }
@@ -75,6 +87,26 @@ pub enum Verdict {
         /// `fresh / baseline`.
         ratio: f64,
     },
+    /// A latency entry (no throughput figure on either side) within
+    /// the threshold of its baseline.
+    LatencyOk {
+        /// Benchmark id.
+        id: String,
+        /// `fresh_ns / baseline_ns` (lower is better).
+        ratio: f64,
+    },
+    /// A latency entry slower than the baseline by more than the
+    /// threshold.
+    LatencyRegression {
+        /// Benchmark id.
+        id: String,
+        /// Baseline nanoseconds.
+        baseline_ns: f64,
+        /// Fresh nanoseconds.
+        fresh_ns: f64,
+        /// `fresh_ns / baseline_ns` (lower is better).
+        ratio: f64,
+    },
     /// The entries are not comparable (pool-size mismatch or a missing
     /// throughput figure); reported but never fails the run.
     Skipped {
@@ -86,9 +118,13 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// `true` for [`Verdict::Regression`].
+    /// `true` for [`Verdict::Regression`] and
+    /// [`Verdict::LatencyRegression`].
     pub fn is_regression(&self) -> bool {
-        matches!(self, Self::Regression { .. })
+        matches!(
+            self,
+            Self::Regression { .. } | Self::LatencyRegression { .. }
+        )
     }
 }
 
@@ -104,6 +140,19 @@ impl fmt::Display for Verdict {
             } => write!(
                 f,
                 "REGRESSION {id}: {fresh:.1}/s vs {baseline:.1}/s baseline ({:.1}%)",
+                ratio * 100.0
+            ),
+            Self::LatencyOk { id, ratio } => {
+                write!(f, "ok         {id}: {:.1}% of baseline latency", ratio * 100.0)
+            }
+            Self::LatencyRegression {
+                id,
+                baseline_ns,
+                fresh_ns,
+                ratio,
+            } => write!(
+                f,
+                "REGRESSION {id}: {fresh_ns:.0} ns vs {baseline_ns:.0} ns baseline latency ({:.1}%)",
                 ratio * 100.0
             ),
             Self::Skipped { id, reason } => write!(f, "skipped    {id}: {reason}"),
@@ -130,6 +179,7 @@ pub fn parse_entries(json: &str) -> Result<Vec<BenchEntry>, String> {
             Some(BenchEntry {
                 id: entry.get("id")?.as_str()?.to_string(),
                 per_sec: entry.get("per_sec").and_then(|v| v.as_f64()),
+                ns_per_iter: entry.get("ns_per_iter").and_then(|v| v.as_f64()),
                 worker_threads: match entry.get("worker_threads") {
                     None | Some(serde_json::Value::Null) => PoolSize::Unrecorded,
                     Some(v) => match v.as_u64() {
@@ -188,28 +238,54 @@ pub fn diff(
                     ),
                 };
             }
-            let (Some(base_rate), Some(new_rate)) = (base.per_sec, new.per_sec) else {
-                return Verdict::Skipped {
-                    id,
-                    reason: "no throughput figure to compare".into(),
-                };
-            };
-            if base_rate <= 0.0 {
-                return Verdict::Skipped {
-                    id,
-                    reason: "non-positive baseline throughput".into(),
-                };
-            }
-            let ratio = new_rate / base_rate;
-            if ratio < 1.0 - threshold {
-                Verdict::Regression {
-                    id,
-                    baseline: base_rate,
-                    fresh: new_rate,
-                    ratio,
+            match (base.per_sec, new.per_sec) {
+                (Some(base_rate), Some(new_rate)) => {
+                    if base_rate <= 0.0 {
+                        return Verdict::Skipped {
+                            id,
+                            reason: "non-positive baseline throughput".into(),
+                        };
+                    }
+                    let ratio = new_rate / base_rate;
+                    if ratio < 1.0 - threshold {
+                        Verdict::Regression {
+                            id,
+                            baseline: base_rate,
+                            fresh: new_rate,
+                            ratio,
+                        }
+                    } else {
+                        Verdict::Ok { id, ratio }
+                    }
                 }
-            } else {
-                Verdict::Ok { id, ratio }
+                // Latency entries (e.g. `serving/wire_c256_p99`) carry
+                // no throughput on either side: compare the recorded
+                // nanoseconds instead, lower-is-better.
+                (None, None) => match (base.ns_per_iter, new.ns_per_iter) {
+                    (Some(base_ns), Some(new_ns)) if base_ns > 0.0 => {
+                        let ratio = new_ns / base_ns;
+                        if ratio > 1.0 + threshold {
+                            Verdict::LatencyRegression {
+                                id,
+                                baseline_ns: base_ns,
+                                fresh_ns: new_ns,
+                                ratio,
+                            }
+                        } else {
+                            Verdict::LatencyOk { id, ratio }
+                        }
+                    }
+                    _ => Verdict::Skipped {
+                        id,
+                        reason: "no throughput or positive latency figure to compare".into(),
+                    },
+                },
+                // Throughput on only one side: the entry changed kind
+                // between the runs — nothing comparable.
+                _ => Verdict::Skipped {
+                    id,
+                    reason: "throughput recorded on only one side".into(),
+                },
             }
         })
         .collect()
@@ -223,10 +299,18 @@ mod tests {
         BenchEntry {
             id: id.to_string(),
             per_sec,
+            ns_per_iter: None,
             worker_threads: match workers {
                 Some(n) => PoolSize::Threads(n),
                 None => PoolSize::Unrecorded,
             },
+        }
+    }
+
+    fn latency_entry(id: &str, ns: f64, workers: Option<u64>) -> BenchEntry {
+        BenchEntry {
+            ns_per_iter: Some(ns),
+            ..entry(id, None, workers)
         }
     }
 
@@ -315,6 +399,33 @@ mod tests {
         let verdicts = diff(&base, &fresh, DEFAULT_PREFIX, 0.25);
         assert_eq!(verdicts.len(), 1);
         assert!(!verdicts[0].is_regression());
+    }
+
+    #[test]
+    fn latency_entries_compare_on_nanoseconds_lower_is_better() {
+        let base = [latency_entry("serving/wire_c256_p99", 1_000_000.0, Some(1))];
+        // 20% slower: within a 25% threshold.
+        let ok = [latency_entry("serving/wire_c256_p99", 1_200_000.0, Some(1))];
+        let verdicts = diff(&base, &ok, "serving/", 0.25);
+        assert!(matches!(verdicts[0], Verdict::LatencyOk { .. }), "{}", verdicts[0]);
+        // Much FASTER is fine — only slower-than-threshold regresses.
+        let faster = [latency_entry("serving/wire_c256_p99", 100_000.0, Some(1))];
+        assert!(!diff(&base, &faster, "serving/", 0.25)[0].is_regression());
+        let slow = [latency_entry("serving/wire_c256_p99", 1_300_000.0, Some(1))];
+        let verdicts = diff(&base, &slow, "serving/", 0.25);
+        assert!(verdicts[0].is_regression());
+        assert!(verdicts[0].to_string().contains("baseline latency"), "{}", verdicts[0]);
+    }
+
+    #[test]
+    fn entries_that_change_kind_between_runs_are_skipped() {
+        // A throughput id whose fresh run recorded latency-only (or vice
+        // versa) must skip, not silently compare across meanings.
+        let base = [entry("serving/wire_c64", Some(100_000.0), Some(1))];
+        let fresh = [latency_entry("serving/wire_c64", 1_000.0, Some(1))];
+        let verdicts = diff(&base, &fresh, "serving/", 0.25);
+        assert!(!verdicts[0].is_regression());
+        assert!(verdicts[0].to_string().contains("only one side"), "{}", verdicts[0]);
     }
 
     #[test]

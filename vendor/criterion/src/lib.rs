@@ -134,6 +134,50 @@ impl Criterion {
             None => true,
         }
     }
+
+    /// Whether this run measures (`--bench`) rather than smoke-tests.
+    ///
+    /// Benches with a hand-rolled measurement loop (e.g. latency
+    /// percentiles, which [`Bencher::iter`]'s single median cannot
+    /// express) branch on this: measure and
+    /// [`record_measurement`] in bench mode, run the body once in test
+    /// mode.
+    pub fn is_bench(&self) -> bool {
+        self.mode == Mode::Bench
+    }
+
+    /// Whether `full_name` passes this run's name filter (public for
+    /// hand-rolled measurement loops, which bypass
+    /// [`Criterion::bench_function`] and so must apply the filter
+    /// themselves).
+    pub fn is_selected(&self, full_name: &str) -> bool {
+        self.selected(full_name)
+    }
+}
+
+/// Records an externally measured result into the JSON report, exactly
+/// as if a [`Bencher::iter`] run had produced it: `ns_per_iter` is the
+/// figure of merit (a per-iteration time, or a latency percentile for
+/// `*_p50`/`*_p99`-style ids), `per_sec` an optional derived throughput.
+/// The current [`set_worker_threads`] declaration is stamped on.
+///
+/// Callers are responsible for only recording in bench mode (see
+/// [`Criterion::is_bench`]) and for applying the name filter (see
+/// [`Criterion::is_selected`]); measurements recorded in test mode would
+/// pollute the trajectory file with unmeasured one-shot timings.
+pub fn record_measurement(id: &str, ns_per_iter: f64, per_sec: Option<(f64, &str)>) {
+    let mut line = format!("{id:<50} time: {}", format_ns(ns_per_iter));
+    if let Some((rate, label)) = per_sec {
+        line.push_str(&format!("  thrpt: {}", format_rate(rate, label)));
+    }
+    println!("{line}");
+    let workers = WORKER_THREADS.load(Ordering::Relaxed);
+    RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+        id: id.to_string(),
+        ns_per_iter,
+        per_sec: per_sec.map(|(rate, label)| (rate, label.to_string())),
+        worker_threads: (workers > 0).then_some(workers),
+    });
 }
 
 /// A named group of related benchmarks.

@@ -1,0 +1,314 @@
+//! Thin, safe shim over the Linux `epoll`/`eventfd` syscalls.
+//!
+//! The build environment has no reachable crates registry (see
+//! `vendor/README.md`), so instead of `libc`/`mio` this crate binds the
+//! four C library entry points the serving reactor actually needs via
+//! direct `extern "C"` declarations, and wraps them in a minimal safe
+//! API: [`Epoll`] (create/register/wait) and [`EventFd`] (a cross-thread
+//! wakeup the reactor parks on).
+//!
+//! **Linux only.** On every other target the crate compiles to nothing
+//! but [`SUPPORTED`]` = false`; consumers keep a portable readiness
+//! fallback (non-blocking sockets plus a bounded poll loop) behind a
+//! `cfg`, so the workspace still builds and tests where epoll does not
+//! exist.
+
+/// Whether this target has the epoll API at all.
+#[cfg(target_os = "linux")]
+pub const SUPPORTED: bool = true;
+/// Whether this target has the epoll API at all.
+#[cfg(not(target_os = "linux"))]
+pub const SUPPORTED: bool = false;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // `struct epoll_event` carries `__attribute__((packed))` on x86_64
+    // (and only there) in the kernel uapi headers; mirroring the exact
+    // layout is what makes the direct bindings sound.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// One readiness report from [`Epoll::wait`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Event {
+        /// The token the file descriptor was registered with.
+        pub token: u64,
+        /// Reading will not block (or there is a hangup/error to read).
+        pub readable: bool,
+        /// Writing will not block.
+        pub writable: bool,
+    }
+
+    /// An epoll instance: a set of registered file descriptors plus a
+    /// blocking [`wait`](Self::wait) for readiness on any of them.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: no pointers involved; the returned fd is owned here.
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Self { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            let mut ev = RawEvent {
+                events: if readable { EPOLLIN } else { 0 } | if writable { EPOLLOUT } else { 0 },
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` under `token` for the given interests
+        /// (level-triggered).
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno (e.g. `EEXIST`).
+        pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
+        }
+
+        /// Changes an existing registration's interests.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno (e.g. `ENOENT`).
+        pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+        }
+
+        /// Removes `fd` from the set.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, false, false)
+        }
+
+        /// Blocks until at least one registered fd is ready (or the
+        /// timeout passes), filling `out` with the readiness reports.
+        /// `None` waits indefinitely; `EINTR` is retried internally.
+        ///
+        /// An error or hangup condition is reported as `readable`: the
+        /// consumer's next read observes the EOF/error and handles it on
+        /// its normal path.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 100 µs timeout does not busy-spin as 0 ms.
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32
+                    + i32::from(t.subsec_nanos() % 1_000_000 != 0 && t.as_millis() < i32::MAX as u128),
+            };
+            let mut raw = [RawEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                // SAFETY: `raw` is a valid writable buffer of 64 events.
+                let ret = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &raw[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (events, data) = (ev.events, ev.data);
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `self.fd` is an fd this value owns exclusively.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// A kernel event counter used as a cross-thread wakeup: any thread
+    /// [`notify`](Self::notify)s, the reactor registers the fd in its
+    /// [`Epoll`] set and [`drain`](Self::drain)s on wake.
+    #[derive(Debug)]
+    pub struct EventFd {
+        fd: RawFd,
+    }
+
+    impl EventFd {
+        /// Creates the eventfd (non-blocking, cloexec).
+        ///
+        /// # Errors
+        ///
+        /// Propagates the syscall's errno.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: no pointers involved; the returned fd is owned here.
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(Self { fd })
+        }
+
+        /// The raw fd, for registration in an [`Epoll`] set.
+        pub fn as_raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Adds 1 to the counter, waking any epoll waiter. Infallible by
+        /// design: the only failure mode of interest (`EAGAIN` when the
+        /// counter is saturated) still leaves the waiter wakeable.
+        pub fn notify(&self) {
+            let one: u64 = 1;
+            // SAFETY: writes 8 bytes from a valid u64.
+            unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Resets the counter so the next wait blocks again.
+        pub fn drain(&self) {
+            let mut buf = 0u64;
+            // SAFETY: reads 8 bytes into a valid u64; EAGAIN (already
+            // drained) is fine.
+            unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            // SAFETY: `self.fd` is an fd this value owns exclusively.
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::{Epoll, Event, EventFd};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn eventfd_wakes_an_epoll_wait_across_threads() {
+        let ep = Epoll::new().unwrap();
+        let wake = std::sync::Arc::new(EventFd::new().unwrap());
+        ep.add(wake.as_raw_fd(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a bounded wait times out empty.
+        ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        let notifier = std::sync::Arc::clone(&wake);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            notifier.notify();
+        });
+        ep.wait(&mut events, None).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        wake.drain();
+        // Drained: the next bounded wait is empty again (level-triggered).
+        ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readability_and_interest_changes_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), 42, true, false).unwrap();
+        let mut events = Vec::new();
+        ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+        client.write_all(b"ping").unwrap();
+        ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        // An idle socket is immediately writable once EPOLLOUT interest
+        // is added.
+        ep.modify(server.as_raw_fd(), 42, true, true).unwrap();
+        ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+        ep.delete(server.as_raw_fd()).unwrap();
+        ep.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "deregistered fd must not report");
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), 1, true, false).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 1 && e.readable),
+            "hangup must surface as readable so the consumer's read sees EOF"
+        );
+    }
+}
