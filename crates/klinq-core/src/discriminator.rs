@@ -421,6 +421,49 @@ impl KlinqSystem {
         })
     }
 
+    /// Builds a sibling system around replacement students: same teachers,
+    /// datasets and configuration, but each qubit's discriminator rebuilt
+    /// (FPGA datapath recompiled) from the given student at
+    /// `design_samples` per channel.
+    ///
+    /// This is the constructor behind live recalibration: distill
+    /// candidates with [`Self::students_at`], assemble the candidate
+    /// system here, then stage it as a canary or hot-swap it into a
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KlinqError::InvalidConfig`] unless exactly one student
+    /// per qubit is supplied, or [`KlinqError::Compile`] if a datapath
+    /// cannot be compiled.
+    pub fn with_students(
+        &self,
+        students: Vec<DistilledStudent>,
+        design_samples: usize,
+    ) -> Result<Self, KlinqError> {
+        if students.len() != self.discriminators.len() {
+            return Err(KlinqError::InvalidConfig(format!(
+                "with_students needs {} students, got {}",
+                self.discriminators.len(),
+                students.len()
+            )));
+        }
+        let discriminators = students
+            .into_iter()
+            .enumerate()
+            .map(|(qb, student)| {
+                KlinqDiscriminator::new(qb, StudentArch::for_qubit(qb), student, design_samples)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            discriminators,
+            teachers: self.teachers.clone(),
+            train_data: self.train_data.clone(),
+            test_data: self.test_data.clone(),
+            config: self.config.clone(),
+        })
+    }
+
     /// Evaluates through the bit-accurate FPGA datapath.
     ///
     /// Compatibility wrapper over [`Self::evaluate_on`].
@@ -536,6 +579,48 @@ mod tests {
                 d.fidelity_hw(data),
                 d.fidelity_on(Backend::Hardware, data, usize::MAX)
             );
+        }
+    }
+
+    #[test]
+    fn with_students_identity_rebuild_is_bitwise_identical() {
+        let sys = smoke_system();
+        let students: Vec<_> = sys
+            .discriminators()
+            .iter()
+            .map(|d| d.student().clone())
+            .collect();
+        let rebuilt = sys
+            .with_students(students, sys.test_data().samples())
+            .unwrap();
+        assert_eq!(rebuilt.evaluate(), sys.evaluate());
+        assert_eq!(rebuilt.evaluate_hw(), sys.evaluate_hw());
+    }
+
+    #[test]
+    fn with_students_rejects_wrong_count() {
+        let sys = smoke_system();
+        let err = sys
+            .with_students(Vec::new(), sys.test_data().samples())
+            .unwrap_err();
+        assert!(matches!(err, KlinqError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn inverted_variant_flips_decisions_on_both_backends() {
+        let sys = smoke_system();
+        let inv = crate::testkit::inverted_variant(sys);
+        for shot_idx in [0usize, 5, 17] {
+            let shot = sys.test_data().shot(shot_idx);
+            for (qb, t) in shot.traces.iter().enumerate() {
+                for backend in [Backend::Float, Backend::Hardware] {
+                    assert_ne!(
+                        sys.measure_on(backend, qb, &t.i, &t.q),
+                        inv.measure_on(backend, qb, &t.i, &t.q),
+                        "qubit {qb} shot {shot_idx} {backend:?}"
+                    );
+                }
+            }
         }
     }
 

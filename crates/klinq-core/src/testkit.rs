@@ -59,6 +59,42 @@ pub fn cached_smoke_system(cache_dir: &Path) -> KlinqSystem {
     sys
 }
 
+/// Builds a decision-inverted sibling of `sys`: every student's output
+/// layer (weights and bias) is negated, so the sibling disagrees with
+/// `sys` on every shot whose logit is nonzero — on both backends, since
+/// the Q16.16 datapath is recompiled from the negated float student.
+///
+/// Tests use this as a cheap, maximally distinguishable "model B" for
+/// hot-swap and canary assertions: a served response can be attributed
+/// to exactly one of the two versions by comparing against each model's
+/// direct classification of the same shots.
+///
+/// # Panics
+///
+/// Panics if the inverted datapaths fail to compile (they share the
+/// trained system's dimensions, so this indicates a bug).
+pub fn inverted_variant(sys: &KlinqSystem) -> KlinqSystem {
+    let students = sys
+        .discriminators()
+        .iter()
+        .map(|d| {
+            let mut s = d.student().clone();
+            let mut layers = s.net.layers().to_vec();
+            let last = layers.last_mut().expect("an Fnn is never empty");
+            for w in last.weights_mut().data_mut() {
+                *w = -*w;
+            }
+            for b in last.bias_mut() {
+                *b = -*b;
+            }
+            s.net = klinq_nn::Fnn::from_layers(layers);
+            s
+        })
+        .collect();
+    sys.with_students(students, sys.test_data().samples())
+        .expect("inverted variant compiles")
+}
+
 /// Loads the cached artifact if it is fresher than the running
 /// executable and still matches the smoke configuration.
 fn try_load_fresh(path: &Path, config: &ExperimentConfig) -> Option<KlinqSystem> {

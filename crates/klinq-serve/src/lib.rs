@@ -60,13 +60,18 @@
 //! # Ok::<(), klinq_core::KlinqError>(())
 //! ```
 
+pub mod chaos;
 mod server;
 mod shard;
 pub mod wire;
 
-pub use server::{Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats};
+pub use server::{
+    Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats, NUM_QUBITS,
+};
 pub use shard::ShardedReadoutServer;
-pub use wire::{Transport, WireClient, WireConfig, WireError, WireMessage, WireServer};
+pub use wire::{
+    ReconnectPolicy, Transport, WireClient, WireConfig, WireError, WireMessage, WireServer,
+};
 
 // Re-exported so downstream code can name the request/response types
 // without depending on klinq-core / klinq-sim directly.

@@ -108,6 +108,17 @@ pub enum ServeError {
     /// clients with a read timeout configured). The request may still be
     /// executing server-side; only the wait was abandoned.
     Timeout,
+    /// The transport to the server was lost while the request was in
+    /// flight (wire clients): the connection dropped, or reconnecting
+    /// exhausted the backoff policy. The request's fate server-side is
+    /// unknown — classification is pure, so resubmitting is always safe,
+    /// and the blocking `classify_*` wrappers do so automatically when a
+    /// reconnect policy is configured.
+    Disconnected,
+    /// The server is draining for shutdown: requests already in flight
+    /// are answered, but no new work or connections are accepted. Retry
+    /// against another shard or wait for the replacement to come up.
+    Draining,
 }
 
 impl fmt::Display for ServeError {
@@ -118,11 +129,19 @@ impl fmt::Display for ServeError {
             Self::Overloaded => write!(f, "readout server overloaded: intake queue full"),
             Self::Protocol(msg) => write!(f, "readout serving protocol violation: {msg}"),
             Self::Timeout => write!(f, "readout request timed out before the server answered"),
+            Self::Disconnected => {
+                write!(f, "connection to the readout server was lost mid-flight")
+            }
+            Self::Draining => write!(f, "readout server is draining for shutdown"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Number of qubits a served system reads per shot (the width of
+/// [`ShotStates`]). Per-qubit drift and canary telemetry is sized to it.
+pub const NUM_QUBITS: usize = 5;
 
 /// Counters the collector maintains (shared snapshot-style with handles).
 #[derive(Debug, Default)]
@@ -134,6 +153,30 @@ pub(crate) struct Counters {
     shed: AtomicU64,
     latency_requests: AtomicU64,
     expedited_batches: AtomicU64,
+    // Live-ops: model versioning, canary lane, drift monitor.
+    model_version: AtomicU64,
+    model_swaps: AtomicU64,
+    canary_requests: AtomicU64,
+    canary_shots: AtomicU64,
+    canary_batches: AtomicU64,
+    canary_divergent_shots: AtomicU64,
+    canary_disagreements: [AtomicU64; NUM_QUBITS],
+    drift_shots: AtomicU64,
+    drift_excited: [AtomicU64; NUM_QUBITS],
+    calib_shots: AtomicU64,
+    calib_prepared_excited: [AtomicU64; NUM_QUBITS],
+    calib_false_excited: [AtomicU64; NUM_QUBITS],
+    calib_false_ground: [AtomicU64; NUM_QUBITS],
+}
+
+/// Loads a per-qubit counter array into a plain snapshot array.
+fn load_per_qubit(counters: &[AtomicU64; NUM_QUBITS]) -> [u64; NUM_QUBITS] {
+    std::array::from_fn(|qb| counters[qb].load(Ordering::Relaxed))
+}
+
+/// Element-wise sum of two per-qubit snapshot arrays.
+fn add_per_qubit(a: [u64; NUM_QUBITS], b: [u64; NUM_QUBITS]) -> [u64; NUM_QUBITS] {
+    std::array::from_fn(|qb| a[qb] + b[qb])
 }
 
 /// A point-in-time snapshot of a server's coalescing behaviour.
@@ -164,6 +207,44 @@ pub struct ServeStats {
     pub wire_open: u64,
     /// High-water mark of simultaneously open wire connections.
     pub wire_peak_open: u64,
+    /// The model version serving right now. Starts at 1 and bumps on
+    /// every hot swap or canary promotion. In a merged fleet view this is
+    /// the max across shards (shards version independently).
+    pub model_version: u64,
+    /// Hot model swaps applied (including canary promotions).
+    pub model_swaps: u64,
+    /// Requests answered by the canary (candidate) model.
+    pub canary_requests: u64,
+    /// Shots classified by the canary model.
+    pub canary_shots: u64,
+    /// Micro-batches routed to the canary model.
+    pub canary_batches: u64,
+    /// Canary shots on which the candidate and primary disagreed on at
+    /// least one qubit. `canary_divergent_shots / canary_shots` is the
+    /// divergence rate an operator checks before promoting.
+    pub canary_divergent_shots: u64,
+    /// Per-qubit count of canary shots where candidate and primary
+    /// disagreed on that qubit's state.
+    pub canary_disagreements: [u64; NUM_QUBITS],
+    /// Shots feeding the drift monitor: every shot the server answered
+    /// (served states, whichever model produced them).
+    pub drift_shots: u64,
+    /// Per-qubit count of served shots read as excited. The running
+    /// excited fraction ([`Self::excited_fraction`]) drifting away from
+    /// its commissioning value is the label-free drift signal.
+    pub drift_excited: [u64; NUM_QUBITS],
+    /// Calibration shots answered (requests submitted through
+    /// [`ReadoutClient::classify_calibration_shots`], which carry their
+    /// prepared states as ground truth).
+    pub calib_shots: u64,
+    /// Per-qubit count of calibration shots prepared excited.
+    pub calib_prepared_excited: [u64; NUM_QUBITS],
+    /// Per-qubit count of calibration shots prepared ground but read
+    /// excited (the `P(1|0)` confusion numerator).
+    pub calib_false_excited: [u64; NUM_QUBITS],
+    /// Per-qubit count of calibration shots prepared excited but read
+    /// ground (the `P(0|1)` confusion numerator).
+    pub calib_false_ground: [u64; NUM_QUBITS],
 }
 
 impl ServeStats {
@@ -176,8 +257,49 @@ impl ServeStats {
         }
     }
 
+    /// Running fraction of served shots read as excited on one qubit
+    /// (`None` until anything was served). Tracked label-free over every
+    /// answered shot; a sustained move away from the value observed at
+    /// commissioning is the cheapest drift alarm.
+    pub fn excited_fraction(&self, qb: usize) -> Option<f64> {
+        (self.drift_shots > 0).then(|| self.drift_excited[qb] as f64 / self.drift_shots as f64)
+    }
+
+    /// Running assignment fidelity on one qubit over the calibration
+    /// lane (`None` until calibration shots were served): the fraction
+    /// of calibration shots whose served state matched the prepared
+    /// state.
+    pub fn calibration_fidelity(&self, qb: usize) -> Option<f64> {
+        (self.calib_shots > 0).then(|| {
+            let errors = self.calib_false_excited[qb] + self.calib_false_ground[qb];
+            1.0 - errors as f64 / self.calib_shots as f64
+        })
+    }
+
+    /// Running confusion estimates on one qubit over the calibration
+    /// lane: `(P(read 1 | prepared 0), P(read 0 | prepared 1))`. Either
+    /// side is `None` until its prepared class has been observed.
+    pub fn confusion(&self, qb: usize) -> (Option<f64>, Option<f64>) {
+        let prep_excited = self.calib_prepared_excited[qb];
+        let prep_ground = self.calib_shots - prep_excited;
+        (
+            (prep_ground > 0).then(|| self.calib_false_excited[qb] as f64 / prep_ground as f64),
+            (prep_excited > 0).then(|| self.calib_false_ground[qb] as f64 / prep_excited as f64),
+        )
+    }
+
+    /// Fraction of canary shots where the candidate disagreed with the
+    /// primary on at least one qubit (`None` until the canary served).
+    /// The number an operator checks before
+    /// [`ReadoutServer::promote_canary`].
+    pub fn canary_divergence(&self) -> Option<f64> {
+        (self.canary_shots > 0)
+            .then(|| self.canary_divergent_shots as f64 / self.canary_shots as f64)
+    }
+
     /// Field-wise sum — aggregates per-shard stats into a fleet view
-    /// (`largest_batch` and `wire_peak_open` take the max, the rest add).
+    /// (`largest_batch`, `wire_peak_open` and `model_version` take the
+    /// max, the rest add).
     pub fn merge(&self, other: &Self) -> Self {
         Self {
             requests: self.requests + other.requests,
@@ -191,6 +313,28 @@ impl ServeStats {
             wire_reaped: self.wire_reaped + other.wire_reaped,
             wire_open: self.wire_open + other.wire_open,
             wire_peak_open: self.wire_peak_open.max(other.wire_peak_open),
+            model_version: self.model_version.max(other.model_version),
+            model_swaps: self.model_swaps + other.model_swaps,
+            canary_requests: self.canary_requests + other.canary_requests,
+            canary_shots: self.canary_shots + other.canary_shots,
+            canary_batches: self.canary_batches + other.canary_batches,
+            canary_divergent_shots: self.canary_divergent_shots + other.canary_divergent_shots,
+            canary_disagreements: add_per_qubit(
+                self.canary_disagreements,
+                other.canary_disagreements,
+            ),
+            drift_shots: self.drift_shots + other.drift_shots,
+            drift_excited: add_per_qubit(self.drift_excited, other.drift_excited),
+            calib_shots: self.calib_shots + other.calib_shots,
+            calib_prepared_excited: add_per_qubit(
+                self.calib_prepared_excited,
+                other.calib_prepared_excited,
+            ),
+            calib_false_excited: add_per_qubit(
+                self.calib_false_excited,
+                other.calib_false_excited,
+            ),
+            calib_false_ground: add_per_qubit(self.calib_false_ground, other.calib_false_ground),
         }
     }
 }
@@ -208,12 +352,47 @@ pub(crate) type ReplyFn = Box<dyn FnOnce(Result<Vec<ShotStates>, ServeError>) + 
 struct Request {
     shots: Vec<Shot>,
     priority: Priority,
+    /// Calibration-lane request: each shot's `prepared` states are
+    /// ground truth, so the collector scores the served states against
+    /// them and feeds the per-qubit fidelity/confusion counters.
+    calibration: bool,
     reply: ReplyFn,
+}
+
+/// Live-ops commands. They ride the same intake channel as requests, so
+/// their ordering relative to traffic is the channel's FIFO order, and
+/// the collector applies them strictly *between* micro-batches: a
+/// command arriving mid-linger first closes the open batch on the old
+/// model. That is the whole hot-swap atomicity argument — there is no
+/// point in time at which one batch sees two models.
+enum Control {
+    /// Blue/green hot swap: replace the serving system. Acks the new
+    /// model version.
+    Swap {
+        system: Arc<KlinqSystem>,
+        ack: mpsc::Sender<Result<u64, ServeError>>,
+    },
+    /// Stage a candidate model on the canary lane: `fraction` of
+    /// micro-batches route to it (answered by it, compared against the
+    /// primary). Replaces any previously staged candidate.
+    StageCanary {
+        system: Arc<KlinqSystem>,
+        fraction: f64,
+        ack: mpsc::Sender<Result<(), ServeError>>,
+    },
+    /// Promote the staged candidate to primary. Acks the new model
+    /// version, or an error if no candidate is staged.
+    PromoteCanary {
+        ack: mpsc::Sender<Result<u64, ServeError>>,
+    },
+    /// Drop the staged candidate. Acks whether one was staged.
+    AbortCanary { ack: mpsc::Sender<bool> },
 }
 
 /// What travels over the intake channel.
 enum Msg {
     Request(Request),
+    Control(Control),
     /// Finish the batch in flight, then exit. Sent by
     /// [`ReadoutServer::shutdown`] so teardown never depends on every
     /// cloned [`ReadoutClient`] having been dropped.
@@ -262,9 +441,37 @@ impl ReadoutClient {
         priority: Priority,
         shots: Vec<Shot>,
     ) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_blocking(priority, false, shots)
+    }
+
+    /// Classifies calibration shots: the result is served exactly like
+    /// [`Self::classify_shots`], but each shot's `prepared` states are
+    /// additionally treated as ground truth and scored against the served
+    /// states, feeding the per-qubit running fidelity/confusion estimates
+    /// in [`ServeStats`] (`calib_*` fields, [`ServeStats::confusion`],
+    /// [`ServeStats::calibration_fidelity`]). Interleaving a trickle of
+    /// calibration shots with production traffic is how an operator
+    /// detects drift and validates a candidate model.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`].
+    pub fn classify_calibration_shots(
+        &self,
+        shots: Vec<Shot>,
+    ) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_blocking(Priority::Throughput, true, shots)
+    }
+
+    fn classify_blocking(
+        &self,
+        priority: Priority,
+        calibration: bool,
+        shots: Vec<Shot>,
+    ) -> Result<Vec<ShotStates>, ServeError> {
         let n_shots = shots.len();
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.submit_with_priority(priority, shots, move |result| {
+        self.submit(priority, calibration, shots, move |result| {
             // A submitter that gave up (dropped its receiver) is not an
             // error for the batch.
             let _ = reply_tx.send(result);
@@ -305,6 +512,16 @@ impl ReadoutClient {
         shots: Vec<Shot>,
         on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
     ) -> Result<(), ServeError> {
+        self.submit(priority, false, shots, on_complete)
+    }
+
+    fn submit(
+        &self,
+        priority: Priority,
+        calibration: bool,
+        shots: Vec<Shot>,
+        on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
         if shots.is_empty() {
             on_complete(Ok(Vec::new()));
             return Ok(());
@@ -316,6 +533,7 @@ impl ReadoutClient {
             .try_send(Msg::Request(Request {
                 shots,
                 priority,
+                calibration,
                 reply: Box::new(on_complete),
             }))
             .map_err(|e| match e {
@@ -369,10 +587,11 @@ impl ReadoutServer {
         assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
         let (tx, rx) = mpsc::sync_channel(config.max_pending);
         let counters = Arc::new(Counters::default());
+        counters.model_version.store(1, Ordering::Relaxed);
         let collector_counters = Arc::clone(&counters);
         let collector = std::thread::Builder::new()
             .name("klinq-serve-collector".into())
-            .spawn(move || collector_loop(&system, config, &rx, &collector_counters))
+            .spawn(move || collector_loop(system, config, &rx, &collector_counters))
             .expect("spawn readout-server collector");
         Self {
             tx: Some(tx),
@@ -405,8 +624,123 @@ impl ReadoutServer {
             shed: self.counters.shed.load(Ordering::Relaxed),
             latency_requests: self.counters.latency_requests.load(Ordering::Relaxed),
             expedited_batches: self.counters.expedited_batches.load(Ordering::Relaxed),
+            model_version: self.counters.model_version.load(Ordering::Relaxed),
+            model_swaps: self.counters.model_swaps.load(Ordering::Relaxed),
+            canary_requests: self.counters.canary_requests.load(Ordering::Relaxed),
+            canary_shots: self.counters.canary_shots.load(Ordering::Relaxed),
+            canary_batches: self.counters.canary_batches.load(Ordering::Relaxed),
+            canary_divergent_shots: self.counters.canary_divergent_shots.load(Ordering::Relaxed),
+            canary_disagreements: load_per_qubit(&self.counters.canary_disagreements),
+            drift_shots: self.counters.drift_shots.load(Ordering::Relaxed),
+            drift_excited: load_per_qubit(&self.counters.drift_excited),
+            calib_shots: self.counters.calib_shots.load(Ordering::Relaxed),
+            calib_prepared_excited: load_per_qubit(&self.counters.calib_prepared_excited),
+            calib_false_excited: load_per_qubit(&self.counters.calib_false_excited),
+            calib_false_ground: load_per_qubit(&self.counters.calib_false_ground),
             ..ServeStats::default()
         }
+    }
+
+    /// The model version serving right now (starts at 1, bumps on every
+    /// swap or promotion).
+    pub fn model_version(&self) -> u64 {
+        self.counters.model_version.load(Ordering::Relaxed)
+    }
+
+    /// Blue/green hot swap: atomically replaces the serving
+    /// [`KlinqSystem`] between micro-batches and returns the new model
+    /// version. The command queues behind traffic already admitted
+    /// (channel FIFO): every request submitted before this call returns
+    /// is answered by the old model, every request submitted after it
+    /// completes by the new one, and no micro-batch ever mixes the two.
+    /// An open batch lingering when the command arrives is closed on the
+    /// old model first.
+    ///
+    /// A staged canary survives the swap untouched — swapping the
+    /// primary under a canary is an explicit operator move, not an
+    /// implicit abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server already shut down,
+    /// or [`ServeError::InvalidRequest`] if `system` does not read the
+    /// same number of qubits as the serving system.
+    pub fn swap_model(&self, system: Arc<KlinqSystem>) -> Result<u64, ServeError> {
+        let (ack, ack_rx) = mpsc::channel();
+        self.send_control(Control::Swap { system, ack })?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Stages `system` as the canary candidate: from now on, `fraction`
+    /// of micro-batches (by count, spread evenly via a fractional
+    /// accumulator) are answered by the candidate, and each canary batch
+    /// is also classified by the primary to feed the divergence report
+    /// ([`ServeStats::canary_divergence`], `canary_*` fields). Batches
+    /// whose shots are too short for the candidate's feature floors stay
+    /// on the primary rather than panicking the candidate.
+    ///
+    /// Staging again replaces the previous candidate; the divergence
+    /// counters keep accumulating (snapshot [`Self::stats`] before
+    /// staging to scope a report to one candidate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server already shut down,
+    /// or [`ServeError::InvalidRequest`] for a qubit-count mismatch or a
+    /// `fraction` outside `0.0..=1.0`.
+    pub fn stage_canary(
+        &self,
+        system: Arc<KlinqSystem>,
+        fraction: f64,
+    ) -> Result<(), ServeError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(ServeError::InvalidRequest(format!(
+                "canary fraction {fraction} outside 0.0..=1.0"
+            )));
+        }
+        let (ack, ack_rx) = mpsc::channel();
+        self.send_control(Control::StageCanary {
+            system,
+            fraction,
+            ack,
+        })?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Promotes the staged canary to primary (a hot swap with the same
+    /// between-batches atomicity as [`Self::swap_model`]) and returns
+    /// the new model version. The canary lane is empty afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server already shut down,
+    /// or [`ServeError::InvalidRequest`] if no canary is staged.
+    pub fn promote_canary(&self) -> Result<u64, ServeError> {
+        let (ack, ack_rx) = mpsc::channel();
+        self.send_control(Control::PromoteCanary { ack })?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Drops the staged canary, if any; returns whether one was staged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server already shut down.
+    pub fn abort_canary(&self) -> Result<bool, ServeError> {
+        let (ack, ack_rx) = mpsc::channel();
+        self.send_control(Control::AbortCanary { ack })?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Queues a control command behind already-admitted traffic. The
+    /// blocking `send` (like shutdown's) rides out a momentarily full
+    /// intake queue instead of bouncing the command.
+    fn send_control(&self, control: Control) -> Result<(), ServeError> {
+        self.tx
+            .as_ref()
+            .expect("server is running")
+            .send(Msg::Control(control))
+            .map_err(|_| ServeError::Closed)
     }
 
     /// Stops intake, drains the in-flight batch, joins the collector and
@@ -446,52 +780,167 @@ impl Drop for ReadoutServer {
     }
 }
 
+/// One model as the collector serves it: the system plus its per-qubit
+/// feature floors (each qubit's trace must carry at least that qubit's
+/// averager output count — 15 for FNN-A, 100 for FNN-B; mid-circuit
+/// truncation above the floor stays servable). Floors are checked at
+/// intake so a malformed request is rejected with a typed error instead
+/// of panicking the collector (which would kill the server for every
+/// client).
+struct Model {
+    system: Arc<KlinqSystem>,
+    min_samples: Vec<usize>,
+}
+
+impl Model {
+    fn new(system: Arc<KlinqSystem>) -> Self {
+        let min_samples = system
+            .discriminators()
+            .iter()
+            .map(|d| d.student().pipeline.averager().outputs())
+            .collect();
+        Self {
+            system,
+            min_samples,
+        }
+    }
+
+    /// Classifies one contiguous micro-batch. The [`BatchDiscriminator`]
+    /// is a borrow wrapper rebuilt per batch (construction is a handful
+    /// of asserts), which is what lets the owned system swap between
+    /// batches.
+    fn classify(&self, config: &ServeConfig, shots: &[Shot]) -> Vec<ShotStates> {
+        let mut batch = BatchDiscriminator::new(self.system.discriminators());
+        if let Some(chunk) = config.chunk_size {
+            batch = batch.with_chunk_size(chunk);
+        }
+        batch.classify_shots_on(config.backend, shots)
+    }
+}
+
+/// The staged canary lane: a candidate model plus its traffic share.
+struct Canary {
+    model: Model,
+    fraction: f64,
+    /// Fractional accumulator: `+= fraction` per micro-batch; when it
+    /// crosses 1 the batch routes to the candidate. Spreads the share
+    /// evenly instead of clumping (and needs no RNG, so canary routing
+    /// is deterministic given the batch sequence).
+    acc: f64,
+}
+
+/// Rejects invalid requests at admission; returns an admitted request.
+fn admit(req: Request, min_samples: &[usize]) -> Option<Request> {
+    match validate_shots(&req.shots, min_samples) {
+        Ok(()) => Some(req),
+        Err(msg) => {
+            (req.reply)(Err(ServeError::InvalidRequest(msg)));
+            None
+        }
+    }
+}
+
+/// Installs `system` as the new primary: the blue/green swap itself.
+/// Runs strictly between micro-batches (see [`Control`]).
+fn install(
+    system: Arc<KlinqSystem>,
+    active: &mut Model,
+    counters: &Counters,
+) -> Result<u64, ServeError> {
+    if system.discriminators().len() != active.min_samples.len() {
+        return Err(ServeError::InvalidRequest(format!(
+            "candidate system reads {} qubits, the serving system reads {}",
+            system.discriminators().len(),
+            active.min_samples.len()
+        )));
+    }
+    *active = Model::new(system);
+    counters.model_swaps.fetch_add(1, Ordering::Relaxed);
+    Ok(counters.model_version.fetch_add(1, Ordering::Relaxed) + 1)
+}
+
+/// Applies one live-ops command. Called only between micro-batches.
+fn apply_control(
+    control: Control,
+    active: &mut Model,
+    canary: &mut Option<Canary>,
+    counters: &Counters,
+) {
+    // A receiver that gave up (dropped its ack) doesn't undo the
+    // command — the control was queued and is applied regardless.
+    match control {
+        Control::Swap { system, ack } => {
+            let _ = ack.send(install(system, active, counters));
+        }
+        Control::StageCanary {
+            system,
+            fraction,
+            ack,
+        } => {
+            if system.discriminators().len() != active.min_samples.len() {
+                let _ = ack.send(Err(ServeError::InvalidRequest(format!(
+                    "canary system reads {} qubits, the serving system reads {}",
+                    system.discriminators().len(),
+                    active.min_samples.len()
+                ))));
+            } else {
+                *canary = Some(Canary {
+                    model: Model::new(system),
+                    fraction,
+                    acc: 0.0,
+                });
+                let _ = ack.send(Ok(()));
+            }
+        }
+        Control::PromoteCanary { ack } => match canary.take() {
+            Some(c) => {
+                let _ = ack.send(install(c.model.system, active, counters));
+            }
+            None => {
+                let _ = ack.send(Err(ServeError::InvalidRequest(
+                    "no canary model is staged".into(),
+                )));
+            }
+        },
+        Control::AbortCanary { ack } => {
+            let _ = ack.send(canary.take().is_some());
+        }
+    }
+}
+
 /// The collector: coalesce → classify → scatter, until disconnect.
+/// Live-ops commands apply strictly between micro-batches, so every
+/// batch is classified end to end by exactly one model version.
 fn collector_loop(
-    system: &KlinqSystem,
+    system: Arc<KlinqSystem>,
     config: ServeConfig,
     rx: &Receiver<Msg>,
     counters: &Counters,
 ) {
-    let mut batch = BatchDiscriminator::new(system.discriminators());
-    if let Some(chunk) = config.chunk_size {
-        batch = batch.with_chunk_size(chunk);
-    }
-    // The feature front end's per-qubit floors: each qubit's trace must
-    // carry at least that qubit's averager output count (15 for FNN-A,
-    // 100 for FNN-B — mid-circuit truncation above the floor stays
-    // servable). Checked at intake so a malformed request is rejected
-    // with a typed error instead of panicking the collector (which would
-    // kill the server for every client).
-    let min_samples: Vec<usize> = system
-        .discriminators()
-        .iter()
-        .map(|d| d.student().pipeline.averager().outputs())
-        .collect();
-    // Rejects invalid requests at admission; returns an admitted request.
-    let admit = |req: Request| -> Option<Request> {
-        match validate_shots(&req.shots, &min_samples) {
-            Ok(()) => Some(req),
-            Err(msg) => {
-                (req.reply)(Err(ServeError::InvalidRequest(msg)));
-                None
-            }
-        }
-    };
+    let mut active = Model::new(system);
+    let mut canary: Option<Canary> = None;
     let mut shutting_down = false;
     while !shutting_down {
-        let first = match rx.recv() {
-            Ok(Msg::Request(req)) => match admit(req) {
-                Some(req) => req,
-                None => continue,
-            },
-            Ok(Msg::Shutdown) | Err(_) => break,
+        // Idle: no batch is open, so controls apply immediately.
+        let first = loop {
+            match rx.recv() {
+                Ok(Msg::Request(req)) => match admit(req, &active.min_samples) {
+                    Some(req) => break req,
+                    None => continue,
+                },
+                Ok(Msg::Control(c)) => apply_control(c, &mut active, &mut canary, counters),
+                Ok(Msg::Shutdown) | Err(_) => return,
+            }
         };
         let mut pending = vec![first];
         let mut n_shots = pending[0].shots.len();
         // A latency-lane request never lingers: its batch closes the
         // moment it is admitted.
         let mut expedited = pending[0].priority == Priority::Latency;
+        // A control command arriving mid-linger closes the open batch —
+        // it is answered by the model that admitted it — and applies
+        // right after, before the next batch opens.
+        let mut deferred_control = None;
         // `checked_add` because huge lingers (`Duration::MAX` as "wait
         // until the budget fills") overflow `Instant` arithmetic — the
         // old `Instant::now() + max_linger` panicked the collector and
@@ -512,7 +961,7 @@ fn collector_loop(
             };
             match next {
                 Ok(Msg::Request(req)) => {
-                    if let Some(req) = admit(req) {
+                    if let Some(req) = admit(req, &active.min_samples) {
                         // An admitted latency request closes the batch
                         // immediately — it has already waited once in the
                         // queue and must not wait out the linger too.
@@ -520,6 +969,10 @@ fn collector_loop(
                         n_shots += req.shots.len();
                         pending.push(req);
                     }
+                }
+                Ok(Msg::Control(c)) => {
+                    deferred_control = Some(c);
+                    break;
                 }
                 Ok(Msg::Shutdown) => {
                     // Answer the batch in flight, then exit.
@@ -539,10 +992,57 @@ fn collector_loop(
             if req.priority == Priority::Latency {
                 latency_requests += 1;
             }
-            replies.push((req.reply, req.shots.len()));
+            replies.push((req.reply, req.shots.len(), req.calibration));
             shots.extend(req.shots);
         }
-        let states = batch.classify_shots_on(config.backend, &shots);
+
+        // Canary routing: decide per micro-batch, serve the candidate's
+        // answer, keep the primary's for the divergence report. A batch
+        // whose shots undercut the candidate's feature floors stays on
+        // the primary (a shorter-trace candidate must not panic on
+        // still-valid production traffic).
+        let mut canary_states = None;
+        if let Some(c) = canary.as_mut() {
+            if validate_shots(&shots, &c.model.min_samples).is_ok() {
+                c.acc += c.fraction;
+                if c.acc >= 1.0 {
+                    c.acc -= 1.0;
+                    canary_states = Some(c.model.classify(&config, &shots));
+                }
+            }
+        }
+        let primary_states = active.classify(&config, &shots);
+        let states = match &canary_states {
+            Some(cs) => {
+                counters.canary_batches.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .canary_requests
+                    .fetch_add(replies.len() as u64, Ordering::Relaxed);
+                counters
+                    .canary_shots
+                    .fetch_add(shots.len() as u64, Ordering::Relaxed);
+                let mut divergent = 0u64;
+                let mut disagreements = [0u64; NUM_QUBITS];
+                for (c_row, p_row) in cs.iter().zip(&primary_states) {
+                    let mut any = false;
+                    for qb in 0..NUM_QUBITS {
+                        if c_row[qb] != p_row[qb] {
+                            disagreements[qb] += 1;
+                            any = true;
+                        }
+                    }
+                    divergent += u64::from(any);
+                }
+                counters
+                    .canary_divergent_shots
+                    .fetch_add(divergent, Ordering::Relaxed);
+                for (counter, &n) in counters.canary_disagreements.iter().zip(&disagreements) {
+                    counter.fetch_add(n, Ordering::Relaxed);
+                }
+                cs
+            }
+            None => &primary_states,
+        };
 
         counters.requests.fetch_add(replies.len() as u64, Ordering::Relaxed);
         counters.shots.fetch_add(shots.len() as u64, Ordering::Relaxed);
@@ -557,10 +1057,57 @@ fn collector_loop(
             counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
         }
 
+        // Drift monitor: running per-qubit excited fractions over the
+        // states actually served (whichever model produced them).
+        counters
+            .drift_shots
+            .fetch_add(states.len() as u64, Ordering::Relaxed);
+        let mut excited = [0u64; NUM_QUBITS];
+        for row in states {
+            for qb in 0..NUM_QUBITS {
+                excited[qb] += u64::from(row[qb]);
+            }
+        }
+        for (counter, &n) in counters.drift_excited.iter().zip(&excited) {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+
         let mut offset = 0;
-        for (reply, count) in replies {
+        for (reply, count, calibration) in replies {
+            if calibration {
+                // Calibration lane: the shot buffer is still alive, so
+                // each shot's prepared states score the served states.
+                counters.calib_shots.fetch_add(count as u64, Ordering::Relaxed);
+                let mut prep_excited = [0u64; NUM_QUBITS];
+                let mut false_excited = [0u64; NUM_QUBITS];
+                let mut false_ground = [0u64; NUM_QUBITS];
+                for i in offset..offset + count {
+                    let prepared = shots[i].prepared;
+                    let got = states[i];
+                    for qb in 0..NUM_QUBITS {
+                        if prepared[qb] {
+                            prep_excited[qb] += 1;
+                            false_ground[qb] += u64::from(!got[qb]);
+                        } else {
+                            false_excited[qb] += u64::from(got[qb]);
+                        }
+                    }
+                }
+                for qb in 0..NUM_QUBITS {
+                    counters.calib_prepared_excited[qb]
+                        .fetch_add(prep_excited[qb], Ordering::Relaxed);
+                    counters.calib_false_excited[qb]
+                        .fetch_add(false_excited[qb], Ordering::Relaxed);
+                    counters.calib_false_ground[qb]
+                        .fetch_add(false_ground[qb], Ordering::Relaxed);
+                }
+            }
             reply(Ok(states[offset..offset + count].to_vec()));
             offset += count;
+        }
+
+        if let Some(c) = deferred_control {
+            apply_control(c, &mut active, &mut canary, counters);
         }
     }
 }

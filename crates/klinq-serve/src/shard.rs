@@ -85,6 +85,94 @@ impl ShardedReadoutServer {
         self.shards[device].client()
     }
 
+    /// Blue/green hot swap on one shard: atomically replaces `device`'s
+    /// serving [`KlinqSystem`] between micro-batches and returns the
+    /// shard's new model version. Other shards are untouched — a fleet
+    /// rolls a new model device by device, watching each shard's canary
+    /// report before moving on. Same guarantees as
+    /// [`ReadoutServer::swap_model`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()` (same contract as
+    /// [`Self::client`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ReadoutServer::swap_model`].
+    pub fn swap_model(
+        &self,
+        device: usize,
+        system: Arc<KlinqSystem>,
+    ) -> Result<u64, crate::server::ServeError> {
+        self.shard(device).swap_model(system)
+    }
+
+    /// Stages a canary candidate on one shard (see
+    /// [`ReadoutServer::stage_canary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ReadoutServer::stage_canary`].
+    pub fn stage_canary(
+        &self,
+        device: usize,
+        system: Arc<KlinqSystem>,
+        fraction: f64,
+    ) -> Result<(), crate::server::ServeError> {
+        self.shard(device).stage_canary(system, fraction)
+    }
+
+    /// Promotes one shard's staged canary to primary (see
+    /// [`ReadoutServer::promote_canary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ReadoutServer::promote_canary`].
+    pub fn promote_canary(&self, device: usize) -> Result<u64, crate::server::ServeError> {
+        self.shard(device).promote_canary()
+    }
+
+    /// Drops one shard's staged canary, if any (see
+    /// [`ReadoutServer::abort_canary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ReadoutServer::abort_canary`].
+    pub fn abort_canary(&self, device: usize) -> Result<bool, crate::server::ServeError> {
+        self.shard(device).abort_canary()
+    }
+
+    /// One shard's serving model version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= self.devices()`.
+    pub fn model_version(&self, device: usize) -> u64 {
+        self.shard(device).model_version()
+    }
+
+    fn shard(&self, device: usize) -> &ReadoutServer {
+        assert!(
+            device < self.shards.len(),
+            "device {device} out of range: this fleet serves {} devices",
+            self.shards.len()
+        );
+        &self.shards[device]
+    }
+
     /// Per-device counter snapshots, in shard order.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.shards.iter().map(ReadoutServer::stats).collect()

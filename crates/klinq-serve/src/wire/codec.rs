@@ -285,6 +285,8 @@ pub fn encode_error(req_id: u64, error: &ServeError) -> Vec<u8> {
         // produced client-side), but the codec stays total so every
         // `ServeError` value survives a round trip.
         ServeError::Timeout => (4, ""),
+        ServeError::Disconnected => (5, ""),
+        ServeError::Draining => (6, ""),
     };
     let mut out = Vec::with_capacity(17 + msg.len());
     header(MSG_ERROR, req_id, &mut out);
@@ -459,6 +461,10 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 2 => ServeError::Overloaded,
                 3 => ServeError::Protocol(msg),
                 4 => ServeError::Timeout,
+                // Like `Timeout`, `Disconnected` is normally produced
+                // client-side; the codec stays total regardless.
+                5 => ServeError::Disconnected,
+                6 => ServeError::Draining,
                 other => {
                     return Err(WireError::Malformed(format!("unknown error kind {other}")))
                 }

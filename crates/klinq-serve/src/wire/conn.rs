@@ -8,6 +8,7 @@
 //! write here returns at `WouldBlock` — so one loop can multiplex
 //! thousands of these.
 
+use crate::chaos::Chaos;
 use crate::wire::codec::{FrameAssembler, WireError};
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -64,6 +65,9 @@ pub(crate) struct Conn {
     /// epoll set, `None` when the fd is not registered. Owned by the
     /// reactor's interest-sync step; unused by the poll-loop transport.
     pub(crate) reg: Option<(bool, bool)>,
+    /// Per-connection fault injection (see [`crate::chaos`]): stalls and
+    /// shrinks this connection's reads and writes. `None` in production.
+    pub(crate) chaos: Option<Chaos>,
 }
 
 impl Conn {
@@ -84,6 +88,7 @@ impl Conn {
             closing: false,
             dead: false,
             reg: None,
+            chaos: None,
         })
     }
 
@@ -98,14 +103,25 @@ impl Conn {
         if self.peer_eof || self.dead {
             return ReadOutcome::Progress;
         }
+        // Fault injection: a stalled read skips the event (re-fired by
+        // level-triggered readiness / the next sweep), a shrunk budget
+        // cuts the event short mid-frame.
+        let mut budget = READ_BUDGET;
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.stall_read() {
+                return ReadOutcome::Progress;
+            }
+            budget = chaos.read_budget(READ_BUDGET);
+        }
         // Bytes land straight in the assembler's buffer — no chunk
         // buffer on the stack to copy through.
         let mut total = 0;
-        while total < READ_BUDGET {
-            match self
-                .assembler
-                .read_from(&mut self.stream, READ_CHUNK.min(READ_BUDGET - total))
-            {
+        while total < budget {
+            let mut want = READ_CHUNK.min(budget - total);
+            if let Some(chaos) = &mut self.chaos {
+                want = chaos.clamp_read(want);
+            }
+            match self.assembler.read_from(&mut self.stream, want) {
                 Ok(0) => {
                     self.peer_eof = true;
                     if total > 0 {
@@ -162,8 +178,19 @@ impl Conn {
 
     /// Writes as much of the outbound buffer as the socket accepts.
     pub(crate) fn flush(&mut self, now: Instant) {
+        // Fault injection: a stalled write skips this flush opportunity
+        // (`EPOLLOUT` interest / the next sweep retries it).
+        if let Some(chaos) = &mut self.chaos {
+            if self.out_pos < self.out.len() && chaos.stall_write() {
+                return;
+            }
+        }
         while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            let mut cap = self.out.len() - self.out_pos;
+            if let Some(chaos) = &mut self.chaos {
+                cap = chaos.clamp_write(cap);
+            }
+            match self.stream.write(&self.out[self.out_pos..self.out_pos + cap]) {
                 Ok(0) => {
                     self.dead = true;
                     return;
@@ -198,6 +225,14 @@ impl Conn {
     pub(crate) fn should_close(&self) -> bool {
         self.dead
             || ((self.closing || self.peer_eof) && self.in_flight == 0 && !self.wants_write())
+    }
+
+    /// Whether a draining server is done with this connection: nothing
+    /// in the fleet, every response byte flushed, and no buffered
+    /// inbound bytes that might still become a frame needing a
+    /// [`ServeError::Draining`](crate::ServeError::Draining) answer.
+    pub(crate) fn drained(&self) -> bool {
+        self.in_flight == 0 && !self.wants_write() && self.assembler.pending() == 0
     }
 
     /// Whether the connection has been completely quiet — no traffic,

@@ -37,6 +37,24 @@
 //! next completed `(request id, result)` pair, whichever request it
 //! belongs to. The blocking `classify_*` calls are small wrappers that
 //! submit one request and wait for its id.
+//!
+//! # Surviving disconnects
+//!
+//! A transport failure — the peer hung up mid-frame, a write hit a dead
+//! socket — never panics and never silently hangs: every request in
+//! flight surfaces as a typed [`ServeError::Disconnected`] through
+//! [`WireClient::recv_response`], and the client reconnects to the
+//! remembered address with exponential backoff plus deterministic
+//! jitter ([`ReconnectPolicy`]) on the next send. Because
+//! classification is pure — equal shots give bitwise-equal states, on
+//! either model version, with no server-side state keyed to the request
+//! — resubmitting a disconnected request is idempotent, so the blocking
+//! `classify_*` wrappers retry it automatically **under the same
+//! request id**. Pipelining callers driving [`WireClient::submit`] /
+//! [`WireClient::recv_response`] directly decide for themselves which
+//! `Disconnected` results to resubmit. A server that answers
+//! [`ServeError::Draining`] is *refusing* work, not losing it, so
+//! nothing auto-retries against it.
 
 pub mod codec;
 mod conn;
@@ -56,6 +74,53 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// How a [`WireClient`] re-establishes a failed connection: up to
+/// [`max_attempts`](Self::max_attempts) connect attempts, sleeping an
+/// exponentially growing, jittered delay between failures
+/// (`base_delay`, doubling, capped at `max_delay`; each sleep is
+/// half fixed, half drawn from a deterministic jitter stream so a
+/// thundering herd of clients spreads out instead of reconnecting in
+/// lockstep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Connect attempts per reconnect cycle before giving up with
+    /// [`ServeError::Disconnected`]. Also bounds how many times a
+    /// blocking `classify_*` call resubmits one request.
+    pub max_attempts: u32,
+    /// Sleep after the first failed attempt; doubles per failure.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seeds the jitter stream. Fixed by default so test runs
+    /// reproduce; fleets that want decorrelated clients seed per
+    /// client (e.g. from the process id).
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    /// 8 attempts, 25 ms doubling to a 2 s ceiling — a restart-speed
+    /// outage (a model rollout bouncing the server) is ridden out, a
+    /// genuinely dead server fails in seconds, not minutes.
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x8A5C_D789_635D_2DFF,
+        }
+    }
+}
+
+/// One xorshift64 draw (enough for backoff jitter; never zero-state).
+fn jitter_next(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
 /// A wire client bound to one device shard at connect time — the same
 /// blocking call surface as the in-process
 /// [`ReadoutClient`](crate::ReadoutClient) (`classify_shots` /
@@ -71,6 +136,17 @@ use std::time::Duration;
 pub struct WireClient {
     stream: TcpStream,
     device: u16,
+    /// Where to reconnect after a transport failure (the peer address
+    /// remembered at connect time; `None` disables reconnection).
+    addr: Option<SocketAddr>,
+    /// Backoff policy for reconnects; `None` disables reconnection.
+    reconnect: Option<ReconnectPolicy>,
+    /// Jitter stream state (seeded from the policy).
+    jitter: u64,
+    /// The transport failed; the next send must reconnect first.
+    broken: bool,
+    /// Remembered so a reconnected stream keeps the caller's deadline.
+    read_timeout: Option<Duration>,
     next_req_id: u64,
     /// In-flight request ids → their shot counts (for reply-length
     /// validation).
@@ -122,9 +198,15 @@ impl WireClient {
         // Request frames should go out immediately: latency matters
         // more than segment packing.
         stream.set_nodelay(true)?;
+        let policy = ReconnectPolicy::default();
         Ok(Self {
+            addr: stream.peer_addr().ok(),
             stream,
             device,
+            reconnect: Some(policy),
+            jitter: policy.jitter_seed,
+            broken: false,
+            read_timeout: None,
             // Id 0 is CONNECTION_REQ_ID — reserved for connection-level
             // errors — so client ids count from 1.
             next_req_id: 1,
@@ -135,20 +217,99 @@ impl WireClient {
         })
     }
 
+    /// Overrides the reconnect behavior (see [`ReconnectPolicy`];
+    /// enabled with defaults on every new client). `None` disables
+    /// reconnection entirely: transport failures still surface each
+    /// in-flight request as [`ServeError::Disconnected`], but nothing
+    /// retries and the client is done for.
+    pub fn set_reconnect(&mut self, policy: Option<ReconnectPolicy>) {
+        self.jitter = policy.map_or(0, |p| p.jitter_seed);
+        self.reconnect = policy;
+    }
+
     /// Bounds every receive: once set, a wait in
     /// [`recv_response`](Self::recv_response) (or the blocking
     /// `classify_*` wrappers) fails with [`ServeError::Timeout`] instead
     /// of hanging forever on a server that accepted but never replies.
     ///
-    /// After a timeout the connection may hold a partial frame and must
-    /// be discarded — reconnect rather than retrying on it.
+    /// A timeout that expires mid-frame poisons the connection; the
+    /// client notices and reconnects on the next send (see
+    /// [`ReconnectPolicy`]), so callers just keep calling.
     ///
     /// # Errors
     ///
     /// Propagates the socket-option error. A zero duration is rejected
     /// by the OS; use `None` to wait forever.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
-        self.stream.set_read_timeout(timeout)
+        self.stream.set_read_timeout(timeout)?;
+        // Remembered so a reconnected stream keeps the same deadline.
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// Marks the transport dead: every in-flight request is delivered
+    /// as a typed [`ServeError::Disconnected`] through the ready queue
+    /// (a disconnect loses the *connection*, never a caller's wait),
+    /// and the reassembly buffer is discarded (its partial frame died
+    /// with the stream).
+    fn fail_connection(&mut self) {
+        self.broken = true;
+        self.rx = FrameAssembler::new();
+        for (req_id, _) in self.pending.drain() {
+            self.ready.push_back((req_id, Err(ServeError::Disconnected)));
+        }
+    }
+
+    /// Re-establishes a broken transport under the backoff policy.
+    /// No-op on a healthy connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] once the policy's attempts are
+    /// exhausted (or immediately when reconnection is disabled or the
+    /// peer address is unknown).
+    fn ensure_connected(&mut self) -> Result<(), ServeError> {
+        if !self.broken {
+            return Ok(());
+        }
+        let (Some(addr), Some(policy)) = (self.addr, self.reconnect) else {
+            return Err(ServeError::Disconnected);
+        };
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff_delay(&policy, attempt - 1));
+            }
+            let Ok(stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            if stream.set_nodelay(true).is_err()
+                || stream.set_read_timeout(self.read_timeout).is_err()
+            {
+                continue;
+            }
+            self.stream = stream;
+            self.rx = FrameAssembler::new();
+            self.broken = false;
+            return Ok(());
+        }
+        Err(ServeError::Disconnected)
+    }
+
+    /// The sleep before retry `attempt + 1`: exponential from
+    /// `base_delay` capped at `max_delay`, half fixed and half jitter.
+    fn backoff_delay(&mut self, policy: &ReconnectPolicy, attempt: u32) -> Duration {
+        let cap = policy
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(policy.max_delay);
+        let half = cap / 2;
+        let jitter_nanos = half.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jitter = if jitter_nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(jitter_next(&mut self.jitter) % (jitter_nanos + 1))
+        };
+        half + jitter
     }
 
     /// Requests in flight: submitted, not yet returned by
@@ -164,7 +325,8 @@ impl WireClient {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Closed`] if the transport failed, or
+    /// [`ServeError::Disconnected`] if the transport failed (after
+    /// exhausting the [`ReconnectPolicy`], when one is set), or
     /// [`ServeError::InvalidRequest`] for a request over the frame-size
     /// bound (refused before any byte is sent).
     pub fn submit(&mut self, shots: &[Shot]) -> Result<u64, ServeError> {
@@ -201,6 +363,23 @@ impl WireClient {
         shots: &[Shot],
     ) -> Result<u64, ServeError> {
         let req_id = self.next_req_id;
+        self.send_request(req_id, device, priority, shots)?;
+        self.next_req_id += 1;
+        Ok(req_id)
+    }
+
+    /// Encodes and writes one request frame under `req_id`, tracking it
+    /// as pending. Shared by fresh submits (a new id each) and the
+    /// blocking wrappers' idempotent resubmits (the *same* id again on
+    /// a reconnected stream).
+    fn send_request(
+        &mut self,
+        req_id: u64,
+        device: u16,
+        priority: Priority,
+        shots: &[Shot],
+    ) -> Result<(), ServeError> {
+        self.ensure_connected()?;
         // Encoded straight into its frame, in the reused scratch
         // buffer: one buffer, one write, no second payload copy and no
         // per-request allocation on the submit path.
@@ -215,12 +394,22 @@ impl WireClient {
                 ))
             },
         )?;
-        self.stream
-            .write_all(&self.tx)
-            .map_err(|_| ServeError::Closed)?;
-        self.next_req_id += 1;
-        self.pending.insert(req_id, shots.len());
-        Ok(req_id)
+        for _ in 0..2 {
+            if self.stream.write_all(&self.tx).is_ok() {
+                self.pending.insert(req_id, shots.len());
+                return Ok(());
+            }
+            // The write may have landed partially: the stream is
+            // unusable and everything already in flight on it is lost
+            // (delivered as `Disconnected` results). This request has
+            // not been tracked yet, so after a reconnect the frame is
+            // simply written again, whole.
+            self.fail_connection();
+            if self.ensure_connected().is_err() {
+                break;
+            }
+        }
+        Err(ServeError::Disconnected)
     }
 
     /// Waits for the next completed request — whichever of the in-flight
@@ -231,16 +420,22 @@ impl WireClient {
     /// The per-request result is `Ok(states)` (bitwise-identical to an
     /// in-process call) or the server's typed [`ServeError`] for that
     /// request (e.g. `InvalidRequest`, `Overloaded`) — those leave the
-    /// connection usable.
+    /// connection usable. A transport failure (the peer hung up, even
+    /// mid-frame) surfaces every in-flight request as a per-request
+    /// [`ServeError::Disconnected`] result; resubmitting such a
+    /// request is always safe (classification is pure), and the next
+    /// send reconnects under the [`ReconnectPolicy`].
     ///
     /// # Errors
     ///
-    /// The *outer* error means the connection itself is done for:
-    /// [`ServeError::Closed`] (transport failed or nothing in flight to
-    /// wait on), [`ServeError::Timeout`] (read deadline expired — see
+    /// The *outer* error means there is nothing to deliver:
+    /// [`ServeError::Closed`] (nothing in flight to wait on),
+    /// [`ServeError::Timeout`] (read deadline expired — see
     /// [`Self::set_read_timeout`]), or [`ServeError::Protocol`]
     /// (undecodable frame, unknown request id, short reply, or a
-    /// connection-level error frame from the server).
+    /// connection-level error frame from the server — e.g.
+    /// [`ServeError::Draining`] from a server shutting down, returned
+    /// as the outer error itself).
     #[allow(clippy::type_complexity)]
     pub fn recv_response(
         &mut self,
@@ -265,11 +460,16 @@ impl WireClient {
                 break decoded;
             }
             match self.rx.read_from(&mut self.stream, RECV_CHUNK) {
-                Ok(0) if self.rx.pending() == 0 => return Err(ServeError::Closed),
                 Ok(0) => {
-                    return Err(ServeError::Protocol(
-                        "stream ended mid-frame".to_string(),
-                    ))
+                    // EOF — clean or mid-frame — is a disconnect:
+                    // deliver the in-flight requests as `Disconnected`
+                    // results (`pending` was non-empty above, so the
+                    // ready queue cannot come up empty here).
+                    self.fail_connection();
+                    if let Some(done) = self.ready.pop_front() {
+                        return Ok(done);
+                    }
+                    return Err(ServeError::Disconnected);
                 }
                 Ok(_) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -280,9 +480,22 @@ impl WireClient {
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    return Err(ServeError::Timeout)
+                    // A deadline that expired mid-frame poisons the
+                    // stream — fail it so the next send reconnects.
+                    // An expiry between frames leaves it usable.
+                    if self.rx.pending() > 0 {
+                        self.fail_connection();
+                    }
+                    return Err(ServeError::Timeout);
                 }
-                Err(_) => return Err(ServeError::Closed),
+                Err(_) => {
+                    // Transport failure: same treatment as EOF.
+                    self.fail_connection();
+                    if let Some(done) = self.ready.pop_front() {
+                        return Ok(done);
+                    }
+                    return Err(ServeError::Disconnected);
+                }
             }
         };
         match message {
@@ -308,6 +521,9 @@ impl WireClient {
                 if req_id == CONNECTION_REQ_ID {
                     // Connection-level: the server is hanging up on
                     // this whole connection, not failing one request.
+                    // Anything still in flight is delivered as
+                    // `Disconnected`; the next send reconnects.
+                    self.fail_connection();
                     return Err(error);
                 }
                 if self.pending.remove(&req_id).is_none() {
@@ -334,10 +550,13 @@ impl WireClient {
     /// # Errors
     ///
     /// The server's own [`ServeError`]s pass through (`Closed`,
-    /// `Overloaded`, `InvalidRequest`); transport failures surface as
-    /// [`ServeError::Closed`], expired read deadlines as
-    /// [`ServeError::Timeout`], and protocol violations as
-    /// [`ServeError::Protocol`].
+    /// `Overloaded`, `InvalidRequest`, `Draining`); expired read
+    /// deadlines surface as [`ServeError::Timeout`] and protocol
+    /// violations as [`ServeError::Protocol`]. A transport failure is
+    /// retried idempotently under the same request id (reconnecting
+    /// per the [`ReconnectPolicy`]) and surfaces as
+    /// [`ServeError::Disconnected`] only once the policy is exhausted
+    /// (or reconnection is disabled).
     pub fn classify_shots(&mut self, shots: &[Shot]) -> Result<Vec<ShotStates>, ServeError> {
         self.classify_shots_with_priority(Priority::Throughput, shots)
     }
@@ -356,14 +575,30 @@ impl WireClient {
             return Ok(Vec::new());
         }
         let want = self.submit_with_priority(priority, shots)?;
+        let mut resubmits = 0u32;
         loop {
             let (req_id, result) = self.recv_response()?;
-            if req_id == want {
-                return result;
+            if req_id != want {
+                // A completion for an *earlier* pipelined submit: keep
+                // it for the recv_response call that wants it.
+                self.ready.push_back((req_id, result));
+                continue;
             }
-            // A completion for an *earlier* pipelined submit: keep it
-            // for the recv_response call that wants it.
-            self.ready.push_back((req_id, result));
+            match result {
+                // The connection died with this request in flight.
+                // Classification is pure, so resubmitting is
+                // idempotent — same request id, reconnected stream.
+                // (`Draining` is a refusal, not a loss: no retry.)
+                Err(ServeError::Disconnected)
+                    if self
+                        .reconnect
+                        .is_some_and(|p| resubmits < p.max_attempts) =>
+                {
+                    resubmits += 1;
+                    self.send_request(want, self.device, priority, shots)?;
+                }
+                done => return done,
+            }
         }
     }
 

@@ -35,6 +35,7 @@
 //! [`WireConfig::idle_timeout`]. Both are observable through the
 //! `wire_*` fields of [`ServeStats`].
 
+use crate::chaos::{self, Chaos};
 use crate::server::{ReadoutClient, ServeError, ServeStats};
 use crate::shard::ShardedReadoutServer;
 use crate::wire::codec::{
@@ -66,6 +67,13 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// progress. Bounds idle CPU burn without adding meaningful latency
 /// (the linger windows it feeds are of the same order).
 const POLL_IDLE_SLEEP: Duration = Duration::from_micros(300);
+
+/// How long a draining reactor keeps reading peers. During the grace
+/// window, new connections and new requests get typed
+/// [`ServeError::Draining`] answers; after it, connections stop being
+/// read (in-flight replies still deliver) so a stalled or chatty peer
+/// cannot hold shutdown open forever.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 /// Which readiness mechanism drives the reactor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,15 +140,24 @@ pub struct WireConfig {
     pub idle_timeout: Option<Duration>,
     /// Which readiness mechanism drives the loop.
     pub transport: Transport,
+    /// Deterministic fault injection (see [`crate::chaos`]): stalls and
+    /// shrinks this server's socket reads/writes and defers completion
+    /// wakeups, all correctness-transparently. `None` (production)
+    /// falls back to the `KLINQ_CHAOS_SEED` environment variable, so CI
+    /// can chaos-run entire suites without touching their code; unset
+    /// both and injection is off.
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for WireConfig {
-    /// 4096-connection budget, 60 s idle reaping, auto transport.
+    /// 4096-connection budget, 60 s idle reaping, auto transport, chaos
+    /// off (unless `KLINQ_CHAOS_SEED` is set).
     fn default() -> Self {
         Self {
             max_connections: 4096,
             idle_timeout: Some(Duration::from_secs(60)),
             transport: Transport::Auto,
+            chaos_seed: None,
         }
     }
 }
@@ -184,8 +201,18 @@ impl std::fmt::Debug for Completions {
 }
 
 impl Completions {
+    /// The queue mutex is held only across a `Vec` push or take, so a
+    /// poisoned lock (some holder panicked) cannot have left the queue
+    /// half-mutated — recover the guard instead of cascading the panic
+    /// into every fleet collector thread that completes a request.
+    fn queue(&self) -> std::sync::MutexGuard<'_, Vec<Completion>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn push(&self, completion: Completion) {
-        self.queue.lock().expect("completions lock").push(completion);
+        self.queue().push(completion);
         self.wake();
     }
 
@@ -203,7 +230,7 @@ impl Completions {
     }
 
     fn drain(&self) -> Vec<Completion> {
-        std::mem::take(&mut *self.queue.lock().expect("completions lock"))
+        std::mem::take(&mut *self.queue())
     }
 
     #[cfg(target_os = "linux")]
@@ -241,8 +268,16 @@ struct Reactor {
     /// backpressure toggles this).
     listener_registered: bool,
     last_reap: Instant,
-    /// Shutdown observed: listener closed, connections winding down.
+    /// Shutdown observed: graceful drain in progress (see
+    /// [`Self::enter_shutdown`]).
     draining: bool,
+    /// When the drain's read-grace window ends (see [`DRAIN_GRACE`]).
+    drain_deadline: Option<Instant>,
+    /// The grace window ended: connections are no longer read.
+    drain_forced: bool,
+    /// Reactor-level fault injection: defers completion drains and
+    /// seeds each accepted connection's own fault stream.
+    chaos: Option<Chaos>,
 }
 
 impl Reactor {
@@ -262,8 +297,11 @@ impl Reactor {
             if self.stop.load(Ordering::Acquire) && !self.draining {
                 self.enter_shutdown(Instant::now());
             }
-            if self.draining && self.conns.is_empty() {
-                break;
+            if self.draining {
+                if self.conns.is_empty() {
+                    break;
+                }
+                self.drain_tick(Instant::now());
             }
             // Reaping (and drain progress after shutdown) needs a
             // bounded park; a reactor with neither can sleep until an
@@ -325,8 +363,11 @@ impl Reactor {
             if self.stop.load(Ordering::Acquire) && !self.draining {
                 self.enter_shutdown(Instant::now());
             }
-            if self.draining && self.conns.is_empty() {
-                break;
+            if self.draining {
+                if self.conns.is_empty() {
+                    break;
+                }
+                self.drain_tick(Instant::now());
             }
             let now = Instant::now();
             let mut progress = false;
@@ -352,12 +393,42 @@ impl Reactor {
         }
     }
 
-    /// Shutdown transition: stop accepting (closing the listener also
-    /// removes it from any epoll set) and mark every connection
-    /// closing. Connections with requests in flight stay until their
-    /// answers are delivered — shutdown drains, it never drops.
+    /// Shutdown transition: start the graceful drain. The listener
+    /// stays open during the grace window so late connectors get a
+    /// typed [`ServeError::Draining`] answer instead of a refused
+    /// socket, and existing connections keep being read so their late
+    /// requests get the same typed answer. Every in-flight request is
+    /// still answered and every reply byte flushed — shutdown drains,
+    /// it never drops. Once the grace window ends ([`DRAIN_GRACE`]),
+    /// [`Self::drain_tick`] forces the wind-down.
     fn enter_shutdown(&mut self, now: Instant) {
         self.draining = true;
+        self.drain_deadline = Some(now + DRAIN_GRACE);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.flush(now);
+            }
+            self.settle_conn(token);
+        }
+    }
+
+    /// Drain progress: once the grace window ends, stop listening and
+    /// stop reading peers (`closing` connections ignore further inbound
+    /// bytes) so a stalled or chatty peer cannot hold shutdown open.
+    /// In-flight replies still deliver — `should_close` keeps a closing
+    /// connection alive until its answers are flushed.
+    fn drain_tick(&mut self, now: Instant) {
+        if self.drain_forced {
+            return;
+        }
+        let Some(deadline) = self.drain_deadline else {
+            return;
+        };
+        if now < deadline {
+            return;
+        }
+        self.drain_forced = true;
         self.listener = None;
         self.listener_registered = false;
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
@@ -371,23 +442,42 @@ impl Reactor {
     }
 
     /// Accepts as many queued peers as the budget allows. Returns
-    /// whether any connection was accepted.
+    /// whether any connection was accepted. A draining server still
+    /// accepts (within budget) so it can answer each late connector
+    /// with a typed [`ServeError::Draining`] frame and hang up.
     fn accept_ready(&mut self, now: Instant) -> bool {
         let mut any = false;
         loop {
-            if self.conns.len() >= self.max_connections || self.draining {
+            if self.conns.len() >= self.max_connections {
                 break;
             }
             let Some(listener) = &self.listener else { break };
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let Ok(conn) = Conn::new(stream, now) else {
+                    let Ok(mut conn) = Conn::new(stream, now) else {
                         continue;
                     };
                     let token = self.next_token;
                     self.next_token += 1;
+                    if let Some(chaos) = &self.chaos {
+                        conn.chaos = Some(chaos.derive(token));
+                    }
+                    if self.draining {
+                        // Too late: say so with a connection-level
+                        // error frame, then wind the connection down.
+                        conn.queue_payload(&encode_error(
+                            CONNECTION_REQ_ID,
+                            &ServeError::Draining,
+                        ));
+                        conn.closing = true;
+                        conn.flush(now);
+                    }
                     self.conns.insert(token, conn);
-                    self.register_conn(token);
+                    if self.draining {
+                        self.settle_conn(token);
+                    } else {
+                        self.register_conn(token);
+                    }
                     self.counters.accepted.fetch_add(1, Ordering::Relaxed);
                     let open = self.conns.len() as u64;
                     self.counters.open.store(open, Ordering::Relaxed);
@@ -491,6 +581,13 @@ impl Reactor {
                     );
                     return;
                 }
+                if self.draining {
+                    // New work during the drain grace window gets a
+                    // typed per-request answer; requests already in the
+                    // fleet keep draining normally.
+                    self.answer(token, req_id, &Err(ServeError::Draining), now);
+                    return;
+                }
                 match self.clients.get(device as usize) {
                     Some(client) => {
                         let completions = Arc::clone(&self.completions);
@@ -572,6 +669,15 @@ impl Reactor {
     /// Delivers every queued completion to its connection. Returns the
     /// tokens touched (for interest settling).
     fn process_completions(&mut self, now: Instant) -> Vec<u64> {
+        // Fault injection: a delayed wakeup. Re-arming the wake before
+        // returning makes the deferral a delay, never a hang — the loop
+        // comes straight back around and draws again.
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.defer_completions() {
+                self.completions.wake();
+                return Vec::new();
+            }
+        }
         let batch = self.completions.drain();
         let mut touched = Vec::with_capacity(batch.len());
         for completion in batch {
@@ -590,7 +696,10 @@ impl Reactor {
     /// epoll interest with its buffer state.
     fn settle_conn(&mut self, token: u64) {
         let should_close = match self.conns.get(&token) {
-            Some(conn) => conn.should_close(),
+            // A draining server also closes connections that are simply
+            // *done* — nothing in flight, nothing buffered either way —
+            // without waiting for the peer to hang up first.
+            Some(conn) => conn.should_close() || (self.draining && conn.drained()),
             None => return,
         };
         if should_close {
@@ -678,7 +787,7 @@ impl Reactor {
             let Some(listener) = &self.listener else {
                 return;
             };
-            let want = self.conns.len() < self.max_connections && !self.draining;
+            let want = self.conns.len() < self.max_connections;
             if want && !self.listener_registered {
                 if ep
                     .add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)
@@ -789,6 +898,7 @@ impl WireServer {
         };
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(WireCounters::default());
+        let chaos_seed = config.chaos_seed.or_else(chaos::env_seed);
         let reactor = Reactor {
             listener: Some(listener),
             clients,
@@ -803,6 +913,9 @@ impl WireServer {
             listener_registered,
             last_reap: Instant::now(),
             draining: false,
+            drain_deadline: None,
+            drain_forced: false,
+            chaos: chaos_seed.map(Chaos::new),
         };
         let handle = std::thread::Builder::new()
             .name("klinq-wire-reactor".into())

@@ -173,6 +173,8 @@ fn every_error_variant_round_trips() {
         ServeError::Timeout,
         ServeError::InvalidRequest("shot 3 qubit 1: ragged".to_string()),
         ServeError::Protocol("reply carries 0 shot states".to_string()),
+        ServeError::Disconnected,
+        ServeError::Draining,
     ] {
         let encoded = encode_error(42, &error);
         match decode_message(&encoded) {
@@ -292,4 +294,71 @@ fn framing_rejects_truncation_and_oversized_lengths() {
         asm.next_frame(),
         Err(WireError::FrameTooLarge(_))
     ));
+}
+
+/// A reader that hands out one byte per `read` call — the degenerate
+/// fragmentation a slow or chaos-injected socket produces.
+struct OneByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl std::io::Read for OneByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn one_byte_reads_reassemble_exactly_across_frame_boundaries() {
+    // `read_from` fed one byte at a time must produce each frame at the
+    // exact read that completes it — no frame early (a length-prefix
+    // parse jumping the gun), none late, none merged across the
+    // boundary where one frame's last byte and the next frame's prefix
+    // meet.
+    let payloads = [
+        encode_error(7, &ServeError::Draining),
+        encode_response(8, &[[true, false, true, false, true]]),
+        encode_error(9, &ServeError::Disconnected),
+    ];
+    let mut stream = Vec::new();
+    let mut ends = Vec::new();
+    for p in &payloads {
+        stream.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        stream.extend_from_slice(p);
+        ends.push(stream.len());
+    }
+    let mut reader = OneByteReader {
+        bytes: &stream,
+        pos: 0,
+    };
+    let mut asm = FrameAssembler::new();
+    let mut got: Vec<Vec<u8>> = Vec::new();
+    for fed in 1..=stream.len() {
+        // Ask for a big chunk; the reader still delivers one byte.
+        assert_eq!(asm.read_from(&mut reader, 64 * 1024).unwrap(), 1);
+        let complete_before = got.len();
+        while let Some(frame) = asm.next_frame().unwrap() {
+            got.push(frame);
+        }
+        let complete_now = ends.iter().filter(|&&e| e <= fed).count();
+        assert_eq!(
+            got.len(),
+            complete_now,
+            "after byte {fed}: {} frames out, expected {complete_now}",
+            got.len()
+        );
+        // A frame may only appear on the byte that completes it.
+        if got.len() > complete_before {
+            assert!(ends.contains(&fed), "frame surfaced mid-frame at byte {fed}");
+        }
+    }
+    assert_eq!(got, payloads.to_vec());
+    assert_eq!(asm.pending(), 0);
+    assert_eq!(asm.read_from(&mut reader, 64 * 1024).unwrap(), 0, "stream exhausted");
 }

@@ -175,6 +175,7 @@ fn the_connection_budget_applies_accept_backpressure() {
                 max_connections: 2,
                 idle_timeout: None,
                 transport,
+                ..WireConfig::default()
             },
         )
         .unwrap();
@@ -225,9 +226,20 @@ fn idle_connections_are_reaped_under_the_configured_timeout() {
     let stats = server.stats();
     assert_eq!(stats.wire_reaped, 1, "quiet connection not reaped");
     assert_eq!(stats.wire_open, 0);
-    // The reaped client's next round trip fails (server hung up)...
+    // The reaped client transparently reconnects on its next call —
+    // the server hung up, but the address still serves...
     idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-    assert!(idle.classify_shot(&shot).is_err());
+    assert_eq!(
+        idle.classify_shot(&shot).expect("reconnected after the reap"),
+        BatchDiscriminator::new(sys.discriminators()).classify_shot(&shot)
+    );
+    // ...and with reconnection disabled, the hang-up surfaces as a
+    // typed `Disconnected` instead (never a panic or a silent hang).
+    let mut doomed = WireClient::connect(server.local_addr(), 0).unwrap();
+    doomed.set_reconnect(None);
+    doomed.classify_shot(&shot).expect("served before going idle");
+    std::thread::sleep(Duration::from_millis(1200));
+    assert_eq!(doomed.classify_shot(&shot), Err(ServeError::Disconnected));
     // ...while fresh connections serve as ever.
     let mut fresh = WireClient::connect(server.local_addr(), 0).unwrap();
     assert_eq!(

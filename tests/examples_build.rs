@@ -1,4 +1,4 @@
-//! Workspace smoke test: all seven `examples/` must keep compiling.
+//! Workspace smoke test: all eight `examples/` must keep compiling.
 //!
 //! `cargo test` already builds the root package's examples, but only in
 //! the test profile of the same invocation; this test pins the guarantee
@@ -22,6 +22,7 @@ fn all_examples_compile() {
         "fpga_deployment",
         "serving",
         "sharded_serving",
+        "live_recalibration",
     ];
     for name in expected {
         assert!(
