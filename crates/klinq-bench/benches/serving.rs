@@ -260,5 +260,9 @@ fn main() {
     benches(&mut criterion);
     // Serving results belong in the inference trajectory file, next to
     // the direct `batched_inference/*` figures they are compared with.
+    // This binary owns the `serving/*` group, so the group-wholesale
+    // merge is right (renamed ids don't linger) — but it also wipes the
+    // `soak` bench's `serving/soak_*` entries, so a full re-record runs
+    // the soak *after* this bench (as CI's trajectory step does).
     criterion::write_json_report_as("inference");
 }

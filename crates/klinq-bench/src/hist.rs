@@ -1,0 +1,234 @@
+//! HDR-style latency histogram and the Jain fairness index — the
+//! measurement kit behind the multi-tenant soak harness
+//! (`benches/soak.rs`).
+//!
+//! [`LatencyHist`] buckets nanosecond samples logarithmically (constant
+//! ~2.8% relative width per bucket), so recording is O(1) with a fixed
+//! ~2 KB footprint however many samples a soak run produces, and any
+//! quantile is recoverable to bucket precision afterwards — the same
+//! trade HdrHistogram makes, scaled down to what the soak needs.
+
+/// Log-bucketed latency histogram over `[1 ns, ~584 s]`.
+///
+/// Buckets split each power of two into `SUB_BUCKETS` (16) linear steps
+/// (base-2 log-linear layout), giving every bucket the same relative
+/// width: `2^(1/16) - 1` ≈ 4.4%. Quantiles report a bucket's upper
+/// bound, so they over-estimate by at most one bucket width — fine for
+/// p50/p99 comparisons with 2× assertion headroom.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+    max_ns: u64,
+}
+
+/// Linear steps per power of two.
+const SUB_BUCKETS: u64 = 16;
+/// log2(SUB_BUCKETS): bits of linear resolution below the leading bit.
+const SUB_BITS: u32 = 4;
+/// Bucket count: values below 2·SUB_BUCKETS map exactly (one bucket
+/// each), then 16 sub-buckets per remaining exponent range up to the
+/// top of u64 (exp ≤ 59 after the SUB_BITS shift).
+const N_BUCKETS: usize = (60 * SUB_BUCKETS + SUB_BUCKETS) as usize;
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            total: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        // Values below 2·SUB_BUCKETS index linearly (exact); above, the
+        // leading bit picks the exponent range and the next SUB_BITS
+        // bits the linear step within it.
+        if ns < 2 * SUB_BUCKETS {
+            return ns as usize;
+        }
+        let exp = (63 - ns.leading_zeros()) - SUB_BITS;
+        let sub = (ns >> exp) - SUB_BUCKETS;
+        (u64::from(exp) * SUB_BUCKETS + sub + SUB_BUCKETS) as usize
+    }
+
+    /// Upper bound of `bucket`'s value range, in ns.
+    fn bucket_high(bucket: usize) -> u64 {
+        let bucket = bucket as u64;
+        if bucket < 2 * SUB_BUCKETS {
+            return bucket;
+        }
+        let exp = bucket / SUB_BUCKETS - 1;
+        let sub = bucket % SUB_BUCKETS + SUB_BUCKETS;
+        // u128: the top bucket's bound is 2^64 - 1, whose intermediate
+        // (sub+1) << exp does not fit in u64.
+        let high = ((u128::from(sub) + 1) << exp) - 1;
+        u64::try_from(high).unwrap_or(u64::MAX)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded sample, exact (not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (e.g. `0.99` for p99),
+    /// reported as the containing bucket's upper bound. Returns 0 on an
+    /// empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        // Rank of the sample the quantile lands on (1-based, ceil —
+        // p100 is the max, p0 the min).
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_high(bucket).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Jain's fairness index over per-tenant allocations:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`. Ranges over `(0, 1]` — `1.0` is a perfectly
+/// even split, `1/n` is one tenant taking everything. Returns 1.0 for
+/// fewer than two allocations (nothing to be unfair between), and
+/// treats an all-zero allocation vector as perfectly fair.
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.len() < 2 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for ns in 0..16u64 {
+            h.record(ns);
+        }
+        // Below SUB_BUCKETS every value gets its own bucket.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.count(), 16);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_width() {
+        let mut h = LatencyHist::new();
+        // A spread of realistic latencies: 10 µs .. 100 ms.
+        let samples: Vec<u64> = (0..10_000u64).map(|i| 10_000 + i * 10_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(9_999)];
+            let got = h.quantile(q);
+            assert!(
+                got >= exact,
+                "q{q}: bucket upper bound {got} below exact {exact}"
+            );
+            // One log-linear bucket is ≤ 1/16 relative width.
+            assert!(
+                (got as f64) <= exact as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0,
+                "q{q}: {got} overshoots exact {exact} by more than a bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn max_is_exact_and_bounds_quantiles() {
+        let mut h = LatencyHist::new();
+        h.record(123_456_789);
+        h.record(42);
+        assert_eq!(h.max(), 123_456_789);
+        assert_eq!(h.quantile(1.0), 123_456_789);
+        assert!(h.quantile(0.25) >= 42);
+    }
+
+    #[test]
+    fn merge_is_sum() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.record(1_000);
+        b.record(2_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 2_000_000);
+        assert!(a.quantile(1.0) >= 2_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn giant_values_saturate_instead_of_panicking() {
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        // Perfectly even.
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant takes everything: 1/n.
+        assert!((jain_index(&[12.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // 3:1 weighted split of two tenants: (4)²/(2·10) = 0.8.
+        assert!((jain_index(&[3.0, 1.0]) - 0.8).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[7.0]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

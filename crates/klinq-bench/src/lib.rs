@@ -14,6 +14,8 @@
 
 use klinq_core::experiments::ExperimentConfig;
 
+pub mod hist;
+
 /// Parses the common `--scale` / `--json` CLI arguments of the
 /// regeneration binaries.
 ///

@@ -27,6 +27,13 @@
 //!   [`Priority::Latency`] requests close their micro-batch immediately
 //!   instead of waiting out the linger window tuned for throughput
 //!   traffic.
+//! - **Multi-tenant QoS** ([`sched`]): requests carry a [`TenantId`];
+//!   intake is per-tenant bounded queues drained by deficit-round-robin
+//!   weighted fair queueing ([`SchedPolicy`]), per-tenant quotas shed as
+//!   typed [`ServeError::Overloaded`] with a retry-after hint, and
+//!   micro-batch closing is deadline-aware — requests whose
+//!   [`RequestOptions::deadline`] expires get a typed
+//!   [`ServeError::DeadlineExceeded`] instead of stale states.
 //! - **Multi-device sharding**: [`ShardedReadoutServer`]
 //!   runs one collector per [`KlinqSystem`](klinq_core::KlinqSystem)
 //!   (e.g. one per chip in the fridge), deployable from a single
@@ -61,10 +68,12 @@
 //! ```
 
 pub mod chaos;
+pub mod sched;
 mod server;
 mod shard;
 pub mod wire;
 
+pub use sched::{RequestOptions, SchedPolicy, TenantId, TenantSpec, TenantStats};
 pub use server::{
     Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats, NUM_QUBITS,
 };

@@ -9,7 +9,7 @@
 //! the whole batch in one call, and scatters the per-request slices back.
 //! An idle server blocks on `recv` and costs nothing.
 //!
-//! Two scheduling policies shape the intake:
+//! Several scheduling policies shape the intake:
 //!
 //! - **Backpressure**: the intake queue is bounded
 //!   ([`ServeConfig::max_pending`]). A full queue sheds the request with
@@ -21,7 +21,16 @@
 //!   [`Priority::Throughput`] requests coalesce as usual. A mid-circuit
 //!   measurement that gates a conditional pulse cannot wait out a linger
 //!   tuned for throughput traffic.
+//! - **Multi-tenant QoS** ([`ServeConfig::sched`], [`crate::sched`]):
+//!   the collector drains the intake channel into per-tenant bounded
+//!   queues and assembles micro-batches by deficit-round-robin weighted
+//!   fair queueing, so one flooding tenant cannot starve the rest.
+//!   Per-tenant quotas shed with a retry-after hint, and request
+//!   deadlines both pull batch closing forward and fail expired
+//!   requests typed ([`ServeError::DeadlineExceeded`]) instead of
+//!   delivering stale work.
 
+use crate::sched::{QueuedItem, RequestOptions, SchedPolicy, Scheduler, TenantId, TenantStats};
 use klinq_core::{Backend, BatchDiscriminator, KlinqSystem, ShotStates};
 use klinq_sim::Shot;
 use std::fmt;
@@ -45,7 +54,7 @@ pub enum Priority {
 }
 
 /// Tuning knobs for a [`ReadoutServer`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Which datapath serves the requests.
     pub backend: Backend,
@@ -69,11 +78,15 @@ pub struct ServeConfig {
     /// engine's default). Purely a performance knob — results are
     /// identical for every value.
     pub chunk_size: Option<usize>,
+    /// Multi-tenant QoS policy: the tenant table and the DRR/deadline
+    /// tuning (see [`crate::sched`]). The default is a single
+    /// unconstrained tenant — the pre-QoS FIFO behaviour.
+    pub sched: SchedPolicy,
 }
 
 impl Default for ServeConfig {
     /// Float backend, 1024-shot batches, 200 µs linger, 1024-request
-    /// intake queue.
+    /// intake queue, single-tenant scheduling.
     fn default() -> Self {
         Self {
             backend: Backend::Float,
@@ -81,6 +94,7 @@ impl Default for ServeConfig {
             max_linger: Duration::from_micros(200),
             max_pending: 1024,
             chunk_size: None,
+            sched: SchedPolicy::default(),
         }
     }
 }
@@ -95,10 +109,17 @@ pub enum ServeError {
     /// front end's floor). Only the offending request is rejected — the
     /// server keeps serving everyone else.
     InvalidRequest(String),
-    /// The intake queue was full ([`ServeConfig::max_pending`]): the
-    /// request was shed without queueing. Retry later, or against
-    /// another shard.
-    Overloaded,
+    /// The request was shed without queueing: the global intake queue
+    /// was full ([`ServeConfig::max_pending`]), or the tenant's own
+    /// quota ([`crate::TenantSpec::max_queued_shots`]) was exhausted.
+    /// `retry_after` is the server's estimate of when the backlog will
+    /// have drained (from the tenant's queued shots and the measured
+    /// service rate); `None` when no estimate exists — retry later, or
+    /// against another shard.
+    Overloaded {
+        /// Estimated wait before a retry is likely to be admitted.
+        retry_after: Option<Duration>,
+    },
     /// The reply violated the serving contract (e.g. a response whose
     /// length does not match the request's shot count, or a malformed
     /// wire frame). Indicates a buggy or mismatched server, never a bad
@@ -119,6 +140,16 @@ pub enum ServeError {
     /// are answered, but no new work or connections are accepted. Retry
     /// against another shard or wait for the replacement to come up.
     Draining,
+    /// The request's deadline ([`crate::RequestOptions::deadline`])
+    /// expired before classification completed: the answer would have
+    /// been stale, so none is produced. The request did not fail on its
+    /// merits — resubmitting with a fresh deadline is always safe.
+    DeadlineExceeded,
+    /// The request names a [`TenantId`] outside the server's tenant
+    /// table ([`crate::SchedPolicy::tenants`]). Rejected per-request —
+    /// in-process at submission, over the wire with a typed error frame
+    /// that leaves the connection serving.
+    UnknownTenant(u32),
 }
 
 impl fmt::Display for ServeError {
@@ -126,13 +157,30 @@ impl fmt::Display for ServeError {
         match self {
             Self::Closed => write!(f, "readout server is closed"),
             Self::InvalidRequest(msg) => write!(f, "invalid readout request: {msg}"),
-            Self::Overloaded => write!(f, "readout server overloaded: intake queue full"),
+            Self::Overloaded { retry_after: None } => {
+                write!(f, "readout server overloaded: intake queue full")
+            }
+            Self::Overloaded {
+                retry_after: Some(wait),
+            } => {
+                write!(
+                    f,
+                    "readout server overloaded: intake queue full (retry in ~{} ms)",
+                    wait.as_millis().max(1)
+                )
+            }
             Self::Protocol(msg) => write!(f, "readout serving protocol violation: {msg}"),
             Self::Timeout => write!(f, "readout request timed out before the server answered"),
             Self::Disconnected => {
                 write!(f, "connection to the readout server was lost mid-flight")
             }
             Self::Draining => write!(f, "readout server is draining for shutdown"),
+            Self::DeadlineExceeded => {
+                write!(f, "readout request deadline expired before classification completed")
+            }
+            Self::UnknownTenant(id) => {
+                write!(f, "unknown tenant id {id}: not in the server's tenant table")
+            }
         }
     }
 }
@@ -142,6 +190,17 @@ impl std::error::Error for ServeError {}
 /// Number of qubits a served system reads per shot (the width of
 /// [`ShotStates`]). Per-qubit drift and canary telemetry is sized to it.
 pub const NUM_QUBITS: usize = 5;
+
+/// One tenant's serving counters (see [`TenantStats`] for semantics).
+#[derive(Debug, Default)]
+pub(crate) struct TenantCounters {
+    requests: AtomicU64,
+    shots: AtomicU64,
+    shed: AtomicU64,
+    deadline_misses: AtomicU64,
+    queued_requests: AtomicU64,
+    peak_queued_shots: AtomicU64,
+}
 
 /// Counters the collector maintains (shared snapshot-style with handles).
 #[derive(Debug, Default)]
@@ -153,6 +212,11 @@ pub(crate) struct Counters {
     shed: AtomicU64,
     latency_requests: AtomicU64,
     expedited_batches: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// One entry per tenant in [`SchedPolicy::tenants`] — sized at
+    /// server start, never resized, so clients can validate tenant ids
+    /// without a lock.
+    tenants: Vec<TenantCounters>,
     // Live-ops: model versioning, canary lane, drift monitor.
     model_version: AtomicU64,
     model_swaps: AtomicU64,
@@ -167,6 +231,22 @@ pub(crate) struct Counters {
     calib_prepared_excited: [AtomicU64; NUM_QUBITS],
     calib_false_excited: [AtomicU64; NUM_QUBITS],
     calib_false_ground: [AtomicU64; NUM_QUBITS],
+}
+
+impl Counters {
+    /// Counters for a server running under `policy`.
+    fn new(policy: &SchedPolicy) -> Self {
+        Self {
+            tenants: policy.tenants.iter().map(|_| TenantCounters::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Records a deadline miss on the global and per-tenant counters.
+    fn record_deadline_miss(&self, tenant: usize) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        self.tenants[tenant].deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Loads a per-qubit counter array into a plain snapshot array.
@@ -198,6 +278,10 @@ pub struct ServeStats {
     /// Micro-batches that closed early — skipping the linger window —
     /// because they contained a [`Priority::Latency`] request.
     pub expedited_batches: u64,
+    /// Requests answered with [`ServeError::DeadlineExceeded`] because
+    /// their deadline expired before classification completed (summed
+    /// over all tenants; [`ReadoutServer::tenant_stats`] splits it).
+    pub deadline_misses: u64,
     /// TCP connections a wire front end accepted over its lifetime
     /// (0 for a purely in-process server).
     pub wire_accepted: u64,
@@ -309,6 +393,7 @@ impl ServeStats {
             shed: self.shed + other.shed,
             latency_requests: self.latency_requests + other.latency_requests,
             expedited_batches: self.expedited_batches + other.expedited_batches,
+            deadline_misses: self.deadline_misses + other.deadline_misses,
             wire_accepted: self.wire_accepted + other.wire_accepted,
             wire_reaped: self.wire_reaped + other.wire_reaped,
             wire_open: self.wire_open + other.wire_open,
@@ -349,9 +434,13 @@ impl ServeStats {
 pub(crate) type ReplyFn = Box<dyn FnOnce(Result<Vec<ShotStates>, ServeError>) + Send>;
 
 /// One in-flight request: the shots to classify and where to answer.
-struct Request {
+pub(crate) struct Request {
     shots: Vec<Shot>,
     priority: Priority,
+    tenant: TenantId,
+    /// Absolute deadline (converted from the relative
+    /// [`RequestOptions::deadline`] at submission).
+    deadline: Option<Instant>,
     /// Calibration-lane request: each shot's `prepared` states are
     /// ground truth, so the collector scores the served states against
     /// them and feeds the per-qubit fidelity/confusion counters.
@@ -441,7 +530,27 @@ impl ReadoutClient {
         priority: Priority,
         shots: Vec<Shot>,
     ) -> Result<Vec<ShotStates>, ServeError> {
-        self.classify_blocking(priority, false, shots)
+        self.classify_blocking(RequestOptions::new().priority(priority), false, shots)
+    }
+
+    /// Like [`Self::classify_shots`], with full per-request
+    /// [`RequestOptions`]: scheduling lane, tenant, and an optional
+    /// relative deadline.
+    ///
+    /// # Errors
+    ///
+    /// The [`Self::classify_shots`] contract, plus
+    /// [`ServeError::UnknownTenant`] when the options name a tenant
+    /// outside the server's table (rejected synchronously, nothing is
+    /// queued) and [`ServeError::DeadlineExceeded`] when the deadline
+    /// expires before classification completes. A quota shed arrives as
+    /// [`ServeError::Overloaded`] with a retry-after hint.
+    pub fn classify_shots_opts(
+        &self,
+        opts: RequestOptions,
+        shots: Vec<Shot>,
+    ) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_blocking(opts, false, shots)
     }
 
     /// Classifies calibration shots: the result is served exactly like
@@ -460,18 +569,18 @@ impl ReadoutClient {
         &self,
         shots: Vec<Shot>,
     ) -> Result<Vec<ShotStates>, ServeError> {
-        self.classify_blocking(Priority::Throughput, true, shots)
+        self.classify_blocking(RequestOptions::new(), true, shots)
     }
 
     fn classify_blocking(
         &self,
-        priority: Priority,
+        opts: RequestOptions,
         calibration: bool,
         shots: Vec<Shot>,
     ) -> Result<Vec<ShotStates>, ServeError> {
         let n_shots = shots.len();
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.submit(priority, calibration, shots, move |result| {
+        self.submit(opts, calibration, shots, move |result| {
             // A submitter that gave up (dropped its receiver) is not an
             // error for the batch.
             let _ = reply_tx.send(result);
@@ -512,34 +621,68 @@ impl ReadoutClient {
         shots: Vec<Shot>,
         on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
     ) -> Result<(), ServeError> {
-        self.submit(priority, false, shots, on_complete)
+        self.submit(RequestOptions::new().priority(priority), false, shots, on_complete)
+    }
+
+    /// Like [`Self::submit_with_priority`], with full per-request
+    /// [`RequestOptions`]. This is the submission path the wire reactor
+    /// uses to thread tenant identity and deadlines through.
+    ///
+    /// # Errors
+    ///
+    /// The [`Self::submit_with_priority`] contract, plus
+    /// [`ServeError::UnknownTenant`] — returned synchronously, without
+    /// running `on_complete` — when the options name a tenant outside
+    /// the server's table.
+    pub fn submit_opts(
+        &self,
+        opts: RequestOptions,
+        shots: Vec<Shot>,
+        on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.submit(opts, false, shots, on_complete)
     }
 
     fn submit(
         &self,
-        priority: Priority,
+        opts: RequestOptions,
         calibration: bool,
         shots: Vec<Shot>,
         on_complete: impl FnOnce(Result<Vec<ShotStates>, ServeError>) + Send + 'static,
     ) -> Result<(), ServeError> {
+        // The tenant table is fixed at server start, so an unknown id is
+        // rejected right here — synchronously, before anything queues.
+        let tenant = opts.tenant.0 as usize;
+        if tenant >= self.counters.tenants.len() {
+            return Err(ServeError::UnknownTenant(opts.tenant.0));
+        }
         if shots.is_empty() {
             on_complete(Ok(Vec::new()));
             return Ok(());
         }
+        // The relative deadline becomes absolute at submission — queue
+        // wait counts against it. A deadline too far out to represent
+        // means "no deadline".
+        let deadline = opts.deadline.and_then(|d| Instant::now().checked_add(d));
         // A bounded `try_send` is the backpressure policy: a full queue
         // means the collector is saturated, and the honest answer is an
-        // immediate `Overloaded`, not an unbounded invisible wait.
+        // immediate `Overloaded`, not an unbounded invisible wait. (No
+        // retry-after hint here: the *global* queue is full, so the
+        // tenant-backlog estimate does not apply.)
         self.tx
             .try_send(Msg::Request(Request {
                 shots,
-                priority,
+                priority: opts.priority,
+                tenant: opts.tenant,
+                deadline,
                 calibration,
                 reply: Box::new(on_complete),
             }))
             .map_err(|e| match e {
                 TrySendError::Full(_) => {
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    ServeError::Overloaded
+                    self.counters.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
+                    ServeError::Overloaded { retry_after: None }
                 }
                 TrySendError::Disconnected(_) => ServeError::Closed,
             })
@@ -567,6 +710,9 @@ pub struct ReadoutServer {
     tx: Option<SyncSender<Msg>>,
     collector: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
+    /// The tenant table the server runs under, kept for
+    /// [`Self::tenant_stats`] snapshots.
+    sched: SchedPolicy,
 }
 
 impl ReadoutServer {
@@ -577,7 +723,8 @@ impl ReadoutServer {
     ///
     /// Panics immediately (not later on the collector thread) if the
     /// configuration is unusable: a zero `max_batch_shots`, a zero
-    /// `max_pending`, or a zero `chunk_size` override.
+    /// `max_pending`, a zero `chunk_size` override, or an unusable
+    /// scheduling policy (no tenants, a zero weight, quantum or quota).
     pub fn start(system: Arc<KlinqSystem>, config: ServeConfig) -> Self {
         assert!(config.max_batch_shots > 0, "max_batch_shots must be non-zero");
         assert!(
@@ -585,18 +732,23 @@ impl ReadoutServer {
             "max_pending must be non-zero (a zero-capacity intake queue would shed everything)"
         );
         assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
+        // Built here — not on the collector thread — so an unusable
+        // policy panics the caller immediately.
+        let sched: Scheduler<Request> = Scheduler::new(&config.sched);
         let (tx, rx) = mpsc::sync_channel(config.max_pending);
-        let counters = Arc::new(Counters::default());
+        let counters = Arc::new(Counters::new(&config.sched));
         counters.model_version.store(1, Ordering::Relaxed);
         let collector_counters = Arc::clone(&counters);
+        let policy = config.sched.clone();
         let collector = std::thread::Builder::new()
             .name("klinq-serve-collector".into())
-            .spawn(move || collector_loop(system, config, &rx, &collector_counters))
+            .spawn(move || collector_loop(system, config, sched, &rx, &collector_counters))
             .expect("spawn readout-server collector");
         Self {
             tx: Some(tx),
             collector: Some(collector),
             counters,
+            sched: policy,
         }
     }
 
@@ -624,6 +776,7 @@ impl ReadoutServer {
             shed: self.counters.shed.load(Ordering::Relaxed),
             latency_requests: self.counters.latency_requests.load(Ordering::Relaxed),
             expedited_batches: self.counters.expedited_batches.load(Ordering::Relaxed),
+            deadline_misses: self.counters.deadline_misses.load(Ordering::Relaxed),
             model_version: self.counters.model_version.load(Ordering::Relaxed),
             model_swaps: self.counters.model_swaps.load(Ordering::Relaxed),
             canary_requests: self.counters.canary_requests.load(Ordering::Relaxed),
@@ -639,6 +792,29 @@ impl ReadoutServer {
             calib_false_ground: load_per_qubit(&self.counters.calib_false_ground),
             ..ServeStats::default()
         }
+    }
+
+    /// Per-tenant serving counters, in tenant-table order: throughput,
+    /// sheds, deadline misses, and queue-depth gauges for each tenant
+    /// declared in [`SchedPolicy::tenants`].
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.sched
+            .tenants
+            .iter()
+            .zip(&self.counters.tenants)
+            .enumerate()
+            .map(|(i, (spec, c))| TenantStats {
+                id: TenantId(i as u32),
+                name: spec.name.clone(),
+                weight: spec.weight,
+                requests: c.requests.load(Ordering::Relaxed),
+                shots: c.shots.load(Ordering::Relaxed),
+                shed: c.shed.load(Ordering::Relaxed),
+                deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+                queued_requests: c.queued_requests.load(Ordering::Relaxed),
+                peak_queued_shots: c.peak_queued_shots.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// The model version serving right now (starts at 1, bumps on every
@@ -908,206 +1084,344 @@ fn apply_control(
     }
 }
 
-/// The collector: coalesce → classify → scatter, until disconnect.
-/// Live-ops commands apply strictly between micro-batches, so every
-/// batch is classified end to end by exactly one model version.
+/// Routes one intake message into the scheduler: validates, checks the
+/// deadline, and admits to the tenant's queue — or answers typed right
+/// here (invalid / expired / over-quota).
+fn route(req: Request, sched: &mut Scheduler<Request>, active: &Model, counters: &Counters) {
+    // Tenant ids are validated at submission against the same table, so
+    // this is a defensive re-check (a bug upstream must not index out
+    // of bounds), not a second policy decision.
+    let tenant = req.tenant.0 as usize;
+    if tenant >= sched.n_tenants() {
+        let id = req.tenant.0;
+        (req.reply)(Err(ServeError::UnknownTenant(id)));
+        return;
+    }
+    let Some(req) = admit(req, &active.min_samples) else {
+        return;
+    };
+    if req.deadline.is_some_and(|d| d <= Instant::now()) {
+        counters.record_deadline_miss(tenant);
+        (req.reply)(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    let item = QueuedItem {
+        cost: req.shots.len(),
+        deadline: req.deadline,
+        latency: req.priority == Priority::Latency,
+        payload: req,
+    };
+    match sched.admit(tenant, item) {
+        Ok(()) => {
+            let (queued, queued_shots) = sched.tenant_depth(tenant);
+            let t = &counters.tenants[tenant];
+            t.queued_requests.store(queued as u64, Ordering::Relaxed);
+            t.peak_queued_shots.fetch_max(queued_shots as u64, Ordering::Relaxed);
+        }
+        Err(item) => {
+            // The tenant's own quota is exhausted — everyone else keeps
+            // flowing. Unlike the global-queue shed, a backlog estimate
+            // exists, so the hint rides along.
+            counters.shed.fetch_add(1, Ordering::Relaxed);
+            counters.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
+            let retry_after = sched.retry_after(tenant);
+            (item.payload.reply)(Err(ServeError::Overloaded { retry_after }));
+        }
+    }
+}
+
+/// Refreshes the per-tenant queue-depth gauges after dequeues.
+fn sync_gauges(sched: &Scheduler<Request>, counters: &Counters) {
+    for (tenant, c) in counters.tenants.iter().enumerate() {
+        let (queued, _) = sched.tenant_depth(tenant);
+        c.queued_requests.store(queued as u64, Ordering::Relaxed);
+    }
+}
+
+/// Executes one assembled micro-batch end to end: classify (with canary
+/// routing), update the telemetry, scatter the per-request slices, and
+/// feed the service-rate estimator. Requests whose deadline expired
+/// while the batch executed are answered with
+/// [`ServeError::DeadlineExceeded`] — an expired request never receives
+/// states.
+fn run_batch(
+    entries: Vec<(usize, QueuedItem<Request>)>,
+    active: &Model,
+    canary: &mut Option<Canary>,
+    config: &ServeConfig,
+    counters: &Counters,
+    sched: &mut Scheduler<Request>,
+) {
+    // One contiguous shot buffer for the engine; shots are moved, never
+    // cloned.
+    let mut shots = Vec::new();
+    let mut replies = Vec::with_capacity(entries.len());
+    let mut latency_requests = 0u64;
+    let mut expedited = false;
+    for (tenant, item) in entries {
+        let req = item.payload;
+        if item.latency {
+            latency_requests += 1;
+            expedited = true;
+        }
+        replies.push((req.reply, req.shots.len(), req.calibration, tenant, item.deadline));
+        shots.extend(req.shots);
+    }
+
+    // Canary routing: decide per micro-batch, serve the candidate's
+    // answer, keep the primary's for the divergence report. A batch
+    // whose shots undercut the candidate's feature floors stays on
+    // the primary (a shorter-trace candidate must not panic on
+    // still-valid production traffic).
+    let started = Instant::now();
+    let mut canary_states = None;
+    if let Some(c) = canary.as_mut() {
+        if validate_shots(&shots, &c.model.min_samples).is_ok() {
+            c.acc += c.fraction;
+            if c.acc >= 1.0 {
+                c.acc -= 1.0;
+                canary_states = Some(c.model.classify(config, &shots));
+            }
+        }
+    }
+    let primary_states = active.classify(config, &shots);
+    // The measured service rate drives retry-after hints; canary
+    // double-classification is real work the backlog waits behind, so
+    // it counts.
+    sched.observe_service(started.elapsed().as_nanos() as f64 / shots.len() as f64);
+    let states = match &canary_states {
+        Some(cs) => {
+            counters.canary_batches.fetch_add(1, Ordering::Relaxed);
+            counters
+                .canary_requests
+                .fetch_add(replies.len() as u64, Ordering::Relaxed);
+            counters
+                .canary_shots
+                .fetch_add(shots.len() as u64, Ordering::Relaxed);
+            let mut divergent = 0u64;
+            let mut disagreements = [0u64; NUM_QUBITS];
+            for (c_row, p_row) in cs.iter().zip(&primary_states) {
+                let mut any = false;
+                for qb in 0..NUM_QUBITS {
+                    if c_row[qb] != p_row[qb] {
+                        disagreements[qb] += 1;
+                        any = true;
+                    }
+                }
+                divergent += u64::from(any);
+            }
+            counters
+                .canary_divergent_shots
+                .fetch_add(divergent, Ordering::Relaxed);
+            for (counter, &n) in counters.canary_disagreements.iter().zip(&disagreements) {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+            cs
+        }
+        None => &primary_states,
+    };
+
+    counters.shots.fetch_add(shots.len() as u64, Ordering::Relaxed);
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .largest_batch
+        .fetch_max(shots.len() as u64, Ordering::Relaxed);
+    counters
+        .latency_requests
+        .fetch_add(latency_requests, Ordering::Relaxed);
+    if expedited {
+        counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Drift monitor: running per-qubit excited fractions over the
+    // states actually served (whichever model produced them).
+    counters
+        .drift_shots
+        .fetch_add(states.len() as u64, Ordering::Relaxed);
+    let mut excited = [0u64; NUM_QUBITS];
+    for row in states {
+        for qb in 0..NUM_QUBITS {
+            excited[qb] += u64::from(row[qb]);
+        }
+    }
+    for (counter, &n) in counters.drift_excited.iter().zip(&excited) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    let mut offset = 0;
+    for (reply, count, calibration, tenant, deadline) in replies {
+        // Delivery-time deadline check: the batch may have executed
+        // past a request's deadline (e.g. behind a long backlog). The
+        // states exist but are stale by contract — answering typed here
+        // is what makes "an expired request never gets states" exact.
+        if deadline.is_some_and(|d| d <= Instant::now()) {
+            counters.record_deadline_miss(tenant);
+            reply(Err(ServeError::DeadlineExceeded));
+            offset += count;
+            continue;
+        }
+        if calibration {
+            // Calibration lane: the shot buffer is still alive, so
+            // each shot's prepared states score the served states.
+            counters.calib_shots.fetch_add(count as u64, Ordering::Relaxed);
+            let mut prep_excited = [0u64; NUM_QUBITS];
+            let mut false_excited = [0u64; NUM_QUBITS];
+            let mut false_ground = [0u64; NUM_QUBITS];
+            for i in offset..offset + count {
+                let prepared = shots[i].prepared;
+                let got = states[i];
+                for qb in 0..NUM_QUBITS {
+                    if prepared[qb] {
+                        prep_excited[qb] += 1;
+                        false_ground[qb] += u64::from(!got[qb]);
+                    } else {
+                        false_excited[qb] += u64::from(got[qb]);
+                    }
+                }
+            }
+            for qb in 0..NUM_QUBITS {
+                counters.calib_prepared_excited[qb]
+                    .fetch_add(prep_excited[qb], Ordering::Relaxed);
+                counters.calib_false_excited[qb]
+                    .fetch_add(false_excited[qb], Ordering::Relaxed);
+                counters.calib_false_ground[qb]
+                    .fetch_add(false_ground[qb], Ordering::Relaxed);
+            }
+        }
+        let t = &counters.tenants[tenant];
+        t.requests.fetch_add(1, Ordering::Relaxed);
+        t.shots.fetch_add(count as u64, Ordering::Relaxed);
+        // Counted before the reply lands: a client that sees its answer
+        // must also see it in the stats.
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        reply(Ok(states[offset..offset + count].to_vec()));
+        offset += count;
+    }
+}
+
+/// The collector: route → coalesce (DRR over tenant queues) → classify
+/// → scatter, until disconnect. Live-ops commands apply strictly
+/// between micro-batches — and only after every request admitted before
+/// them has been answered — so every batch is classified end to end by
+/// exactly one model version, and the swap boundary stays exact in
+/// submission order.
 fn collector_loop(
     system: Arc<KlinqSystem>,
     config: ServeConfig,
+    mut sched: Scheduler<Request>,
     rx: &Receiver<Msg>,
     counters: &Counters,
 ) {
     let mut active = Model::new(system);
     let mut canary: Option<Canary> = None;
     let mut shutting_down = false;
-    while !shutting_down {
-        // Idle: no batch is open, so controls apply immediately.
-        let first = loop {
+    loop {
+        // Idle: nothing queued, so controls apply immediately and the
+        // collector costs nothing blocking on `recv`.
+        while sched.is_empty() {
+            if shutting_down {
+                return;
+            }
             match rx.recv() {
-                Ok(Msg::Request(req)) => match admit(req, &active.min_samples) {
-                    Some(req) => break req,
-                    None => continue,
-                },
+                Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
                 Ok(Msg::Control(c)) => apply_control(c, &mut active, &mut canary, counters),
                 Ok(Msg::Shutdown) | Err(_) => return,
             }
-        };
-        let mut pending = vec![first];
-        let mut n_shots = pending[0].shots.len();
-        // A latency-lane request never lingers: its batch closes the
-        // moment it is admitted.
-        let mut expedited = pending[0].priority == Priority::Latency;
-        // A control command arriving mid-linger closes the open batch —
-        // it is answered by the model that admitted it — and applies
-        // right after, before the next batch opens.
-        let mut deferred_control = None;
+        }
+        // Linger: admit traffic until a close condition — the shot
+        // budget fills, a latency request arrives, the linger window or
+        // the oldest queued deadline (minus slack) expires, or a
+        // control/shutdown needs the queues drained first.
+        //
         // `checked_add` because huge lingers (`Duration::MAX` as "wait
-        // until the budget fills") overflow `Instant` arithmetic — the
-        // old `Instant::now() + max_linger` panicked the collector and
-        // failed every client with `Closed`. `None` means "no deadline":
-        // wait on a plain `recv` until the budget fills, a latency
-        // request arrives, or the server shuts down.
-        let deadline = Instant::now().checked_add(config.max_linger);
-        while !expedited && n_shots < config.max_batch_shots {
-            // `recv_timeout` drains already-queued requests even with a
-            // zero budget, so an expired linger still soaks up whatever
-            // arrived meanwhile — it just never *waits* any longer.
-            let next = match deadline {
-                Some(deadline) => {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
+        // until the budget fills") overflow `Instant` arithmetic; `None`
+        // means "no linger deadline".
+        let mut pending_control = None;
+        // Soak up everything already queued *before* consulting the
+        // close conditions, without waiting. A backlog one batch deep
+        // would otherwise skip the linger loop entirely and starve
+        // intake until it drained — a flooded server would stop
+        // admitting (and stop seeing latency-class closes) exactly when
+        // fair scheduling matters most. Draining stops at a control:
+        // requests behind it belong to the post-command model.
+        while pending_control.is_none() && !shutting_down {
+            match rx.try_recv() {
+                Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
+                Ok(Msg::Control(c)) => pending_control = Some(c),
+                Ok(Msg::Shutdown) => shutting_down = true,
+                // Disconnected: the queued work still gets answered;
+                // the idle loop observes the hangup once drained.
+                Err(_) => break,
+            }
+        }
+        let linger_close = Instant::now().checked_add(config.max_linger);
+        while !shutting_down
+            && pending_control.is_none()
+            && !sched.has_latency()
+            && sched.queued_shots() < config.max_batch_shots
+        {
+            let now = Instant::now();
+            // The batch closes `deadline_slack` ahead of the oldest
+            // queued deadline, so classification lands before the
+            // deadline rather than at it. (`unwrap_or(now)`: a slack
+            // larger than the remaining wait means "close now".)
+            let deadline_close = sched
+                .earliest_deadline()
+                .map(|d| d.checked_sub(config.sched.deadline_slack).unwrap_or(now));
+            let close_at = match (linger_close, deadline_close) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            // `recv_timeout` drains already-queued messages even with a
+            // zero remaining budget, so an expired linger still soaks
+            // up whatever arrived meanwhile — it just never *waits*.
+            let next = match close_at {
+                Some(close_at) => {
+                    let remaining = close_at.saturating_duration_since(now);
                     rx.recv_timeout(remaining)
                 }
                 None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
             };
             match next {
-                Ok(Msg::Request(req)) => {
-                    if let Some(req) = admit(req, &active.min_samples) {
-                        // An admitted latency request closes the batch
-                        // immediately — it has already waited once in the
-                        // queue and must not wait out the linger too.
-                        expedited = req.priority == Priority::Latency;
-                        n_shots += req.shots.len();
-                        pending.push(req);
-                    }
-                }
+                Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
                 Ok(Msg::Control(c)) => {
-                    deferred_control = Some(c);
-                    break;
+                    // A control arriving mid-linger closes the open
+                    // batch — everything admitted before it is answered
+                    // by the pre-command model — and applies after the
+                    // queues drain.
+                    pending_control = Some(c);
                 }
                 Ok(Msg::Shutdown) => {
-                    // Answer the batch in flight, then exit.
+                    // Answer everything queued, then exit.
                     shutting_down = true;
-                    break;
                 }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-
-        // One contiguous shot buffer for the engine; shots are moved,
-        // never cloned.
-        let mut shots = Vec::with_capacity(n_shots);
-        let mut replies = Vec::with_capacity(pending.len());
-        let mut latency_requests = 0u64;
-        for req in pending {
-            if req.priority == Priority::Latency {
-                latency_requests += 1;
+        // Close: fail expired requests typed, then execute — one batch
+        // per linger epoch normally, a drain to empty ahead of a
+        // control or shutdown (the FIFO boundary of live-ops commands
+        // is exact: every request admitted before the command is
+        // answered by the pre-command model).
+        loop {
+            for (tenant, item) in sched.take_expired(Instant::now()) {
+                counters.record_deadline_miss(tenant);
+                (item.payload.reply)(Err(ServeError::DeadlineExceeded));
             }
-            replies.push((req.reply, req.shots.len(), req.calibration));
-            shots.extend(req.shots);
-        }
-
-        // Canary routing: decide per micro-batch, serve the candidate's
-        // answer, keep the primary's for the divergence report. A batch
-        // whose shots undercut the candidate's feature floors stays on
-        // the primary (a shorter-trace candidate must not panic on
-        // still-valid production traffic).
-        let mut canary_states = None;
-        if let Some(c) = canary.as_mut() {
-            if validate_shots(&shots, &c.model.min_samples).is_ok() {
-                c.acc += c.fraction;
-                if c.acc >= 1.0 {
-                    c.acc -= 1.0;
-                    canary_states = Some(c.model.classify(&config, &shots));
-                }
+            let entries = sched.assemble(config.max_batch_shots);
+            if !entries.is_empty() {
+                run_batch(entries, &active, &mut canary, &config, counters, &mut sched);
+            }
+            if (pending_control.is_none() && !shutting_down) || sched.is_empty() {
+                break;
             }
         }
-        let primary_states = active.classify(&config, &shots);
-        let states = match &canary_states {
-            Some(cs) => {
-                counters.canary_batches.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .canary_requests
-                    .fetch_add(replies.len() as u64, Ordering::Relaxed);
-                counters
-                    .canary_shots
-                    .fetch_add(shots.len() as u64, Ordering::Relaxed);
-                let mut divergent = 0u64;
-                let mut disagreements = [0u64; NUM_QUBITS];
-                for (c_row, p_row) in cs.iter().zip(&primary_states) {
-                    let mut any = false;
-                    for qb in 0..NUM_QUBITS {
-                        if c_row[qb] != p_row[qb] {
-                            disagreements[qb] += 1;
-                            any = true;
-                        }
-                    }
-                    divergent += u64::from(any);
-                }
-                counters
-                    .canary_divergent_shots
-                    .fetch_add(divergent, Ordering::Relaxed);
-                for (counter, &n) in counters.canary_disagreements.iter().zip(&disagreements) {
-                    counter.fetch_add(n, Ordering::Relaxed);
-                }
-                cs
-            }
-            None => &primary_states,
-        };
-
-        counters.requests.fetch_add(replies.len() as u64, Ordering::Relaxed);
-        counters.shots.fetch_add(shots.len() as u64, Ordering::Relaxed);
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .largest_batch
-            .fetch_max(shots.len() as u64, Ordering::Relaxed);
-        counters
-            .latency_requests
-            .fetch_add(latency_requests, Ordering::Relaxed);
-        if expedited {
-            counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
-        }
-
-        // Drift monitor: running per-qubit excited fractions over the
-        // states actually served (whichever model produced them).
-        counters
-            .drift_shots
-            .fetch_add(states.len() as u64, Ordering::Relaxed);
-        let mut excited = [0u64; NUM_QUBITS];
-        for row in states {
-            for qb in 0..NUM_QUBITS {
-                excited[qb] += u64::from(row[qb]);
-            }
-        }
-        for (counter, &n) in counters.drift_excited.iter().zip(&excited) {
-            counter.fetch_add(n, Ordering::Relaxed);
-        }
-
-        let mut offset = 0;
-        for (reply, count, calibration) in replies {
-            if calibration {
-                // Calibration lane: the shot buffer is still alive, so
-                // each shot's prepared states score the served states.
-                counters.calib_shots.fetch_add(count as u64, Ordering::Relaxed);
-                let mut prep_excited = [0u64; NUM_QUBITS];
-                let mut false_excited = [0u64; NUM_QUBITS];
-                let mut false_ground = [0u64; NUM_QUBITS];
-                for i in offset..offset + count {
-                    let prepared = shots[i].prepared;
-                    let got = states[i];
-                    for qb in 0..NUM_QUBITS {
-                        if prepared[qb] {
-                            prep_excited[qb] += 1;
-                            false_ground[qb] += u64::from(!got[qb]);
-                        } else {
-                            false_excited[qb] += u64::from(got[qb]);
-                        }
-                    }
-                }
-                for qb in 0..NUM_QUBITS {
-                    counters.calib_prepared_excited[qb]
-                        .fetch_add(prep_excited[qb], Ordering::Relaxed);
-                    counters.calib_false_excited[qb]
-                        .fetch_add(false_excited[qb], Ordering::Relaxed);
-                    counters.calib_false_ground[qb]
-                        .fetch_add(false_ground[qb], Ordering::Relaxed);
-                }
-            }
-            reply(Ok(states[offset..offset + count].to_vec()));
-            offset += count;
-        }
-
-        if let Some(c) = deferred_control {
+        sync_gauges(&sched, counters);
+        if let Some(c) = pending_control {
             apply_control(c, &mut active, &mut canary, counters);
+        }
+        if shutting_down && sched.is_empty() {
+            return;
         }
     }
 }

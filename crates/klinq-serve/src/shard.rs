@@ -43,7 +43,7 @@ impl ShardedReadoutServer {
         Self {
             shards: systems
                 .into_iter()
-                .map(|system| ReadoutServer::start(system, config))
+                .map(|system| ReadoutServer::start(system, config.clone()))
                 .collect(),
         }
     }
@@ -184,6 +184,25 @@ impl ShardedReadoutServer {
         self.shard_stats()
             .iter()
             .fold(ServeStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Fleet-wide per-tenant counters: each shard's
+    /// [`ReadoutServer::tenant_stats`] merged positionally (every shard
+    /// runs the same [`SchedPolicy`](crate::sched::SchedPolicy), so
+    /// tenant `i` is the same tenant on every shard).
+    pub fn tenant_stats(&self) -> Vec<crate::sched::TenantStats> {
+        let mut merged: Vec<crate::sched::TenantStats> = Vec::new();
+        for shard in &self.shards {
+            let stats = shard.tenant_stats();
+            if merged.is_empty() {
+                merged = stats;
+            } else {
+                for (acc, s) in merged.iter_mut().zip(&stats) {
+                    *acc = acc.merge(s);
+                }
+            }
+        }
+        merged
     }
 
     /// Shuts every shard down (draining each in-flight batch) and

@@ -7,9 +7,18 @@
 //!
 //! | type | body |
 //! |------|------|
-//! | `1` request  | device `u16`, priority `u8`, shot count `u32`, shots (per shot: trace count `u16`; per trace: I count `u32`, I samples `f32`×nᵢ, Q count `u32`, Q samples `f32`×n_q) |
+//! | `1` request  | device `u16`, priority `u8`, *(v3+)* tenant `u32` + deadline `u64` (µs, `0` = none), shot count `u32`, shots (per shot: trace count `u16`; per trace: I count `u32`, I samples `f32`×nᵢ, Q count `u32`, Q samples `f32`×n_q) |
 //! | `2` response | shot count `u32`, one `u8` five-qubit state mask per shot |
-//! | `3` error    | kind `u8` ([`ServeError`] variant), message (`u32` length + UTF-8) |
+//! | `3` error    | kind `u8` ([`ServeError`] variant), message (`u32` length + UTF-8), *(kind/version-specific extras — see below)* |
+//!
+//! Version 3 added multi-tenant QoS: requests carry a tenant id and an
+//! optional relative deadline, and two error kinds carry typed extras —
+//! `Overloaded` (kind 2, v3 frames only) is followed by a `u64`
+//! retry-after hint in µs (`0` = no hint), and `UnknownTenant` (kind 8)
+//! by the offending tenant id as a `u32`. Decoding stays
+//! **version-tolerant**: v2 frames (no tenant/deadline fields, no
+//! `Overloaded` extra) still decode — a v2 request is simply the default
+//! tenant with no deadline — so PR-6 clients keep working unmodified.
 //!
 //! The request id is what makes **pipelining** work: a client may put
 //! many requests in flight on one connection, and the server is free to
@@ -45,9 +54,14 @@ use std::io::{self, Read, Write};
 /// Frame payload magic: `"KQ"` little-endian.
 pub(crate) const MAGIC: u16 = 0x514B;
 /// Protocol version this build speaks. Version 2 added the per-message
-/// request id (pipelining); version-1 frames fail with a typed
-/// [`WireError::UnsupportedVersion`].
-pub(crate) const WIRE_VERSION: u8 = 2;
+/// request id (pipelining); version 3 added tenant ids, deadlines, and
+/// error-frame extras. Frames older than [`MIN_WIRE_VERSION`] (v1 had
+/// no request id) fail with a typed [`WireError::UnsupportedVersion`].
+pub(crate) const WIRE_VERSION: u8 = 3;
+/// Oldest protocol version this build still decodes. v2 request frames
+/// carry no tenant/deadline fields and decode as the default tenant
+/// with no deadline.
+pub(crate) const MIN_WIRE_VERSION: u8 = 2;
 /// Refuse frames larger than this (256 MiB): a garbage length prefix
 /// must produce a typed error, not a giant allocation.
 pub(crate) const MAX_FRAME: u32 = 256 * 1024 * 1024;
@@ -136,6 +150,13 @@ pub enum WireMessage {
         device: u16,
         /// Scheduling lane (see [`Priority`]).
         priority: Priority,
+        /// Tenant the request bills to (index into the server's
+        /// [`SchedPolicy`](crate::sched::SchedPolicy) tenant table).
+        /// v2 frames decode as `0`, the default tenant.
+        tenant: u32,
+        /// Relative deadline in microseconds from server receipt; `0`
+        /// means no deadline. v2 frames decode as `0`.
+        deadline_us: u64,
         /// The shots to classify. Decoded shots carry only traces (the
         /// wire sends no labels); `prepared`/`evolutions` are defaulted.
         shots: Vec<Shot>,
@@ -183,19 +204,24 @@ fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
 
 /// Bytes a request for `shots` occupies on the wire (payload only).
 fn request_wire_size(shots: &[Shot]) -> usize {
-    let samples: usize = shots
-        .iter()
-        .flat_map(|s| s.traces.iter())
-        .map(|t| t.i.len() + t.q.len())
-        .sum();
-    24 + shots.len() * 2 + shots.iter().map(|s| s.traces.len()).sum::<usize>() * 8 + samples * 4
+    36 + shots.len() * 2
+        + shots.iter().map(|s| s.traces.len()).sum::<usize>() * 8
+        + shots
+            .iter()
+            .flat_map(|s| s.traces.iter())
+            .map(|t| t.i.len() + t.q.len())
+            .sum::<usize>()
+            * 4
 }
 
+#[allow(clippy::too_many_arguments)]
 fn encode_request_body(
     out: &mut Vec<u8>,
     req_id: u64,
     device: u16,
     priority: Priority,
+    tenant: u32,
+    deadline_us: u64,
     shots: &[Shot],
 ) {
     header(MSG_REQUEST, req_id, out);
@@ -204,6 +230,8 @@ fn encode_request_body(
         Priority::Throughput => 0,
         Priority::Latency => 1,
     });
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&deadline_us.to_le_bytes());
     out.extend_from_slice(&(shots.len() as u32).to_le_bytes());
     for shot in shots {
         out.extend_from_slice(&(shot.traces.len() as u16).to_le_bytes());
@@ -219,10 +247,25 @@ fn encode_request_body(
     }
 }
 
-/// Encodes a classification request payload.
+/// Encodes a classification request payload for the default tenant with
+/// no deadline (see [`encode_request_opts`] for the full v3 fields).
 pub fn encode_request(req_id: u64, device: u16, priority: Priority, shots: &[Shot]) -> Vec<u8> {
+    encode_request_opts(req_id, device, priority, 0, 0, shots)
+}
+
+/// Encodes a classification request payload with the v3 QoS fields:
+/// the tenant the request bills to and its relative deadline in
+/// microseconds (`0` = none).
+pub fn encode_request_opts(
+    req_id: u64,
+    device: u16,
+    priority: Priority,
+    tenant: u32,
+    deadline_us: u64,
+    shots: &[Shot],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(request_wire_size(shots));
-    encode_request_body(&mut out, req_id, device, priority, shots);
+    encode_request_body(&mut out, req_id, device, priority, tenant, deadline_us, shots);
     out
 }
 
@@ -244,12 +287,14 @@ pub(crate) fn encode_request_frame_into(
     req_id: u64,
     device: u16,
     priority: Priority,
+    tenant: u32,
+    deadline_us: u64,
     shots: &[Shot],
 ) -> Result<(), usize> {
     out.clear();
     out.reserve(4 + request_wire_size(shots));
     out.extend_from_slice(&[0u8; 4]);
-    encode_request_body(out, req_id, device, priority, shots);
+    encode_request_body(out, req_id, device, priority, tenant, deadline_us, shots);
     let len = out.len() - 4;
     if len > MAX_FRAME as usize {
         out.clear();
@@ -274,12 +319,15 @@ pub fn encode_response(req_id: u64, states: &[ShotStates]) -> Vec<u8> {
     out
 }
 
-/// Encodes an error payload from a serve-layer error.
+/// Encodes an error payload from a serve-layer error. Kind 2
+/// (`Overloaded`) carries its retry-after hint as a trailing `u64` in
+/// µs (`0` = no hint); kind 8 (`UnknownTenant`) carries the offending
+/// tenant id as a trailing `u32`.
 pub fn encode_error(req_id: u64, error: &ServeError) -> Vec<u8> {
     let (kind, msg): (u8, &str) = match error {
         ServeError::Closed => (0, ""),
         ServeError::InvalidRequest(msg) => (1, msg),
-        ServeError::Overloaded => (2, ""),
+        ServeError::Overloaded { .. } => (2, ""),
         ServeError::Protocol(msg) => (3, msg),
         // A server never *originates* a timeout frame (the variant is
         // produced client-side), but the codec stays total so every
@@ -287,12 +335,22 @@ pub fn encode_error(req_id: u64, error: &ServeError) -> Vec<u8> {
         ServeError::Timeout => (4, ""),
         ServeError::Disconnected => (5, ""),
         ServeError::Draining => (6, ""),
+        ServeError::DeadlineExceeded => (7, ""),
+        ServeError::UnknownTenant(_) => (8, ""),
     };
-    let mut out = Vec::with_capacity(17 + msg.len());
+    let mut out = Vec::with_capacity(29 + msg.len());
     header(MSG_ERROR, req_id, &mut out);
     out.push(kind);
     out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
     out.extend_from_slice(msg.as_bytes());
+    match error {
+        ServeError::Overloaded { retry_after } => {
+            let us = retry_after.map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+            out.extend_from_slice(&us.to_le_bytes());
+        }
+        ServeError::UnknownTenant(id) => out.extend_from_slice(&id.to_le_bytes()),
+        _ => {}
+    }
     out
 }
 
@@ -383,7 +441,7 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = cur.u8()?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = cur.u8()?;
@@ -397,6 +455,13 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 other => {
                     return Err(WireError::Malformed(format!("unknown priority byte {other}")))
                 }
+            };
+            // Version tolerance: v2 requests carry no QoS fields and
+            // mean "default tenant, no deadline".
+            let (tenant, deadline_us) = if version >= 3 {
+                (cur.u32()?, cur.u64()?)
+            } else {
+                (0, 0)
             };
             let n_shots = cur.u32()?;
             if n_shots > MAX_REQUEST_SHOTS {
@@ -431,6 +496,8 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 req_id,
                 device,
                 priority,
+                tenant,
+                deadline_us,
                 shots,
             }
         }
@@ -458,13 +525,27 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
             let error = match kind {
                 0 => ServeError::Closed,
                 1 => ServeError::InvalidRequest(msg),
-                2 => ServeError::Overloaded,
+                2 => {
+                    // The retry-after extra exists only on v3 frames; a
+                    // v2 `Overloaded` simply carries no hint.
+                    let retry_after = if version >= 3 {
+                        match cur.u64()? {
+                            0 => None,
+                            us => Some(std::time::Duration::from_micros(us)),
+                        }
+                    } else {
+                        None
+                    };
+                    ServeError::Overloaded { retry_after }
+                }
                 3 => ServeError::Protocol(msg),
                 4 => ServeError::Timeout,
                 // Like `Timeout`, `Disconnected` is normally produced
                 // client-side; the codec stays total regardless.
                 5 => ServeError::Disconnected,
                 6 => ServeError::Draining,
+                7 => ServeError::DeadlineExceeded,
+                8 => ServeError::UnknownTenant(cur.u32()?),
                 other => {
                     return Err(WireError::Malformed(format!("unknown error kind {other}")))
                 }

@@ -66,6 +66,7 @@ pub use codec::{
 };
 pub use reactor::{Transport, WireConfig, WireServer};
 
+use crate::sched::RequestOptions;
 use crate::server::{Priority, ServeError};
 use klinq_core::ShotStates;
 use klinq_sim::Shot;
@@ -343,7 +344,21 @@ impl WireClient {
         priority: Priority,
         shots: &[Shot],
     ) -> Result<u64, ServeError> {
-        self.submit_to(self.device, priority, shots)
+        self.submit_opts(RequestOptions::new().priority(priority), shots)
+    }
+
+    /// Like [`Self::submit`], with full [`RequestOptions`] — priority,
+    /// tenant, and deadline travel in the v3 request frame. An unknown
+    /// or oversized tenant id is answered by the *server* with a typed
+    /// per-request [`ServeError::UnknownTenant`] error frame through
+    /// [`recv_response`](Self::recv_response) — the connection stays up
+    /// and every other in-flight request completes normally.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`].
+    pub fn submit_opts(&mut self, opts: RequestOptions, shots: &[Shot]) -> Result<u64, ServeError> {
+        self.submit_to_opts(self.device, opts, shots)
     }
 
     /// Like [`Self::submit_with_priority`], overriding the device bound
@@ -362,10 +377,34 @@ impl WireClient {
         priority: Priority,
         shots: &[Shot],
     ) -> Result<u64, ServeError> {
+        self.submit_to_opts(device, RequestOptions::new().priority(priority), shots)
+    }
+
+    /// Like [`Self::submit_opts`], overriding the device bound at
+    /// connect time.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`].
+    pub fn submit_to_opts(
+        &mut self,
+        device: u16,
+        opts: RequestOptions,
+        shots: &[Shot],
+    ) -> Result<u64, ServeError> {
         let req_id = self.next_req_id;
-        self.send_request(req_id, device, priority, shots)?;
+        self.send_request(req_id, device, opts, shots)?;
         self.next_req_id += 1;
         Ok(req_id)
+    }
+
+    /// A deadline on the wire: relative microseconds, `0` = none. A
+    /// sub-microsecond deadline rounds up to 1 µs so "some deadline"
+    /// never silently becomes "no deadline" in transit.
+    fn deadline_us(opts: RequestOptions) -> u64 {
+        opts.deadline.map_or(0, |d| {
+            u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1)
+        })
     }
 
     /// Encodes and writes one request frame under `req_id`, tracking it
@@ -376,14 +415,23 @@ impl WireClient {
         &mut self,
         req_id: u64,
         device: u16,
-        priority: Priority,
+        opts: RequestOptions,
         shots: &[Shot],
     ) -> Result<(), ServeError> {
         self.ensure_connected()?;
         // Encoded straight into its frame, in the reused scratch
         // buffer: one buffer, one write, no second payload copy and no
         // per-request allocation on the submit path.
-        codec::encode_request_frame_into(&mut self.tx, req_id, device, priority, shots).map_err(
+        codec::encode_request_frame_into(
+            &mut self.tx,
+            req_id,
+            device,
+            opts.priority,
+            opts.tenant.0,
+            Self::deadline_us(opts),
+            shots,
+        )
+        .map_err(
             // Over the frame-size bound: the request itself is the
             // problem, not the transport — refused before any byte
             // goes out.
@@ -571,10 +619,31 @@ impl WireClient {
         priority: Priority,
         shots: &[Shot],
     ) -> Result<Vec<ShotStates>, ServeError> {
+        self.classify_shots_opts(RequestOptions::new().priority(priority), shots)
+    }
+
+    /// Like [`Self::classify_shots`], with full [`RequestOptions`]: the
+    /// request bills to `opts.tenant`'s queue on the server and, when
+    /// `opts.deadline` is set, is answered with a typed
+    /// [`ServeError::DeadlineExceeded`] instead of stale states if it
+    /// cannot be served in time.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::classify_shots`], plus the typed QoS
+    /// errors: [`ServeError::UnknownTenant`],
+    /// [`ServeError::DeadlineExceeded`], and [`ServeError::Overloaded`]
+    /// carrying the server's retry-after hint when the tenant's quota
+    /// shed the request.
+    pub fn classify_shots_opts(
+        &mut self,
+        opts: RequestOptions,
+        shots: &[Shot],
+    ) -> Result<Vec<ShotStates>, ServeError> {
         if shots.is_empty() {
             return Ok(Vec::new());
         }
-        let want = self.submit_with_priority(priority, shots)?;
+        let want = self.submit_opts(opts, shots)?;
         let mut resubmits = 0u32;
         loop {
             let (req_id, result) = self.recv_response()?;
@@ -595,7 +664,7 @@ impl WireClient {
                         .is_some_and(|p| resubmits < p.max_attempts) =>
                 {
                     resubmits += 1;
-                    self.send_request(want, self.device, priority, shots)?;
+                    self.send_request(want, self.device, opts, shots)?;
                 }
                 done => return done,
             }

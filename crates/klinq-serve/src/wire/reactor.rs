@@ -571,6 +571,8 @@ impl Reactor {
                 req_id,
                 device,
                 priority,
+                tenant,
+                deadline_us,
                 shots,
             }) => {
                 if req_id == CONNECTION_REQ_ID {
@@ -591,7 +593,17 @@ impl Reactor {
                 match self.clients.get(device as usize) {
                     Some(client) => {
                         let completions = Arc::clone(&self.completions);
-                        let submitted = client.submit_with_priority(priority, shots, move |result| {
+                        let mut opts = crate::sched::RequestOptions::new()
+                            .priority(priority)
+                            .tenant(crate::sched::TenantId(tenant));
+                        if deadline_us > 0 {
+                            opts = opts.deadline(Duration::from_micros(deadline_us));
+                        }
+                        // An unknown/oversized tenant id fails *here*,
+                        // synchronously, and lands in the `Err` arm
+                        // below — a typed per-request `UnknownTenant`
+                        // error frame, never a connection hang-up.
+                        let submitted = client.submit_opts(opts, shots, move |result| {
                             completions.push(Completion {
                                 token,
                                 req_id,

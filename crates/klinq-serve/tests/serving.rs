@@ -300,7 +300,8 @@ fn full_intake_queue_sheds_with_overloaded() {
         // Queue slot taken and the collector is busy: shed, immediately.
         let start = Instant::now();
         let overflow = server.client().classify_shot(shots[1].clone());
-        assert_eq!(overflow, Err(ServeError::Overloaded));
+        // A channel-full shed has no backlog estimate, so no hint.
+        assert_eq!(overflow, Err(ServeError::Overloaded { retry_after: None }));
         assert!(
             start.elapsed() < Duration::from_millis(100),
             "shedding must not wait for the collector"

@@ -3,11 +3,13 @@
 //! truncated or corrupted bytes, and incremental reassembly equivalence
 //! however the stream is fragmented.
 
+use klinq_serve::wire::codec::encode_request_opts;
 use klinq_serve::wire::{
     decode_message, encode_error, encode_request, encode_response, read_frame, FrameAssembler,
     WireError, WireMessage,
 };
 use klinq_serve::{Priority, ServeError, Shot, ShotStates};
+use std::time::Duration;
 use klinq_sim::dataset::IqTrace;
 use klinq_sim::device::NUM_QUBITS;
 use klinq_sim::trajectory::StateEvolution;
@@ -55,16 +57,22 @@ proptest! {
         shots in shots_strategy(),
         req_id in any::<u64>(),
         device in 0u32..200,
-        latency in prop::bool::ANY
+        latency in prop::bool::ANY,
+        tenant in any::<u32>(),
+        deadline_us in any::<u64>()
     ) {
         let device = device as u16;
         let priority = if latency { Priority::Latency } else { Priority::Throughput };
-        let encoded = encode_request(req_id, device, priority, &shots);
+        let encoded = encode_request_opts(req_id, device, priority, tenant, deadline_us, &shots);
         match decode_message(&encoded) {
-            Ok(WireMessage::Request { req_id: r, device: d, priority: p, shots: s }) => {
+            Ok(WireMessage::Request {
+                req_id: r, device: d, priority: p, tenant: t, deadline_us: dl, shots: s,
+            }) => {
                 prop_assert_eq!(r, req_id);
                 prop_assert_eq!(d, device);
                 prop_assert_eq!(p, priority);
+                prop_assert_eq!(t, tenant);
+                prop_assert_eq!(dl, deadline_us);
                 prop_assert_eq!(s, shots);
             }
             other => prop_assert!(false, "decoded {:?}", other),
@@ -145,7 +153,7 @@ proptest! {
         let payloads = [
             encode_request(1, 0, Priority::Throughput, &shots),
             encode_response(2, &states),
-            encode_error(3, &ServeError::Overloaded),
+            encode_error(3, &ServeError::Overloaded { retry_after: None }),
         ];
         let mut stream = Vec::new();
         for p in &payloads {
@@ -169,12 +177,22 @@ proptest! {
 fn every_error_variant_round_trips() {
     for error in [
         ServeError::Closed,
-        ServeError::Overloaded,
+        ServeError::Overloaded { retry_after: None },
+        // The retry-after hint is a typed extra on the error frame; an
+        // exact microsecond value must survive the trip.
+        ServeError::Overloaded {
+            retry_after: Some(Duration::from_micros(2_750)),
+        },
         ServeError::Timeout,
         ServeError::InvalidRequest("shot 3 qubit 1: ragged".to_string()),
         ServeError::Protocol("reply carries 0 shot states".to_string()),
         ServeError::Disconnected,
         ServeError::Draining,
+        ServeError::DeadlineExceeded,
+        // The offending tenant id travels as a typed extra, so a client
+        // can log *which* id the server refused.
+        ServeError::UnknownTenant(0),
+        ServeError::UnknownTenant(u32::MAX),
     ] {
         let encoded = encode_error(42, &error);
         match decode_message(&encoded) {
@@ -184,6 +202,47 @@ fn every_error_variant_round_trips() {
             }
             other => panic!("decoded {other:?}"),
         }
+    }
+}
+
+#[test]
+fn v2_frames_still_decode_as_the_default_tenant() {
+    // Version tolerance: a PR-6 v2 client sends requests with no
+    // tenant/deadline fields and `Overloaded` errors with no retry-after
+    // extra. Both must decode — as the default tenant with no deadline,
+    // and no hint — so old clients keep working against a v3 server.
+    let mut v2_req = Vec::new();
+    v2_req.extend_from_slice(&0x514Bu16.to_le_bytes());
+    v2_req.push(2); // version 2
+    v2_req.push(1); // request
+    v2_req.extend_from_slice(&9u64.to_le_bytes()); // req id
+    v2_req.extend_from_slice(&4u16.to_le_bytes()); // device
+    v2_req.push(1); // priority: latency
+    v2_req.extend_from_slice(&0u32.to_le_bytes()); // zero shots
+    match decode_message(&v2_req) {
+        Ok(WireMessage::Request { req_id, device, priority, tenant, deadline_us, shots }) => {
+            assert_eq!(req_id, 9);
+            assert_eq!(device, 4);
+            assert_eq!(priority, Priority::Latency);
+            assert_eq!(tenant, 0, "v2 requests bill to the default tenant");
+            assert_eq!(deadline_us, 0, "v2 requests carry no deadline");
+            assert!(shots.is_empty());
+        }
+        other => panic!("decoded {other:?}"),
+    }
+
+    let mut v2_err = Vec::new();
+    v2_err.extend_from_slice(&0x514Bu16.to_le_bytes());
+    v2_err.push(2); // version 2
+    v2_err.push(3); // error
+    v2_err.extend_from_slice(&9u64.to_le_bytes()); // req id
+    v2_err.push(2); // kind: Overloaded
+    v2_err.extend_from_slice(&0u32.to_le_bytes()); // empty message
+    match decode_message(&v2_err) {
+        Ok(WireMessage::Error { error, .. }) => {
+            assert_eq!(error, ServeError::Overloaded { retry_after: None });
+        }
+        other => panic!("decoded {other:?}"),
     }
 }
 

@@ -62,6 +62,11 @@ pub struct BenchEntry {
     /// or the percentile itself for latency entries). Entries without
     /// `per_sec` on either side compare on this, lower-is-better.
     pub ns_per_iter: Option<f64>,
+    /// The unit of `per_sec` (`"elem/s"`, or `"index"` for
+    /// higher-is-better dimensionless figures like the fairness index).
+    /// Display-only for the verdicts, but a unit change between runs
+    /// means the id changed meaning and must skip, not compare.
+    pub unit: Option<String>,
     /// Worker-pool size the measurement ran with.
     pub worker_threads: PoolSize,
 }
@@ -86,6 +91,8 @@ pub enum Verdict {
         fresh: f64,
         /// `fresh / baseline`.
         ratio: f64,
+        /// The entries' recorded unit, for display (`None` → `/s`).
+        unit: Option<String>,
     },
     /// A latency entry (no throughput figure on either side) within
     /// the threshold of its baseline.
@@ -137,11 +144,21 @@ impl fmt::Display for Verdict {
                 baseline,
                 fresh,
                 ratio,
-            } => write!(
-                f,
-                "REGRESSION {id}: {fresh:.1}/s vs {baseline:.1}/s baseline ({:.1}%)",
-                ratio * 100.0
-            ),
+                unit,
+            } => match unit.as_deref() {
+                // Dimensionless higher-is-better figures (the fairness
+                // index) print as themselves, not as a rate.
+                Some("index") => write!(
+                    f,
+                    "REGRESSION {id}: index {fresh:.4} vs {baseline:.4} baseline ({:.1}%)",
+                    ratio * 100.0
+                ),
+                _ => write!(
+                    f,
+                    "REGRESSION {id}: {fresh:.1}/s vs {baseline:.1}/s baseline ({:.1}%)",
+                    ratio * 100.0
+                ),
+            },
             Self::LatencyOk { id, ratio } => {
                 write!(f, "ok         {id}: {:.1}% of baseline latency", ratio * 100.0)
             }
@@ -180,6 +197,10 @@ pub fn parse_entries(json: &str) -> Result<Vec<BenchEntry>, String> {
                 id: entry.get("id")?.as_str()?.to_string(),
                 per_sec: entry.get("per_sec").and_then(|v| v.as_f64()),
                 ns_per_iter: entry.get("ns_per_iter").and_then(|v| v.as_f64()),
+                unit: entry
+                    .get("unit")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string),
                 worker_threads: match entry.get("worker_threads") {
                     None | Some(serde_json::Value::Null) => PoolSize::Unrecorded,
                     Some(v) => match v.as_u64() {
@@ -238,7 +259,23 @@ pub fn diff(
                     ),
                 };
             }
+            // A unit change means the id's figure changed meaning
+            // between the runs (e.g. a throughput id repurposed as a
+            // fairness index): nothing comparable.
+            if base.unit != new.unit {
+                return Verdict::Skipped {
+                    id,
+                    reason: format!(
+                        "unit changed between runs (baseline {:?}, fresh {:?})",
+                        base.unit, new.unit
+                    ),
+                };
+            }
             match (base.per_sec, new.per_sec) {
+                // `per_sec` carries every higher-is-better figure: a
+                // rate in units/s, or a dimensionless index (unit
+                // `"index"`, e.g. the Jain fairness index) — the ratio
+                // test is the same for both.
                 (Some(base_rate), Some(new_rate)) => {
                     if base_rate <= 0.0 {
                         return Verdict::Skipped {
@@ -253,6 +290,7 @@ pub fn diff(
                             baseline: base_rate,
                             fresh: new_rate,
                             ratio,
+                            unit: base.unit.clone(),
                         }
                     } else {
                         Verdict::Ok { id, ratio }
@@ -300,10 +338,18 @@ mod tests {
             id: id.to_string(),
             per_sec,
             ns_per_iter: None,
+            unit: None,
             worker_threads: match workers {
                 Some(n) => PoolSize::Threads(n),
                 None => PoolSize::Unrecorded,
             },
+        }
+    }
+
+    fn index_entry(id: &str, value: f64, workers: Option<u64>) -> BenchEntry {
+        BenchEntry {
+            unit: Some("index".to_string()),
+            ..entry(id, Some(value), workers)
         }
     }
 
@@ -415,6 +461,41 @@ mod tests {
         let verdicts = diff(&base, &slow, "serving/", 0.25);
         assert!(verdicts[0].is_regression());
         assert!(verdicts[0].to_string().contains("baseline latency"), "{}", verdicts[0]);
+    }
+
+    #[test]
+    fn fairness_index_entries_compare_higher_is_better() {
+        let base = [index_entry("serving/soak_fairness_jain", 0.99, Some(1))];
+        // A small dip stays within the threshold.
+        let ok = [index_entry("serving/soak_fairness_jain", 0.95, Some(1))];
+        assert!(!diff(&base, &ok, "serving/", 0.25)[0].is_regression());
+        // Improvement (toward 1.0) is never a regression.
+        let better = [index_entry("serving/soak_fairness_jain", 1.0, Some(1))];
+        assert!(!diff(&base, &better, "serving/", 0.25)[0].is_regression());
+        // A collapse to one-tenant-takes-all trips the guard, and the
+        // verdict reads as an index, not a rate.
+        let collapsed = [index_entry("serving/soak_fairness_jain", 0.34, Some(1))];
+        let verdicts = diff(&base, &collapsed, "serving/", 0.25);
+        assert!(verdicts[0].is_regression());
+        let shown = verdicts[0].to_string();
+        assert!(shown.contains("index 0.34"), "unexpected display: {shown}");
+        assert!(
+            !shown.contains("/s baseline"),
+            "index must not display as a rate: {shown}"
+        );
+    }
+
+    #[test]
+    fn unit_changes_between_runs_skip_instead_of_comparing() {
+        let base = [entry("serving/soak_fairness_jain", Some(100_000.0), Some(1))];
+        let fresh = [index_entry("serving/soak_fairness_jain", 0.99, Some(1))];
+        let verdicts = diff(&base, &fresh, "serving/", 0.25);
+        assert!(!verdicts[0].is_regression());
+        assert!(
+            verdicts[0].to_string().contains("unit changed"),
+            "unexpected verdict: {}",
+            verdicts[0]
+        );
     }
 
     #[test]

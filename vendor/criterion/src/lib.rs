@@ -221,6 +221,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// One measured benchmark, for the JSON report.
+#[derive(Clone)]
 struct BenchRecord {
     id: String,
     ns_per_iter: f64,
@@ -278,22 +279,31 @@ pub fn write_json_report() {
 /// the ids actually re-measured are replaced — the skipped siblings'
 /// entries survive a partial run.
 pub fn write_json_report_as(name: &str) {
+    write_report(name, false);
+}
+
+/// Like [`write_json_report_as`], but replaces only the exact ids this
+/// run measured, leaving every other entry alone — for a bench binary
+/// whose ids live inside a *group another binary owns* (e.g. the `soak`
+/// bench contributing `serving/soak_*` alongside the `serving` bench's
+/// `serving/*` entries). The default group-wholesale replacement would
+/// clobber the sibling binary's entries whenever this one runs on its
+/// own. The flip side of id-granular merging: ids this binary renames
+/// or drops linger in the file until pruned by hand (or until the
+/// group's owning binary re-measures the group).
+pub fn write_json_report_as_shared(name: &str) {
+    write_report(name, true);
+}
+
+fn write_report(name: &str, shared_group: bool) {
     let new_records = RESULTS.lock().expect("bench results poisoned");
     if new_records.is_empty() {
         return;
     }
-    // "group" = the id prefix before the first `/` (the whole id for
-    // ungrouped benchmarks).
-    let group_of = |id: &str| id.split('/').next().unwrap_or(id).to_string();
-    let measured_groups: Vec<String> = new_records.iter().map(|r| group_of(&r.id)).collect();
-    let measured_ids: Vec<&str> = new_records.iter().map(|r| r.id.as_str()).collect();
     let path = report_dir().join(format!("BENCH_{name}.json"));
     let mut records = read_existing_records(&path);
-    if FILTERED_RUN.load(Ordering::Relaxed) {
-        records.retain(|old| !measured_ids.contains(&old.id.as_str()));
-    } else {
-        records.retain(|old| !measured_groups.contains(&group_of(&old.id)));
-    }
+    let ids_only = shared_group || FILTERED_RUN.load(Ordering::Relaxed);
+    retain_unreplaced(&mut records, &new_records, ids_only);
     records.extend(new_records.iter().map(|r| BenchRecord {
         id: r.id.clone(),
         ns_per_iter: r.ns_per_iter,
@@ -330,6 +340,24 @@ pub fn write_json_report_as(name: &str) {
     match result {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Drops the existing records a fresh run replaces: the exact measured
+/// ids when `ids_only` (filtered runs, shared-group binaries), otherwise
+/// every record in any benchmark *group* this run touched — "group"
+/// being the id prefix before the first `/` (the whole id for ungrouped
+/// benchmarks) — so renamed or deleted targets inside a re-measured
+/// group don't linger as stale entries.
+fn retain_unreplaced(records: &mut Vec<BenchRecord>, new_records: &[BenchRecord], ids_only: bool) {
+    let group_of = |id: &str| id.split('/').next().unwrap_or(id).to_string();
+    if ids_only {
+        let measured_ids: Vec<&str> = new_records.iter().map(|r| r.id.as_str()).collect();
+        records.retain(|old| !measured_ids.contains(&old.id.as_str()));
+    } else {
+        let measured_groups: Vec<String> =
+            new_records.iter().map(|r| group_of(&r.id)).collect();
+        records.retain(|old| !measured_groups.contains(&group_of(&old.id)));
     }
 }
 
@@ -606,6 +634,37 @@ mod tests {
         // Unreadable/missing files merge as empty.
         assert!(read_existing_records(&dir.join("missing.json")).is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_group_merges_by_id_not_group() {
+        let rec = |id: &str, ns: f64| BenchRecord {
+            id: id.to_string(),
+            ns_per_iter: ns,
+            per_sec: None,
+            worker_threads: None,
+        };
+        let existing = vec![
+            rec("serving/wire_testset", 1.0),
+            rec("serving/soak_steady_p99", 2.0),
+            rec("inference/teacher", 3.0),
+        ];
+        let fresh = vec![rec("serving/soak_steady_p99", 4.0)];
+        // Group-wholesale (the default): the whole `serving` group goes,
+        // including the sibling binary's entry.
+        let mut group_merge = existing.clone();
+        retain_unreplaced(&mut group_merge, &fresh, false);
+        assert_eq!(
+            group_merge.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["inference/teacher"]
+        );
+        // Shared-group: only the exact re-measured id is replaced.
+        let mut id_merge = existing;
+        retain_unreplaced(&mut id_merge, &fresh, true);
+        assert_eq!(
+            id_merge.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["serving/wire_testset", "inference/teacher"]
+        );
     }
 
     #[test]

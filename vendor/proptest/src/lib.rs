@@ -10,10 +10,36 @@
 //! Differences from real proptest: cases are generated from a fixed seed
 //! (fully deterministic runs) and failing cases are not shrunk — the
 //! panic message simply reports the assertion that failed.
+//!
+//! Set `KLINQ_PROPTEST_SEED=<u64>` to vary the generated cases without
+//! editing this crate: the value perturbs every property's RNG stream
+//! (unset, streams are bit-identical to the historical fixed seed).
+//! On a property failure the harness prints the active seed and, when
+//! the override was set, the exact variable assignment to reproduce it.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};
+use std::sync::OnceLock;
+
+/// The `KLINQ_PROPTEST_SEED` environment override, parsed once.
+/// `None` when unset or unparsable (an unparsable value is reported the
+/// first time rather than silently ignored).
+fn env_seed() -> Option<u64> {
+    static SEED: OnceLock<Option<u64>> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let raw = std::env::var("KLINQ_PROPTEST_SEED").ok()?;
+        match raw.trim().parse::<u64>() {
+            Ok(seed) => Some(seed),
+            Err(_) => {
+                eprintln!(
+                    "proptest: ignoring unparsable KLINQ_PROPTEST_SEED={raw:?} (expected a u64)"
+                );
+                None
+            }
+        }
+    })
+}
 
 /// Per-test configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +71,12 @@ pub fn test_rng(test_name: &str) -> TestRng {
     for b in test_name.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Mix the env override in ONLY when set: unset runs stay
+    // bit-identical to the historical fixed streams (statistical floors
+    // elsewhere in the workspace are tuned against them).
+    if let Some(seed) = env_seed() {
+        h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     }
     StdRng::seed_from_u64(h)
 }
@@ -291,15 +323,34 @@ pub fn run_property<F: FnMut(&mut TestRng) -> bool>(cfg: ProptestConfig, name: &
     let mut rejected = 0u64;
     let max_rejects = (cfg.cases as u64) * 64;
     while accepted < cfg.cases {
-        if case(&mut rng) {
-            accepted += 1;
-        } else {
-            rejected += 1;
-            assert!(
-                rejected <= max_rejects,
-                "property `{name}`: too many rejected cases ({rejected}) — \
-                 prop_assume! filter is too strict"
-            );
+        // A failing case panics inside the closure; catch it just long
+        // enough to report the active seed (the repro handle — without
+        // it a failure under a varied seed cannot be replayed), then
+        // let the panic continue to fail the test normally.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(true) => accepted += 1,
+            Ok(false) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property `{name}`: too many rejected cases ({rejected}) — \
+                     prop_assume! filter is too strict"
+                );
+            }
+            Err(panic) => {
+                match env_seed() {
+                    Some(seed) => eprintln!(
+                        "property `{name}` failed on case {accepted} under \
+                         KLINQ_PROPTEST_SEED={seed}; set that variable to reproduce"
+                    ),
+                    None => eprintln!(
+                        "property `{name}` failed on case {accepted} under the default \
+                         fixed seed (KLINQ_PROPTEST_SEED unset); rerunning reproduces it"
+                    ),
+                }
+                std::panic::resume_unwind(panic);
+            }
         }
     }
 }
@@ -412,5 +463,22 @@ mod tests {
             let as_int = u8::from(b);
             prop_assert!(as_int <= 1);
         }
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_per_test() {
+        use rand::Rng;
+        // Same name → same stream (reproducible runs under whatever
+        // seed, env-overridden or not, this process started with);
+        // different names → different streams (sibling properties must
+        // not see identical inputs).
+        let mut first = crate::test_rng("alpha");
+        let a: Vec<u64> = (0..4).map(|_| first.gen()).collect();
+        let mut second = crate::test_rng("alpha");
+        let b: Vec<u64> = (0..4).map(|_| second.gen()).collect();
+        assert_eq!(a, b);
+        let mut other = crate::test_rng("beta");
+        let c: Vec<u64> = (0..4).map(|_| other.gen()).collect();
+        assert_ne!(a, c);
     }
 }
