@@ -13,7 +13,8 @@ use criterion::{criterion_group, Criterion, Throughput};
 use klinq_core::testkit;
 use klinq_core::{Backend, KlinqSystem};
 use klinq_serve::{
-    ReadoutServer, ServeConfig, ShardedReadoutServer, WireClient, WireConfig, WireServer,
+    ReadoutServer, RequestOptions, ServeConfig, ServeError, ShardedReadoutServer, SuperviseConfig,
+    WireClient, WireConfig, WireServer,
 };
 use klinq_sim::Shot;
 use std::hint::black_box;
@@ -253,7 +254,132 @@ fn bench_wire_concurrency(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serving, bench_wire_concurrency);
+/// Failover soak: a two-device fleet over the wire, pipelined
+/// failover-enabled traffic bound to device 0, and a collector crash
+/// injected mid-run (`ShardedReadoutServer::kill_shard`). Records
+/// `serving/failover_p99` — the p99 request latency across the whole
+/// run, outage included (a `ShardDown` answer is resubmitted and the
+/// retry counts toward its request's latency, which is the number an
+/// operator sees during an outage) — and `serving/failover_recovery`,
+/// the shard's measured `Down → Healthy` recovery time. Both are
+/// latency ids in nanoseconds and, like every `serving/*` id, warn-only
+/// under tools/benchdiff (kill timing and thread scheduling jitter
+/// would flake a hard gate).
+fn bench_failover(c: &mut Criterion) {
+    let id = "serving/failover_p99";
+    if !c.is_selected(id) {
+        return;
+    }
+    const CONNS: usize = 16;
+    const SLICE: usize = 4;
+    let system = system();
+    let shots: Vec<Shot> = system.test_data().shots().to_vec();
+    let fleet = ShardedReadoutServer::start(
+        vec![Arc::clone(&system), Arc::clone(&system)],
+        ServeConfig {
+            max_batch_shots: CONNS * SLICE,
+            max_linger: Duration::from_millis(2),
+            // A fast watchdog and short backoff: the soak measures the
+            // failover path and the recovery, not the backoff timer.
+            supervise: SuperviseConfig {
+                watchdog_interval: Duration::from_millis(2),
+                restart_backoff: Duration::from_millis(50),
+                ..SuperviseConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let server = WireServer::start_with(
+        &fleet,
+        TcpListener::bind("127.0.0.1:0").expect("bind loopback"),
+        WireConfig {
+            max_connections: CONNS + 8,
+            ..WireConfig::default()
+        },
+    )
+    .expect("start wire server");
+    let mut clients: Vec<WireClient> = (0..CONNS)
+        .map(|_| {
+            let mut client =
+                WireClient::connect(server.local_addr(), 0).expect("connect loopback");
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("set timeout");
+            client
+        })
+        .collect();
+    let slice_of = |i: usize| {
+        let s = (i * SLICE) % (shots.len() - SLICE);
+        &shots[s..s + SLICE]
+    };
+    // One failover-enabled request per connection in flight. Only a
+    // request the dead collector owned at crash time answers
+    // `ShardDown`; everything submitted while the shard is down rides
+    // the healthy peer.
+    let round = |clients: &mut [WireClient], latencies: &mut Vec<f64>| {
+        let mut submitted = Vec::with_capacity(clients.len());
+        for (i, client) in clients.iter_mut().enumerate() {
+            client
+                .submit_opts(RequestOptions::new().failover(true), slice_of(i))
+                .expect("submitted");
+            submitted.push(Instant::now());
+        }
+        for (i, client) in clients.iter_mut().enumerate() {
+            loop {
+                let (_, result) = client.recv_response().expect("server alive");
+                match result {
+                    Ok(states) => {
+                        black_box(states.len());
+                        break;
+                    }
+                    Err(ServeError::ShardDown) => {
+                        client
+                            .submit_opts(RequestOptions::new().failover(true), slice_of(i))
+                            .expect("resubmitted");
+                    }
+                    Err(other) => panic!("unexpected serving error: {other:?}"),
+                }
+            }
+            latencies.push(submitted[i].elapsed().as_nanos() as f64);
+        }
+    };
+    let mut latencies = Vec::new();
+    round(&mut clients, &mut latencies); // warmup / smoke
+    let measure = if c.is_bench() {
+        Duration::from_secs(1)
+    } else {
+        Duration::from_millis(50)
+    };
+    latencies.clear();
+    let t0 = Instant::now();
+    let mut killed = false;
+    loop {
+        round(&mut clients, &mut latencies);
+        if !killed && t0.elapsed() >= measure / 4 {
+            fleet.kill_shard(0).expect("inject the crash");
+            killed = true;
+        }
+        // Run at least the measurement window AND through the full
+        // recovery, so the recorded p99 covers the outage end to end.
+        if t0.elapsed() >= measure && fleet.stats().restarts >= 1 {
+            break;
+        }
+    }
+    if c.is_bench() {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p99 = latencies[((latencies.len() - 1) as f64 * 0.99).round() as usize];
+        criterion::record_measurement(id, p99, None);
+        let recovery_ns = fleet.stats().recovery_us as f64 * 1e3;
+        criterion::record_measurement("serving/failover_recovery", recovery_ns, None);
+    } else {
+        println!("{id}: ok (test mode, crash + recovery exercised)");
+    }
+    drop(clients);
+    server.shutdown();
+    fleet.shutdown();
+}
+
+criterion_group!(benches, bench_serving, bench_wire_concurrency, bench_failover);
 
 fn main() {
     let mut criterion = Criterion::from_args();

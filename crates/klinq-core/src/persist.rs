@@ -22,7 +22,8 @@
 //! ```json
 //! {
 //!   "format": "klinq-system",
-//!   "version": 2,
+//!   "version": 3,
+//!   "checksum": 1234567890,
 //!   "config": { ... },
 //!   "teachers": [ ... ],
 //!   "discriminators": [ ... ]
@@ -30,7 +31,14 @@
 //! ```
 //!
 //! Unknown format markers and future versions are rejected with
-//! [`KlinqError::Artifact`] rather than misparsed.
+//! [`KlinqError::Artifact`] rather than misparsed. The `checksum` field
+//! (version 3+) is an FNV-1a hash of the artifact's own serialized
+//! contents (with the checksum field zeroed); a bit-flipped or
+//! hand-edited artifact fails the load with a typed corruption error
+//! instead of deserializing into a subtly wrong model. The hash is
+//! well-defined because the vendored JSON writer emits every float in
+//! its shortest exact round-trip form — re-serializing a parsed
+//! artifact reproduces the saved bytes exactly.
 //!
 //! # Multi-device bundles
 //!
@@ -40,6 +48,12 @@
 //! (`"format": "klinq-bundle"`) whose `devices` array holds ordinary
 //! system artifacts; every per-system guarantee (exact float round-trip,
 //! load-time consistency checks, typed errors) applies to each device.
+//! Integrity is deliberately **per-device** — each nested system
+//! artifact carries its own checksum, the bundle envelope none — so one
+//! corrupt device quarantines that shard alone:
+//! [`load_device_bundle_quarantined`] returns a per-device
+//! `Result`, letting a fleet boot degraded and report exactly which
+//! shard is down.
 
 use crate::discriminator::{KlinqDiscriminator, KlinqSystem};
 use crate::error::KlinqError;
@@ -58,20 +72,26 @@ const FORMAT: &str = "klinq-system";
 ///   feature pipeline re-baselined to the blocked averaging summation
 ///   order — version-1 artifacts would neither deserialize nor reproduce
 ///   the new float path bit for bit, so they are rejected and retrained.
-const VERSION: u32 = 2;
+/// - 3: a mandatory `checksum` field (FNV-1a over the artifact's own
+///   serialized contents with the checksum zeroed) so corruption fails
+///   typed at load instead of deserializing into a subtly wrong model.
+const VERSION: u32 = 3;
 
 /// The device-bundle artifact's `format` marker.
 const BUNDLE_FORMAT: &str = "klinq-bundle";
 /// The current device-bundle version. The bundle versions independently
-/// of the per-system artifact it nests: version 1 wraps version-2 system
-/// artifacts.
-const BUNDLE_VERSION: u32 = 1;
+/// of the per-system artifact it nests: version 1 wrapped version-2
+/// system artifacts; version 2 wraps the checksummed version-3 ones.
+const BUNDLE_VERSION: u32 = 2;
 
 /// On-disk shape of a saved system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SystemArtifact {
     format: String,
     version: u32,
+    /// FNV-1a over this artifact's serialized JSON with this field set
+    /// to `0` — see [`artifact_checksum`].
+    checksum: u64,
     config: ExperimentConfig,
     teachers: Vec<Teacher>,
     discriminators: Vec<KlinqDiscriminator>,
@@ -95,18 +115,21 @@ impl KlinqSystem {
     /// possible for non-finite values, which a trained system never
     /// contains).
     pub fn to_artifact_json(&self) -> Result<String, KlinqError> {
-        serde_json::to_string(&self.artifact()).map_err(|e| KlinqError::Artifact(e.to_string()))
+        serde_json::to_string(&self.artifact()?).map_err(|e| KlinqError::Artifact(e.to_string()))
     }
 
-    /// The serializable artifact view of this system.
-    fn artifact(&self) -> SystemArtifact {
-        SystemArtifact {
+    /// The serializable artifact view of this system, checksum sealed.
+    fn artifact(&self) -> Result<SystemArtifact, KlinqError> {
+        let mut artifact = SystemArtifact {
             format: FORMAT.to_string(),
             version: VERSION,
+            checksum: 0,
             config: self.config().clone(),
             teachers: self.teachers().to_vec(),
             discriminators: self.discriminators().to_vec(),
-        }
+        };
+        artifact.checksum = artifact_checksum(&artifact)?;
+        Ok(artifact)
     }
 
     /// Rebuilds a system from artifact JSON, regenerating the datasets
@@ -147,6 +170,17 @@ impl KlinqSystem {
             return Err(KlinqError::Artifact(format!(
                 "unsupported artifact version {} (this build reads {VERSION})",
                 artifact.version
+            )));
+        }
+        // Integrity gate before any semantic check: a corrupt artifact
+        // should say "corrupt", not whatever downstream check its
+        // flipped bits happen to trip first.
+        let expected = artifact_checksum(&artifact)?;
+        if artifact.checksum != expected {
+            return Err(KlinqError::Artifact(format!(
+                "artifact checksum mismatch: stored {:#018x}, contents hash to {expected:#018x} \
+                 — the artifact is corrupt",
+                artifact.checksum
             )));
         }
         if artifact.discriminators.len() != 5 || artifact.teachers.len() != 5 {
@@ -240,6 +274,29 @@ impl KlinqSystem {
     }
 }
 
+/// FNV-1a over a byte string: tiny, dependency-free, and plenty to
+/// catch bit flips and hand edits (this is an integrity check, not a
+/// cryptographic signature).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The checksum an artifact's contents *should* carry: FNV-1a over its
+/// serialized JSON with the checksum field zeroed. Well-defined because
+/// the vendored JSON writer emits floats in shortest exact round-trip
+/// form, so serialize → parse → serialize is byte-stable.
+fn artifact_checksum(artifact: &SystemArtifact) -> Result<u64, KlinqError> {
+    let mut scratch = artifact.clone();
+    scratch.checksum = 0;
+    let json = serde_json::to_string(&scratch).map_err(|e| KlinqError::Artifact(e.to_string()))?;
+    Ok(fnv1a(json.as_bytes()))
+}
+
 /// Checks a JSON artifact's `format`/`version` markers through an
 /// untyped parse *before* the typed deserialize: structurally old
 /// versions would otherwise die on a field-shape serde error instead of
@@ -289,7 +346,10 @@ pub fn device_bundle_to_json(systems: &[&KlinqSystem]) -> Result<String, KlinqEr
     let bundle = BundleArtifact {
         format: BUNDLE_FORMAT.to_string(),
         version: BUNDLE_VERSION,
-        devices: systems.iter().map(|s| s.artifact()).collect(),
+        devices: systems
+            .iter()
+            .map(|s| s.artifact())
+            .collect::<Result<_, _>>()?,
     };
     serde_json::to_string(&bundle).map_err(|e| KlinqError::Artifact(e.to_string()))
 }
@@ -304,6 +364,28 @@ pub fn device_bundle_to_json(systems: &[&KlinqSystem]) -> Result<String, KlinqEr
 /// empty `devices` array, or any device artifact that fails the
 /// per-system consistency checks.
 pub fn device_bundle_from_json(json: &str) -> Result<Vec<KlinqSystem>, KlinqError> {
+    device_bundle_from_json_quarantined(json)?.into_iter().collect()
+}
+
+/// Like [`device_bundle_from_json`], but a device artifact that fails
+/// its own integrity or consistency checks is **quarantined** — element
+/// `i` is `Err` for that device alone, with the device index in the
+/// message — instead of failing the whole bundle. This is what lets a
+/// sharded fleet boot degraded (healthy devices serving, the corrupt
+/// shard reported `Down`) rather than refuse to start.
+///
+/// The quarantine covers per-device corruption that keeps the file
+/// well-formed JSON (a flipped digit, a hand edit — caught by the
+/// device's checksum). Corruption that breaks the JSON grammar itself
+/// necessarily fails the whole file, as does a wrong bundle envelope.
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Artifact`] on malformed JSON, wrong bundle
+/// markers, or an empty `devices` array.
+pub fn device_bundle_from_json_quarantined(
+    json: &str,
+) -> Result<Vec<Result<KlinqSystem, KlinqError>>, KlinqError> {
     peek_marker(json, BUNDLE_FORMAT, BUNDLE_VERSION)?;
     let bundle: BundleArtifact =
         serde_json::from_str(json).map_err(|e| KlinqError::Artifact(e.to_string()))?;
@@ -312,7 +394,7 @@ pub fn device_bundle_from_json(json: &str) -> Result<Vec<KlinqSystem>, KlinqErro
             "device bundle holds no devices".to_string(),
         ));
     }
-    bundle
+    Ok(bundle
         .devices
         .into_iter()
         .enumerate()
@@ -320,7 +402,7 @@ pub fn device_bundle_from_json(json: &str) -> Result<Vec<KlinqSystem>, KlinqErro
             KlinqSystem::from_artifact(artifact)
                 .map_err(|e| KlinqError::Artifact(format!("device {dev}: {e}")))
         })
-        .collect()
+        .collect())
 }
 
 /// Writes a multi-device bundle to `path` (atomic rename, like
@@ -354,6 +436,23 @@ pub fn load_device_bundle(path: &Path) -> Result<Vec<KlinqSystem>, KlinqError> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| KlinqError::Io(format!("{}: {e}", path.display())))?;
     device_bundle_from_json(&json)
+}
+
+/// Loads a device fleet with per-device quarantine (see
+/// [`device_bundle_from_json_quarantined`]): element `i` is `Err` when
+/// device `i`'s artifact is corrupt or inconsistent, without failing
+/// the healthy devices around it.
+///
+/// # Errors
+///
+/// Returns [`KlinqError::Io`] if the file cannot be read and
+/// [`KlinqError::Artifact`] if the bundle envelope itself is malformed.
+pub fn load_device_bundle_quarantined(
+    path: &Path,
+) -> Result<Vec<Result<KlinqSystem, KlinqError>>, KlinqError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| KlinqError::Io(format!("{}: {e}", path.display())))?;
+    device_bundle_from_json_quarantined(&json)
 }
 
 #[cfg(test)]
@@ -423,11 +522,11 @@ mod tests {
         assert!(err.to_string().contains("format"), "{err}");
         // Future bundle versions are refused with the version message.
         let json = device_bundle_to_json(&[sys]).unwrap();
-        let wrong_version = json.replacen("\"version\":1", "\"version\":99", 1);
+        let wrong_version = json.replacen("\"version\":2", "\"version\":99", 1);
         let err = device_bundle_from_json(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
         // An empty device array sharded nothing.
-        let empty = r#"{"format":"klinq-bundle","version":1,"devices":[]}"#;
+        let empty = r#"{"format":"klinq-bundle","version":2,"devices":[]}"#;
         let err = device_bundle_from_json(empty).unwrap_err();
         assert!(err.to_string().contains("no devices"), "{err}");
         // A corrupted nested device fails with its device index.
@@ -451,12 +550,12 @@ mod tests {
         let err = KlinqSystem::from_artifact_json(&wrong_format).unwrap_err();
         assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
         assert!(err.to_string().contains("format"));
-        let wrong_version = json.replacen("\"version\":2", "\"version\":99", 1);
+        let wrong_version = json.replacen("\"version\":3", "\"version\":99", 1);
         let err = KlinqSystem::from_artifact_json(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
         // A fractional version must not truncate into a spurious match
-        // (2.3 as u32 == 2): it is rejected typed before the shape parse.
-        let frac_version = json.replacen("\"version\":2", "\"version\":2.3", 1);
+        // (3.3 as u32 == 3): it is rejected typed before the shape parse.
+        let frac_version = json.replacen("\"version\":3", "\"version\":3.3", 1);
         let err = KlinqSystem::from_artifact_json(&frac_version).unwrap_err();
         assert!(err.to_string().contains("not an unsigned integer"), "{err}");
         // A structurally old artifact (v1 bodies differ — nested
@@ -475,13 +574,66 @@ mod tests {
     fn inconsistent_duration_is_rejected_at_load_not_at_predict() {
         // Hand-edit the stored duration below what the fitted models
         // need: load must fail typed instead of the first prediction
-        // panicking inside feature extraction.
+        // panicking inside feature extraction. The raw edit trips the
+        // checksum gate first; resealing the checksum gets past it and
+        // proves the semantic cross-check still stands on its own.
         let sys = smoke_system();
         let json = sys.to_artifact_json().unwrap();
         assert!(json.contains("\"duration_ns\":300.0"), "smoke duration changed?");
         let shrunk = json.replacen("\"duration_ns\":300.0", "\"duration_ns\":200.0", 1);
         let err = KlinqSystem::from_artifact_json(&shrunk).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let mut resealed: SystemArtifact = serde_json::from_str(&shrunk).unwrap();
+        resealed.checksum = artifact_checksum(&resealed).unwrap();
+        let resealed = serde_json::to_string(&resealed).unwrap();
+        let err = KlinqSystem::from_artifact_json(&resealed).unwrap_err();
         assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+        assert!(err.to_string().contains("samples"), "{err}");
+    }
+
+    /// Flips the stored checksum value itself — the smallest corruption
+    /// that keeps the JSON well-formed. `nth` selects which `checksum`
+    /// field when several artifacts nest in one file (0 = first).
+    fn flip_checksum(json: &str, nth: usize) -> String {
+        let needle = "\"checksum\":";
+        let mut at = 0;
+        for _ in 0..=nth {
+            at += json[at..].find(needle).expect("checksum field") + needle.len();
+        }
+        let end = at + json[at..]
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("digits end");
+        let stored: u64 = json[at..end].parse().expect("checksum digits");
+        format!("{}{}{}", &json[..at], stored ^ 1, &json[end..])
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum_gate_typed() {
+        let sys = smoke_system();
+        let json = sys.to_artifact_json().unwrap();
+        let err = KlinqSystem::from_artifact_json(&flip_checksum(&json, 0)).unwrap_err();
+        assert!(matches!(err, KlinqError::Artifact(_)), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_device_is_quarantined_not_fatal() {
+        let sys = smoke_system();
+        let json = device_bundle_to_json(&[sys, sys]).unwrap();
+        // Corrupt device 1's artifact only (the bundle envelope carries
+        // no checksum field, so occurrence 1 is the second device's).
+        let corrupt = flip_checksum(&json, 1);
+        // The strict loader fails the whole bundle, naming the device.
+        let err = device_bundle_from_json(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("device 1"), "{err}");
+        // The quarantined loader boots the healthy device and types the
+        // corrupt one.
+        let fleet = device_bundle_from_json_quarantined(&corrupt).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[0].as_ref().unwrap(), sys);
+        let err = fleet[1].as_ref().unwrap_err();
+        assert!(err.to_string().contains("device 1"), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::path::Path;
 /// The suffix tracks the artifact version (see `crate::persist`): bumping
 /// it on format or float-baseline changes makes stale caches retrain
 /// cleanly instead of failing to load (or flaking) every run.
-const CACHE_FILE: &str = "klinq-smoke-system.v2.json";
+const CACHE_FILE: &str = "klinq-smoke-system.v3.json";
 
 /// Returns the shared smoke-scale system, loading it from `cache_dir`
 /// when a fresh cached artifact exists and training (then caching) it

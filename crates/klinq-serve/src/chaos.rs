@@ -23,6 +23,13 @@
 //! [`Chaos`] is public so tests can drive *peer-side* faults from the
 //! same deterministic stream: byte-dribbling writers, mid-frame
 //! hang-ups, stalled readers.
+//!
+//! Beyond I/O faults, [`CrashFaults`] injects *crash* faults into the
+//! collector itself — seeded transient batch panics and content-keyed
+//! poisoned requests — exercising the panic quarantine and shard
+//! supervision machinery in [`crate::supervise`]. Transient panics are
+//! correctness-transparent (the replay answers every request) and are
+//! enabled fleet-wide in CI with `KLINQ_CHAOS_CRASH=<pct>`.
 
 /// A deterministic fault stream (SplitMix64 — tiny, seedable, and good
 /// enough to decorrelate fault sites; this is not a statistics-grade
@@ -134,11 +141,80 @@ impl Chaos {
     }
 }
 
+/// Crash-fault injection for the collector thread (the supervision
+/// story's test hook — see [`crate::supervise`]).
+///
+/// Two fault classes, both deterministic from the seed:
+///
+/// - **Transient batch panics** (`batch_panic_pct`): a fraction of
+///   micro-batches panic mid-classification as if the collector hit a
+///   transient bug. No request caused the panic, so the per-request
+///   replay answers everyone — these faults are correctness-transparent
+///   and safe to enable suite-wide (CI does, via `KLINQ_CHAOS_CRASH`).
+/// - **Poisoned requests** (`poison_pct`): a fraction of requests —
+///   chosen by a content-keyed draw, so the *same request* panics every
+///   time it is classified — deterministically panic the batch they
+///   join. The quarantine answers them [`crate::ServeError::Poisoned`]
+///   and replays the rest of the batch. Not correctness-transparent
+///   (the poisoned request never gets states), so it is a per-server
+///   config knob only, never an environment default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFaults {
+    /// Seed for the fault schedule. Equal seeds reproduce equal fault
+    /// sequences for the same traffic.
+    pub seed: u64,
+    /// Percentage (0–100) of micro-batches hit by a transient panic.
+    pub batch_panic_pct: u64,
+    /// Percentage (0–100) of requests that deterministically panic
+    /// classification (content-keyed, so replays re-panic and the
+    /// request is quarantined).
+    pub poison_pct: u64,
+}
+
+impl CrashFaults {
+    /// No faults, from a seed; enable classes with the builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            batch_panic_pct: 0,
+            poison_pct: 0,
+        }
+    }
+
+    /// Sets the transient batch-panic rate (percent of micro-batches).
+    #[must_use]
+    pub fn batch_panics(mut self, pct: u64) -> Self {
+        self.batch_panic_pct = pct;
+        self
+    }
+
+    /// Sets the poisoned-request rate (percent of requests,
+    /// content-keyed).
+    #[must_use]
+    pub fn poison(mut self, pct: u64) -> Self {
+        self.poison_pct = pct;
+        self
+    }
+}
+
 /// The fleet-wide injection seed from `KLINQ_CHAOS_SEED`, if set and
 /// parseable as `u64`. An unparseable value is ignored (chaos off)
 /// rather than failing server startup.
 pub(crate) fn env_seed() -> Option<u64> {
     std::env::var("KLINQ_CHAOS_SEED").ok()?.trim().parse().ok()
+}
+
+/// Fleet-wide transient crash faults from `KLINQ_CHAOS_CRASH` (a
+/// percentage of micro-batches), seeded from `KLINQ_CHAOS_SEED` (or a
+/// fixed default). Only the correctness-transparent transient class is
+/// reachable from the environment — poisoned-request injection changes
+/// observable results, so it stays an explicit [`CrashFaults`] config.
+pub(crate) fn env_crash() -> Option<CrashFaults> {
+    let pct: u64 = std::env::var("KLINQ_CHAOS_CRASH").ok()?.trim().parse().ok()?;
+    if pct == 0 {
+        return None;
+    }
+    Some(CrashFaults::new(env_seed().unwrap_or(0x006b_6c69_6e71)).batch_panics(pct.min(100)))
 }
 
 #[cfg(test)]

@@ -39,6 +39,15 @@
 //!   (e.g. one per chip in the fridge), deployable from a single
 //!   multi-device artifact bundle, routing each request to its device's
 //!   collector at intake.
+//! - **Self-healing supervision** ([`supervise`]): collectors run under
+//!   a panic quarantine (a request that panics its micro-batch is
+//!   answered typed [`ServeError::Poisoned`] and never re-batched; the
+//!   rest of the batch replays solo, bitwise-identically), every shard
+//!   carries a `Healthy → Degraded → Down → Restarting` health state
+//!   machine driven by a heartbeat watchdog, a dead shard restarts
+//!   automatically from its retained system (or bundle artifact) with
+//!   monotonic stats, and intake can fail over from a `Down` shard to a
+//!   healthy peer when [`RequestOptions::allow_failover`] permits.
 //! - **A wire protocol** ([`wire`]): a length-prefixed binary codec over
 //!   plain TCP ([`WireServer`]/[`WireClient`], std threads only) so
 //!   out-of-process clients reach the very same coalescing path,
@@ -71,13 +80,16 @@ pub mod chaos;
 pub mod sched;
 mod server;
 mod shard;
+pub mod supervise;
 pub mod wire;
 
+pub use chaos::CrashFaults;
 pub use sched::{RequestOptions, SchedPolicy, TenantId, TenantSpec, TenantStats};
 pub use server::{
     Priority, ReadoutClient, ReadoutServer, ServeConfig, ServeError, ServeStats, NUM_QUBITS,
 };
 pub use shard::ShardedReadoutServer;
+pub use supervise::{ShardHealth, ShardHealthReport, SuperviseConfig};
 pub use wire::{
     ReconnectPolicy, Transport, WireClient, WireConfig, WireError, WireMessage, WireServer,
 };

@@ -189,6 +189,13 @@ pub struct RequestOptions {
     /// states, and the oldest queued deadline pulls batch closing
     /// forward. `None` means "no deadline".
     pub deadline: Option<Duration>,
+    /// Permit health-aware failover: when the request's shard is `Down`
+    /// or `Restarting`, route it to a healthy peer shard instead of
+    /// answering [`crate::ServeError::ShardDown`]. Off by default —
+    /// failing over is only correct when every shard serves an
+    /// equivalent model (e.g. replicas of one device), and only the
+    /// caller knows that.
+    pub allow_failover: bool,
 }
 
 impl RequestOptions {
@@ -218,6 +225,14 @@ impl RequestOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Permits routing this request to a healthy peer shard when its
+    /// own shard is down (see [`Self::allow_failover`]).
+    #[must_use]
+    pub fn failover(mut self, allow: bool) -> Self {
+        self.allow_failover = allow;
+        self
+    }
 }
 
 /// A point-in-time snapshot of one tenant's serving counters.
@@ -238,6 +253,13 @@ pub struct TenantStats {
     pub shed: u64,
     /// Requests answered with [`crate::ServeError::DeadlineExceeded`].
     pub deadline_misses: u64,
+    /// Requests answered with [`crate::ServeError::Poisoned`] — they
+    /// deterministically panicked classification and were quarantined.
+    pub poisoned: u64,
+    /// Requests this tenant submitted to a down shard that were routed
+    /// to a healthy peer ([`RequestOptions::allow_failover`]). Counted
+    /// on the shard the request was originally bound to.
+    pub failovers: u64,
     /// Requests queued right now (a gauge; summed across shards in the
     /// fleet view).
     pub queued_requests: u64,
@@ -263,6 +285,8 @@ impl TenantStats {
             shots: self.shots + other.shots,
             shed: self.shed + other.shed,
             deadline_misses: self.deadline_misses + other.deadline_misses,
+            poisoned: self.poisoned + other.poisoned,
+            failovers: self.failovers + other.failovers,
             queued_requests: self.queued_requests + other.queued_requests,
             peak_queued_shots: self.peak_queued_shots.max(other.peak_queued_shots),
         }

@@ -30,13 +30,16 @@
 //!   requests typed ([`ServeError::DeadlineExceeded`]) instead of
 //!   delivering stale work.
 
+use crate::chaos::{self, Chaos, CrashFaults};
 use crate::sched::{QueuedItem, RequestOptions, SchedPolicy, Scheduler, TenantId, TenantStats};
+use crate::supervise::{ChaosCrash, ShardHealth, ShardMonitor, SuperviseConfig};
 use klinq_core::{Backend, BatchDiscriminator, KlinqSystem, ShotStates};
 use klinq_sim::Shot;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -82,6 +85,15 @@ pub struct ServeConfig {
     /// tuning (see [`crate::sched`]). The default is a single
     /// unconstrained tenant — the pre-QoS FIFO behaviour.
     pub sched: SchedPolicy,
+    /// Supervision tuning: heartbeat staleness, watchdog sweep
+    /// interval, restart backoff (see [`crate::supervise`]).
+    pub supervise: SuperviseConfig,
+    /// Deterministic crash-fault injection into the collector (seeded
+    /// transient batch panics and content-keyed poisoned requests).
+    /// `None` (the default) still honours the fleet-wide
+    /// `KLINQ_CHAOS_CRASH` environment knob, which enables only the
+    /// correctness-transparent transient class.
+    pub crash: Option<CrashFaults>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +107,8 @@ impl Default for ServeConfig {
             max_pending: 1024,
             chunk_size: None,
             sched: SchedPolicy::default(),
+            supervise: SuperviseConfig::default(),
+            crash: None,
         }
     }
 }
@@ -150,6 +164,21 @@ pub enum ServeError {
     /// in-process at submission, over the wire with a typed error frame
     /// that leaves the connection serving.
     UnknownTenant(u32),
+    /// The request deterministically panicked classification: the
+    /// micro-batch it joined panicked, and so did its solo replay, so
+    /// the request itself is the culprit. It is quarantined — answered
+    /// with this error exactly once and never re-batched — while every
+    /// other request in the batch was replayed and answered normally.
+    /// Resubmitting the same shots will poison again; this is a
+    /// per-request verdict, not a server condition.
+    Poisoned,
+    /// The request's shard is [`ShardHealth::Down`] (collector dead or
+    /// stuck) or [`ShardHealth::Restarting`], and either the request
+    /// did not permit failover ([`RequestOptions::allow_failover`]) or
+    /// no healthy peer exists. Classification is pure, so resubmitting
+    /// is always safe — after the watchdog restarts the shard, or to a
+    /// peer.
+    ShardDown,
 }
 
 impl fmt::Display for ServeError {
@@ -181,6 +210,16 @@ impl fmt::Display for ServeError {
             Self::UnknownTenant(id) => {
                 write!(f, "unknown tenant id {id}: not in the server's tenant table")
             }
+            Self::Poisoned => {
+                write!(
+                    f,
+                    "request poisoned its micro-batch: classification panicked on it \
+                     (batch and solo) and the request was quarantined"
+                )
+            }
+            Self::ShardDown => {
+                write!(f, "the request's shard is down (restarting); retry or fail over")
+            }
         }
     }
 }
@@ -198,6 +237,8 @@ pub(crate) struct TenantCounters {
     shots: AtomicU64,
     shed: AtomicU64,
     deadline_misses: AtomicU64,
+    poisoned: AtomicU64,
+    failovers: AtomicU64,
     queued_requests: AtomicU64,
     peak_queued_shots: AtomicU64,
 }
@@ -231,6 +272,12 @@ pub(crate) struct Counters {
     calib_prepared_excited: [AtomicU64; NUM_QUBITS],
     calib_false_excited: [AtomicU64; NUM_QUBITS],
     calib_false_ground: [AtomicU64; NUM_QUBITS],
+    /// Supervision: the health state machine, heartbeat, and restart
+    /// counters. Inside the shared counter block so it survives
+    /// collector restarts exactly like the serving counters — a restart
+    /// reuses the same `Arc<Counters>`, so every count is monotonic
+    /// over the shard's lifetime by construction.
+    pub(crate) monitor: ShardMonitor,
 }
 
 impl Counters {
@@ -329,6 +376,35 @@ pub struct ServeStats {
     /// Per-qubit count of calibration shots prepared excited but read
     /// ground (the `P(0|1)` confusion numerator).
     pub calib_false_ground: [u64; NUM_QUBITS],
+    /// Shards in this view (1 for a single server; summed in a fleet
+    /// merge, so the `shards_*` gauges below read as "out of N").
+    pub shards: u64,
+    /// Shards currently [`ShardHealth::Healthy`].
+    pub shards_healthy: u64,
+    /// Shards currently [`ShardHealth::Degraded`] (still serving).
+    pub shards_degraded: u64,
+    /// Shards currently [`ShardHealth::Down`].
+    pub shards_down: u64,
+    /// Shards currently [`ShardHealth::Restarting`].
+    pub shards_restarting: u64,
+    /// Micro-batch panics the quarantine caught (monotonic).
+    pub panics: u64,
+    /// Requests answered [`ServeError::Poisoned`] (monotonic).
+    pub poisoned: u64,
+    /// Transitions into [`ShardHealth::Down`] (monotonic — with
+    /// [`Self::restarts`], the observable trace of every
+    /// `Down → Restarting → Healthy` recovery).
+    pub downs: u64,
+    /// Completed shard restarts (monotonic).
+    pub restarts: u64,
+    /// Requests rerouted to a healthy peer while their shard was down
+    /// ([`RequestOptions::allow_failover`]).
+    pub failovers: u64,
+    /// Requests answered [`ServeError::ShardDown`].
+    pub shard_down_rejections: u64,
+    /// Duration of the most recent `Down → Healthy` recovery, in µs
+    /// (max across shards in a fleet merge; 0 before any restart).
+    pub recovery_us: u64,
 }
 
 impl ServeStats {
@@ -420,6 +496,18 @@ impl ServeStats {
                 other.calib_false_excited,
             ),
             calib_false_ground: add_per_qubit(self.calib_false_ground, other.calib_false_ground),
+            shards: self.shards + other.shards,
+            shards_healthy: self.shards_healthy + other.shards_healthy,
+            shards_degraded: self.shards_degraded + other.shards_degraded,
+            shards_down: self.shards_down + other.shards_down,
+            shards_restarting: self.shards_restarting + other.shards_restarting,
+            panics: self.panics + other.panics,
+            poisoned: self.poisoned + other.poisoned,
+            downs: self.downs + other.downs,
+            restarts: self.restarts + other.restarts,
+            failovers: self.failovers + other.failovers,
+            shard_down_rejections: self.shard_down_rejections + other.shard_down_rejections,
+            recovery_us: self.recovery_us.max(other.recovery_us),
         }
     }
 }
@@ -433,6 +521,54 @@ impl ServeStats {
 /// a channel sender in one — same coalescing, same results.
 pub(crate) type ReplyFn = Box<dyn FnOnce(Result<Vec<ShotStates>, ServeError>) + Send>;
 
+/// A reply obligation that cannot be lost. Every admitted request holds
+/// exactly one; it is consumed by [`Self::send`], and if it is instead
+/// *dropped* — the collector died with the request queued, mid-batch,
+/// or buffered in the intake channel — the drop answers the submitter
+/// typed ([`ServeError::ShardDown`], or [`ServeError::Closed`] during
+/// an orderly shutdown). Zero lost responses is a structural property,
+/// not a bookkeeping discipline.
+pub(crate) struct Reply {
+    f: Option<ReplyFn>,
+    counters: Arc<Counters>,
+}
+
+impl Reply {
+    fn new(f: ReplyFn, counters: Arc<Counters>) -> Self {
+        Self { f: Some(f), counters }
+    }
+
+    fn send(mut self, result: Result<Vec<ShotStates>, ServeError>) {
+        if let Some(f) = self.f.take() {
+            f(result);
+        }
+    }
+
+    /// Disarms the guard without answering — only for submissions the
+    /// intake *rejected synchronously* (shed/closed), whose contract is
+    /// "the completion never runs".
+    fn defuse(mut self) {
+        self.f = None;
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if let Some(f) = self.f.take() {
+            let error = if self.counters.monitor.is_stopped() {
+                ServeError::Closed
+            } else {
+                self.counters.monitor.note_shard_down_rejection();
+                ServeError::ShardDown
+            };
+            // This drop may run while the collector unwinds from a
+            // panic; a panicking completion callback would abort the
+            // process, so it is contained.
+            let _ = catch_unwind(AssertUnwindSafe(move || f(Err(error))));
+        }
+    }
+}
+
 /// One in-flight request: the shots to classify and where to answer.
 pub(crate) struct Request {
     shots: Vec<Shot>,
@@ -445,7 +581,7 @@ pub(crate) struct Request {
     /// ground truth, so the collector scores the served states against
     /// them and feeds the per-qubit fidelity/confusion counters.
     calibration: bool,
-    reply: ReplyFn,
+    reply: Reply,
 }
 
 /// Live-ops commands. They ride the same intake channel as requests, so
@@ -476,6 +612,12 @@ enum Control {
     },
     /// Drop the staged candidate. Acks whether one was staged.
     AbortCanary { ack: mpsc::Sender<bool> },
+    /// Crash-fault injection: the collector aborts mid-stream — it
+    /// panics the moment it dequeues this, *without* draining its
+    /// queues, so requests already admitted die with the thread (their
+    /// reply guards answer [`ServeError::ShardDown`]) exactly as a real
+    /// mid-batch abort would. Deliberately escapes the quarantine.
+    Kill,
 }
 
 /// What travels over the intake channel.
@@ -488,14 +630,91 @@ enum Msg {
     Shutdown,
 }
 
+/// The shared indirection between clients and one shard's collector.
+///
+/// Clients (including the wire reactor's long-lived snapshot) hold an
+/// `Arc<ShardLink>`, never a raw channel sender: a shard restart swaps
+/// a fresh sender into the link, and every existing handle reaches the
+/// new collector with no re-wiring.
+#[derive(Debug)]
+pub(crate) struct ShardLink {
+    tx: RwLock<SyncSender<Msg>>,
+    counters: Arc<Counters>,
+}
+
+impl ShardLink {
+    fn new(tx: SyncSender<Msg>, counters: Arc<Counters>) -> Self {
+        Self {
+            tx: RwLock::new(tx),
+            counters,
+        }
+    }
+
+    /// Points the link at a fresh collector (shard restart).
+    fn swap_tx(&self, tx: SyncSender<Msg>) {
+        *self.tx.write().unwrap() = tx;
+    }
+
+    fn try_send(&self, msg: Msg) -> Result<(), TrySendError<Msg>> {
+        self.tx.read().unwrap().try_send(msg)
+    }
+
+    /// Blocking send for controls and shutdown (rides out a full
+    /// queue; fails only when the collector is gone).
+    fn send(&self, msg: Msg) -> Result<(), mpsc::SendError<Msg>> {
+        let tx = self.tx.read().unwrap().clone();
+        tx.send(msg)
+    }
+
+    pub(crate) fn monitor(&self) -> &ShardMonitor {
+        &self.counters.monitor
+    }
+}
+
+/// Fleet-wide failover routing: every shard's link, so a client bound
+/// to a down shard can reroute a willing request to a healthy peer.
+#[derive(Debug)]
+pub(crate) struct Router {
+    links: Vec<Arc<ShardLink>>,
+    /// Rotates the scan start so failover traffic spreads over peers
+    /// instead of piling on the first healthy one.
+    next: AtomicUsize,
+}
+
+impl Router {
+    pub(crate) fn new(links: Vec<Arc<ShardLink>>) -> Self {
+        Self {
+            links,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// A serving peer of `device`, if any.
+    fn healthy_peer(&self, device: usize) -> Option<Arc<ShardLink>> {
+        let n = self.links.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        (0..n)
+            .map(|i| (start + i) % n)
+            .filter(|&i| i != device)
+            .map(|i| &self.links[i])
+            .find(|link| !link.monitor().is_stopped() && link.monitor().is_serving())
+            .map(Arc::clone)
+    }
+}
+
 /// A cheap cloneable handle for submitting classification requests.
 ///
 /// Handles stay usable after the [`ReadoutServer`] value is shut down
 /// only in the sense that calls fail fast with [`ServeError::Closed`].
 #[derive(Debug, Clone)]
 pub struct ReadoutClient {
-    tx: SyncSender<Msg>,
-    counters: Arc<Counters>,
+    link: Arc<ShardLink>,
+    /// Set for fleet-issued handles ([`crate::ShardedReadoutServer`]):
+    /// enables health-aware failover to peer shards.
+    router: Option<Arc<Router>>,
+    /// This handle's device index within the router (0 for standalone
+    /// servers).
+    device: usize,
 }
 
 impl ReadoutClient {
@@ -653,7 +872,7 @@ impl ReadoutClient {
         // The tenant table is fixed at server start, so an unknown id is
         // rejected right here — synchronously, before anything queues.
         let tenant = opts.tenant.0 as usize;
-        if tenant >= self.counters.tenants.len() {
+        if tenant >= self.link.counters.tenants.len() {
             return Err(ServeError::UnknownTenant(opts.tenant.0));
         }
         if shots.is_empty() {
@@ -664,28 +883,85 @@ impl ReadoutClient {
         // wait counts against it. A deadline too far out to represent
         // means "no deadline".
         let deadline = opts.deadline.and_then(|d| Instant::now().checked_add(d));
+        // Health-aware routing: a down shard answers typed, or — when
+        // the request permits it — hands the request to a healthy peer.
+        let target = self.route_link(&opts, tenant)?;
+        let reply = Reply::new(Box::new(on_complete), Arc::clone(&target.counters));
         // A bounded `try_send` is the backpressure policy: a full queue
         // means the collector is saturated, and the honest answer is an
         // immediate `Overloaded`, not an unbounded invisible wait. (No
         // retry-after hint here: the *global* queue is full, so the
         // tenant-backlog estimate does not apply.)
-        self.tx
-            .try_send(Msg::Request(Request {
-                shots,
-                priority: opts.priority,
-                tenant: opts.tenant,
-                deadline,
-                calibration,
-                reply: Box::new(on_complete),
-            }))
-            .map_err(|e| match e {
-                TrySendError::Full(_) => {
-                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                    self.counters.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
-                    ServeError::Overloaded { retry_after: None }
+        match target.try_send(Msg::Request(Request {
+            shots,
+            priority: opts.priority,
+            tenant: opts.tenant,
+            deadline,
+            calibration,
+            reply,
+        })) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // A rejected submission must not run its completion —
+                // disarm the returned request's reply guard first.
+                let (error, msg) = match e {
+                    TrySendError::Full(msg) => {
+                        target.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        target.counters.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
+                        (ServeError::Overloaded { retry_after: None }, msg)
+                    }
+                    TrySendError::Disconnected(msg) => {
+                        // The collector died between the health check
+                        // and the send. An orderly shutdown stays
+                        // `Closed`; a crash is a down shard (the
+                        // watchdog, if any, will restart it).
+                        let error = if target.monitor().is_stopped() {
+                            ServeError::Closed
+                        } else {
+                            target.monitor().note_shard_down_rejection();
+                            ServeError::ShardDown
+                        };
+                        (error, msg)
+                    }
+                };
+                if let Msg::Request(req) = msg {
+                    req.reply.defuse();
                 }
-                TrySendError::Disconnected(_) => ServeError::Closed,
-            })
+                Err(error)
+            }
+        }
+    }
+
+    /// Picks the link a submission rides: this handle's own shard while
+    /// it serves, a healthy peer when it is down and the request allows
+    /// failover, a typed [`ServeError::ShardDown`] otherwise.
+    fn route_link(&self, opts: &RequestOptions, tenant: usize) -> Result<Arc<ShardLink>, ServeError> {
+        let monitor = self.link.monitor();
+        if monitor.is_stopped() {
+            return Err(ServeError::Closed);
+        }
+        if monitor.is_serving() {
+            return Ok(Arc::clone(&self.link));
+        }
+        if opts.allow_failover {
+            if let Some(peer) = self.router.as_ref().and_then(|r| r.healthy_peer(self.device)) {
+                // Billed to the shard the request was bound to — the
+                // failover count is the down shard's story.
+                monitor.note_failover();
+                self.link.counters.tenants[tenant]
+                    .failovers
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(peer);
+            }
+        }
+        monitor.note_shard_down_rejection();
+        Err(ServeError::ShardDown)
+    }
+
+    /// This handle's shard health, restart and down counts — what the
+    /// wire health query reports per device.
+    pub(crate) fn health_report(&self) -> crate::supervise::ShardHealthReport {
+        self.link.monitor().report()
     }
 
     /// Classifies one shot, blocking until its coalesced result arrives.
@@ -707,15 +983,27 @@ impl ReadoutClient {
 /// channel, lets the collector finish the batch in flight, and joins it.
 #[derive(Debug)]
 pub struct ReadoutServer {
-    tx: Option<SyncSender<Msg>>,
+    link: Arc<ShardLink>,
     collector: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
     /// The tenant table the server runs under, kept for
     /// [`Self::tenant_stats`] snapshots.
     sched: SchedPolicy,
+    /// Kept for collector respawns (shard restart) — a restarted
+    /// collector runs the exact configuration the shard started with.
+    config: ServeConfig,
 }
 
 impl ReadoutServer {
+    fn assert_config(config: &ServeConfig) {
+        assert!(config.max_batch_shots > 0, "max_batch_shots must be non-zero");
+        assert!(
+            config.max_pending > 0,
+            "max_pending must be non-zero (a zero-capacity intake queue would shed everything)"
+        );
+        assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
+    }
+
     /// Starts the server: spawns the collector thread that owns `system`
     /// and serves requests per `config`.
     ///
@@ -726,48 +1014,118 @@ impl ReadoutServer {
     /// `max_pending`, a zero `chunk_size` override, or an unusable
     /// scheduling policy (no tenants, a zero weight, quantum or quota).
     pub fn start(system: Arc<KlinqSystem>, config: ServeConfig) -> Self {
-        assert!(config.max_batch_shots > 0, "max_batch_shots must be non-zero");
-        assert!(
-            config.max_pending > 0,
-            "max_pending must be non-zero (a zero-capacity intake queue would shed everything)"
-        );
-        assert!(config.chunk_size != Some(0), "chunk size override must be non-zero");
+        Self::assert_config(&config);
         // Built here — not on the collector thread — so an unusable
         // policy panics the caller immediately.
         let sched: Scheduler<Request> = Scheduler::new(&config.sched);
-        let (tx, rx) = mpsc::sync_channel(config.max_pending);
         let counters = Arc::new(Counters::new(&config.sched));
         counters.model_version.store(1, Ordering::Relaxed);
-        let collector_counters = Arc::clone(&counters);
-        let policy = config.sched.clone();
-        let collector = std::thread::Builder::new()
-            .name("klinq-serve-collector".into())
-            .spawn(move || collector_loop(system, config, sched, &rx, &collector_counters))
-            .expect("spawn readout-server collector");
+        counters.monitor.beat();
+        let (tx, rx) = mpsc::sync_channel(config.max_pending);
+        let collector = spawn_collector(system, config.clone(), sched, rx, Arc::clone(&counters));
         Self {
-            tx: Some(tx),
+            link: Arc::new(ShardLink::new(tx, Arc::clone(&counters))),
             collector: Some(collector),
             counters,
-            sched: policy,
+            sched: config.sched.clone(),
+            config,
         }
     }
 
+    /// A shard slot whose device failed to load (quarantined bundle
+    /// artifact): no collector, health `Down` from birth. Submissions
+    /// answer [`ServeError::ShardDown`] (or fail over); the fleet
+    /// watchdog keeps retrying the bundle and brings the shard up via
+    /// [`Self::respawn`] once the artifact loads.
+    pub(crate) fn vacant(config: ServeConfig) -> Self {
+        Self::assert_config(&config);
+        let _probe: Scheduler<Request> = Scheduler::new(&config.sched);
+        let counters = Arc::new(Counters::new(&config.sched));
+        counters.monitor.mark_down();
+        // A sender whose receiver is already gone: any send fails
+        // `Disconnected`, and the health gate answers before that.
+        let (tx, _dead_rx) = mpsc::sync_channel(1);
+        Self {
+            link: Arc::new(ShardLink::new(tx, Arc::clone(&counters))),
+            collector: None,
+            counters,
+            sched: config.sched.clone(),
+            config,
+        }
+    }
+
+    /// Replaces a dead collector with a fresh one serving `system`,
+    /// re-pointing every existing client handle (the link swap) at it.
+    /// Counters — including model version and supervision counts — are
+    /// shared and survive untouched: stats are monotonic across the
+    /// restart. The caller (the watchdog) owns the health transitions.
+    pub(crate) fn respawn(&mut self, system: Arc<KlinqSystem>) {
+        if let Some(handle) = self.collector.take() {
+            if handle.is_finished() {
+                // Reap the dead collector. Its panic payload is not
+                // re-raised — the restart *is* the recovery, and the
+                // panic is already counted in the monitor.
+                let _ = handle.join();
+            }
+            // A stuck-but-alive collector cannot be killed; abandoning
+            // the handle detaches it. Swapping the link below drops the
+            // old intake sender, so if the thread ever unsticks it sees
+            // a disconnected channel and exits; requests it still owns
+            // are answered by it (late) or by their reply guards.
+        }
+        let sched: Scheduler<Request> = Scheduler::new(&self.config.sched);
+        let (tx, rx) = mpsc::sync_channel(self.config.max_pending);
+        let collector =
+            spawn_collector(system, self.config.clone(), sched, rx, Arc::clone(&self.counters));
+        self.link.swap_tx(tx);
+        self.collector = Some(collector);
+    }
+
+    /// Whether the collector thread is gone (dead, or never started for
+    /// a vacant shard).
+    pub(crate) fn collector_finished(&self) -> bool {
+        self.collector.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    pub(crate) fn monitor(&self) -> &ShardMonitor {
+        &self.counters.monitor
+    }
+
+    pub(crate) fn link(&self) -> Arc<ShardLink> {
+        Arc::clone(&self.link)
+    }
+
+    /// This server's health state (standalone servers have no watchdog,
+    /// so only `Healthy`/`Degraded` arise here; fleet shards see the
+    /// full machine).
+    pub fn health(&self) -> ShardHealth {
+        self.counters.monitor.health()
+    }
+
     /// A new client handle for this server.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called after [`Self::shutdown`] (impossible through the
-    /// public API, which consumes the server).
     pub fn client(&self) -> ReadoutClient {
         ReadoutClient {
-            tx: self.tx.as_ref().expect("server is running").clone(),
-            counters: Arc::clone(&self.counters),
+            link: Arc::clone(&self.link),
+            router: None,
+            device: 0,
+        }
+    }
+
+    /// A fleet client handle: bound to this shard, but able to fail
+    /// over through `router` when the shard is down.
+    pub(crate) fn client_with_router(&self, router: Arc<Router>, device: usize) -> ReadoutClient {
+        ReadoutClient {
+            link: Arc::clone(&self.link),
+            router: Some(router),
+            device,
         }
     }
 
     /// A snapshot of the coalescing counters (the `wire_*` fields stay
     /// zero here — they belong to a wire front end's own stats).
     pub fn stats(&self) -> ServeStats {
+        let monitor = &self.counters.monitor;
+        let health = monitor.health();
         ServeStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             shots: self.counters.shots.load(Ordering::Relaxed),
@@ -790,6 +1148,18 @@ impl ReadoutServer {
             calib_prepared_excited: load_per_qubit(&self.counters.calib_prepared_excited),
             calib_false_excited: load_per_qubit(&self.counters.calib_false_excited),
             calib_false_ground: load_per_qubit(&self.counters.calib_false_ground),
+            shards: 1,
+            shards_healthy: u64::from(health == ShardHealth::Healthy),
+            shards_degraded: u64::from(health == ShardHealth::Degraded),
+            shards_down: u64::from(health == ShardHealth::Down),
+            shards_restarting: u64::from(health == ShardHealth::Restarting),
+            panics: monitor.panics_count(),
+            poisoned: monitor.poisoned_count(),
+            downs: monitor.downs_count(),
+            restarts: monitor.restarts_count(),
+            failovers: monitor.failovers_count(),
+            shard_down_rejections: monitor.shard_down_rejections_count(),
+            recovery_us: monitor.recovery_us_value(),
             ..ServeStats::default()
         }
     }
@@ -811,6 +1181,8 @@ impl ReadoutServer {
                 shots: c.shots.load(Ordering::Relaxed),
                 shed: c.shed.load(Ordering::Relaxed),
                 deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+                poisoned: c.poisoned.load(Ordering::Relaxed),
+                failovers: c.failovers.load(Ordering::Relaxed),
                 queued_requests: c.queued_requests.load(Ordering::Relaxed),
                 peak_queued_shots: c.peak_queued_shots.load(Ordering::Relaxed),
             })
@@ -912,11 +1284,22 @@ impl ReadoutServer {
     /// blocking `send` (like shutdown's) rides out a momentarily full
     /// intake queue instead of bouncing the command.
     fn send_control(&self, control: Control) -> Result<(), ServeError> {
-        self.tx
-            .as_ref()
-            .expect("server is running")
-            .send(Msg::Control(control))
-            .map_err(|_| ServeError::Closed)
+        let monitor = self.link.monitor();
+        self.link.send(Msg::Control(control)).map_err(|_| {
+            if monitor.is_stopped() || monitor.is_serving() {
+                ServeError::Closed
+            } else {
+                ServeError::ShardDown
+            }
+        })
+    }
+
+    /// Crash-fault injection: makes the collector abort mid-stream
+    /// without draining its queues (see [`Control::Kill`]). Admitted
+    /// requests die with the thread and are answered
+    /// [`ServeError::ShardDown`] by their reply guards.
+    pub(crate) fn inject_kill(&self) -> Result<(), ServeError> {
+        self.send_control(Control::Kill)
     }
 
     /// Stops intake, drains the in-flight batch, joins the collector and
@@ -927,6 +1310,10 @@ impl ReadoutServer {
     }
 
     fn close(&mut self) {
+        // Stopped-first ordering: anything failing from here on — a
+        // submission racing teardown, a request buffered past the
+        // sentinel — answers `Closed`, not `ShardDown`.
+        self.counters.monitor.mark_stopped();
         // An explicit sentinel (rather than relying on sender
         // disconnection) lets shutdown complete even while cloned
         // `ReadoutClient` handles are still alive; the collector finishes
@@ -934,15 +1321,16 @@ impl ReadoutServer {
         // fast with `ServeError::Closed`. The blocking `send` (not
         // `try_send`) guarantees delivery through a momentarily full
         // intake queue — the collector is draining it, so space appears.
-        if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
+        // (A dead collector's channel errors the send immediately.)
+        let _ = self.link.send(Msg::Shutdown);
         if let Some(handle) = self.collector.take() {
             if let Err(payload) = handle.join() {
                 // A dead collector is a bug, not a quiet `Closed`: re-raise
-                // its panic on the owner — unless teardown is already
-                // unwinding, where a second panic would abort.
-                if !std::thread::panicking() {
+                // its panic on the owner — unless it is an injected
+                // chaos crash (an exercised recovery path), or teardown
+                // is already unwinding, where a second panic would
+                // abort.
+                if !payload.is::<ChaosCrash>() && !std::thread::panicking() {
                     std::panic::resume_unwind(payload);
                 }
             }
@@ -954,6 +1342,74 @@ impl Drop for ReadoutServer {
     fn drop(&mut self) {
         self.close();
     }
+}
+
+/// Spawns one collector thread. Shared by [`ReadoutServer::start`] and
+/// [`ReadoutServer::respawn`] — a restarted collector is byte-for-byte
+/// the same loop on the same shared counters.
+fn spawn_collector(
+    system: Arc<KlinqSystem>,
+    config: ServeConfig,
+    sched: Scheduler<Request>,
+    rx: Receiver<Msg>,
+    counters: Arc<Counters>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("klinq-serve-collector".into())
+        .spawn(move || collector_loop(system, config, sched, &rx, &counters))
+        .expect("spawn readout-server collector")
+}
+
+/// Live crash-fault state on the collector (from
+/// [`ServeConfig::crash`] or the `KLINQ_CHAOS_CRASH` environment knob).
+struct CrashState {
+    /// Stateful stream for the transient batch-panic draws.
+    batch: Chaos,
+    faults: CrashFaults,
+}
+
+impl CrashState {
+    fn new(faults: CrashFaults) -> Self {
+        Self {
+            batch: Chaos::new(faults.seed),
+            faults,
+        }
+    }
+
+    /// Transient fault: this micro-batch panics, but no request in it
+    /// is the culprit — every solo replay succeeds.
+    fn batch_panic(&mut self) -> bool {
+        self.faults.batch_panic_pct > 0 && self.batch.chance(self.faults.batch_panic_pct)
+    }
+
+    /// Poison fault: keyed on the request's *content*, so the same
+    /// request draws the same verdict in the batch and in its solo
+    /// replay — exactly the signature of a genuinely poisonous request.
+    fn poisons(&self, shots: &[Shot]) -> bool {
+        self.faults.poison_pct > 0
+            && Chaos::new(self.faults.seed ^ fingerprint(shots)).chance(self.faults.poison_pct)
+    }
+}
+
+/// A cheap deterministic fingerprint of a request's shots (trace
+/// shapes plus leading samples) for content-keyed fault draws.
+fn fingerprint(shots: &[Shot]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(shots.len() as u64);
+    for shot in shots {
+        for trace in &shot.traces {
+            mix(trace.i.len() as u64);
+            if let (Some(&i0), Some(&q0)) = (trace.i.first(), trace.q.first()) {
+                mix(u64::from(i0.to_bits()));
+                mix(u64::from(q0.to_bits()));
+            }
+        }
+    }
+    h
 }
 
 /// One model as the collector serves it: the system plus its per-qubit
@@ -1010,7 +1466,7 @@ fn admit(req: Request, min_samples: &[usize]) -> Option<Request> {
     match validate_shots(&req.shots, min_samples) {
         Ok(()) => Some(req),
         Err(msg) => {
-            (req.reply)(Err(ServeError::InvalidRequest(msg)));
+            req.reply.send(Err(ServeError::InvalidRequest(msg)));
             None
         }
     }
@@ -1081,7 +1537,22 @@ fn apply_control(
         Control::AbortCanary { ack } => {
             let _ = ack.send(canary.take().is_some());
         }
+        // Kill aborts at *receipt* (see `intercept_kill`) — it must not
+        // wait its turn behind a queue drain.
+        Control::Kill => unreachable!("Control::Kill is intercepted at receipt"),
     }
+}
+
+/// Crash-fault injection: a [`Control::Kill`] aborts the collector the
+/// moment it is dequeued — the thread dies by panic *without* draining
+/// its queues, so everything it owns unwinds exactly like a real
+/// mid-batch abort (reply guards answer [`ServeError::ShardDown`]).
+/// Every receive site passes controls through here.
+fn intercept_kill(control: Control) -> Control {
+    if matches!(control, Control::Kill) {
+        std::panic::resume_unwind(Box::new(ChaosCrash));
+    }
+    control
 }
 
 /// Routes one intake message into the scheduler: validates, checks the
@@ -1094,7 +1565,7 @@ fn route(req: Request, sched: &mut Scheduler<Request>, active: &Model, counters:
     let tenant = req.tenant.0 as usize;
     if tenant >= sched.n_tenants() {
         let id = req.tenant.0;
-        (req.reply)(Err(ServeError::UnknownTenant(id)));
+        req.reply.send(Err(ServeError::UnknownTenant(id)));
         return;
     }
     let Some(req) = admit(req, &active.min_samples) else {
@@ -1102,7 +1573,7 @@ fn route(req: Request, sched: &mut Scheduler<Request>, active: &Model, counters:
     };
     if req.deadline.is_some_and(|d| d <= Instant::now()) {
         counters.record_deadline_miss(tenant);
-        (req.reply)(Err(ServeError::DeadlineExceeded));
+        req.reply.send(Err(ServeError::DeadlineExceeded));
         return;
     }
     let item = QueuedItem {
@@ -1125,7 +1596,7 @@ fn route(req: Request, sched: &mut Scheduler<Request>, active: &Model, counters:
             counters.shed.fetch_add(1, Ordering::Relaxed);
             counters.tenants[tenant].shed.fetch_add(1, Ordering::Relaxed);
             let retry_after = sched.retry_after(tenant);
-            (item.payload.reply)(Err(ServeError::Overloaded { retry_after }));
+            item.payload.reply.send(Err(ServeError::Overloaded { retry_after }));
         }
     }
 }
@@ -1138,53 +1609,236 @@ fn sync_gauges(sched: &Scheduler<Request>, counters: &Counters) {
     }
 }
 
+/// One request of an assembled micro-batch, after its shots moved into
+/// the batch's contiguous buffer.
+struct BatchEntry {
+    reply: Reply,
+    count: usize,
+    calibration: bool,
+    tenant: usize,
+    deadline: Option<Instant>,
+}
+
+/// Batch-level telemetry for one executed classification (whole batch
+/// or a solo replay): throughput counters plus the drift monitor's
+/// running per-qubit excited fractions over the states actually served
+/// (whichever model produced them).
+fn note_batch(counters: &Counters, states: &[ShotStates]) {
+    counters.shots.fetch_add(states.len() as u64, Ordering::Relaxed);
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .largest_batch
+        .fetch_max(states.len() as u64, Ordering::Relaxed);
+    counters
+        .drift_shots
+        .fetch_add(states.len() as u64, Ordering::Relaxed);
+    let mut excited = [0u64; NUM_QUBITS];
+    for row in states {
+        for qb in 0..NUM_QUBITS {
+            excited[qb] += u64::from(row[qb]);
+        }
+    }
+    for (counter, &n) in counters.drift_excited.iter().zip(&excited) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Delivers one request's slice of an executed batch: delivery-time
+/// deadline check, calibration scoring, per-tenant and global counters,
+/// then the reply. `offset` indexes the request's shots/states inside
+/// `states`/`shots` (0 for a solo replay).
+fn settle_one(entry: BatchEntry, states: &[ShotStates], shots: &[Shot], offset: usize, counters: &Counters) {
+    let BatchEntry {
+        reply,
+        count,
+        calibration,
+        tenant,
+        deadline,
+    } = entry;
+    // Delivery-time deadline check: the batch may have executed
+    // past a request's deadline (e.g. behind a long backlog). The
+    // states exist but are stale by contract — answering typed here
+    // is what makes "an expired request never gets states" exact.
+    if deadline.is_some_and(|d| d <= Instant::now()) {
+        counters.record_deadline_miss(tenant);
+        reply.send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    if calibration {
+        // Calibration lane: the shot buffer is still alive, so
+        // each shot's prepared states score the served states.
+        counters.calib_shots.fetch_add(count as u64, Ordering::Relaxed);
+        let mut prep_excited = [0u64; NUM_QUBITS];
+        let mut false_excited = [0u64; NUM_QUBITS];
+        let mut false_ground = [0u64; NUM_QUBITS];
+        for i in offset..offset + count {
+            let prepared = shots[i].prepared;
+            let got = states[i];
+            for qb in 0..NUM_QUBITS {
+                if prepared[qb] {
+                    prep_excited[qb] += 1;
+                    false_ground[qb] += u64::from(!got[qb]);
+                } else {
+                    false_excited[qb] += u64::from(got[qb]);
+                }
+            }
+        }
+        for qb in 0..NUM_QUBITS {
+            counters.calib_prepared_excited[qb].fetch_add(prep_excited[qb], Ordering::Relaxed);
+            counters.calib_false_excited[qb].fetch_add(false_excited[qb], Ordering::Relaxed);
+            counters.calib_false_ground[qb].fetch_add(false_ground[qb], Ordering::Relaxed);
+        }
+    }
+    let t = &counters.tenants[tenant];
+    t.requests.fetch_add(1, Ordering::Relaxed);
+    t.shots.fetch_add(count as u64, Ordering::Relaxed);
+    // Counted before the reply lands: a client that sees its answer
+    // must also see it in the stats.
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    reply.send(Ok(states[offset..offset + count].to_vec()));
+}
+
+/// The quarantine path after a micro-batch panicked: replay each
+/// request *solo*. The batched engine is bitwise-identical for any
+/// batch composition, so a solo replay produces exactly the states the
+/// batch would have — survivors lose nothing. A request whose solo
+/// replay panics again (or that the crash-fault model marks poisonous —
+/// its draw is content-keyed, so the solo pass is known doomed and
+/// skipped) is the culprit: answered [`ServeError::Poisoned`], never
+/// re-batched.
+fn replay_solo(
+    entries: Vec<BatchEntry>,
+    shots: &[Shot],
+    poison: &[bool],
+    active: &Model,
+    config: &ServeConfig,
+    counters: &Counters,
+) {
+    let mut offset = 0;
+    for (i, entry) in entries.into_iter().enumerate() {
+        let slice = &shots[offset..offset + entry.count];
+        offset += entry.count;
+        let solo = if poison[i] {
+            None
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| active.classify(config, slice))) {
+                Ok(states) => Some(states),
+                Err(_) => {
+                    counters.monitor.note_panic();
+                    None
+                }
+            }
+        };
+        match solo {
+            Some(states) => {
+                counters.monitor.note_clean_batch();
+                note_batch(counters, &states);
+                settle_one(entry, &states, slice, 0, counters);
+            }
+            None => {
+                counters.monitor.note_poisoned();
+                counters.tenants[entry.tenant].poisoned.fetch_add(1, Ordering::Relaxed);
+                entry.reply.send(Err(ServeError::Poisoned));
+            }
+        }
+    }
+}
+
 /// Executes one assembled micro-batch end to end: classify (with canary
-/// routing), update the telemetry, scatter the per-request slices, and
-/// feed the service-rate estimator. Requests whose deadline expired
-/// while the batch executed are answered with
-/// [`ServeError::DeadlineExceeded`] — an expired request never receives
-/// states.
+/// routing) under the panic quarantine, update the telemetry, scatter
+/// the per-request slices, and feed the service-rate estimator.
+/// Requests whose deadline expired while the batch executed are
+/// answered with [`ServeError::DeadlineExceeded`] — an expired request
+/// never receives states. A batch that panics classification falls
+/// back to [`replay_solo`].
 fn run_batch(
-    entries: Vec<(usize, QueuedItem<Request>)>,
+    batch: Vec<(usize, QueuedItem<Request>)>,
     active: &Model,
     canary: &mut Option<Canary>,
     config: &ServeConfig,
     counters: &Counters,
     sched: &mut Scheduler<Request>,
+    crash: &mut Option<CrashState>,
 ) {
     // One contiguous shot buffer for the engine; shots are moved, never
     // cloned.
     let mut shots = Vec::new();
-    let mut replies = Vec::with_capacity(entries.len());
+    let mut entries = Vec::with_capacity(batch.len());
     let mut latency_requests = 0u64;
     let mut expedited = false;
-    for (tenant, item) in entries {
+    for (tenant, item) in batch {
         let req = item.payload;
         if item.latency {
             latency_requests += 1;
             expedited = true;
         }
-        replies.push((req.reply, req.shots.len(), req.calibration, tenant, item.deadline));
+        entries.push(BatchEntry {
+            reply: req.reply,
+            count: req.shots.len(),
+            calibration: req.calibration,
+            tenant,
+            deadline: item.deadline,
+        });
         shots.extend(req.shots);
     }
+    counters
+        .latency_requests
+        .fetch_add(latency_requests, Ordering::Relaxed);
+    if expedited {
+        counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
+    }
 
-    // Canary routing: decide per micro-batch, serve the candidate's
-    // answer, keep the primary's for the divergence report. A batch
-    // whose shots undercut the candidate's feature floors stays on
-    // the primary (a shorter-trace candidate must not panic on
-    // still-valid production traffic).
-    let started = Instant::now();
-    let mut canary_states = None;
-    if let Some(c) = canary.as_mut() {
-        if validate_shots(&shots, &c.model.min_samples).is_ok() {
-            c.acc += c.fraction;
-            if c.acc >= 1.0 {
-                c.acc -= 1.0;
-                canary_states = Some(c.model.classify(config, &shots));
-            }
+    // Crash-fault draws — pure decisions, taken before the unwind
+    // boundary. Poison is content-keyed per request; the transient
+    // batch draw consumes its stream once per batch.
+    let mut poison = vec![false; entries.len()];
+    if let Some(cr) = crash.as_ref() {
+        let mut off = 0;
+        for (flag, entry) in poison.iter_mut().zip(&entries) {
+            *flag = cr.poisons(&shots[off..off + entry.count]);
+            off += entry.count;
         }
     }
-    let primary_states = active.classify(config, &shots);
+    let injected =
+        poison.iter().any(|&p| p) || crash.as_mut().is_some_and(CrashState::batch_panic);
+
+    let started = Instant::now();
+    // The quarantine boundary: a panicking micro-batch — injected or
+    // genuine — must cost one batch's replay, never the collector.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if injected {
+            // `resume_unwind`, not `panic!`: injected crashes skip the
+            // default panic hook, so an exercised recovery path prints
+            // no backtrace. Genuine panics stay loud.
+            std::panic::resume_unwind(Box::new(ChaosCrash));
+        }
+        // Canary routing: decide per micro-batch, serve the candidate's
+        // answer, keep the primary's for the divergence report. A batch
+        // whose shots undercut the candidate's feature floors stays on
+        // the primary (a shorter-trace candidate must not panic on
+        // still-valid production traffic).
+        let mut canary_states = None;
+        if let Some(c) = canary.as_mut() {
+            if validate_shots(&shots, &c.model.min_samples).is_ok() {
+                c.acc += c.fraction;
+                if c.acc >= 1.0 {
+                    c.acc -= 1.0;
+                    canary_states = Some(c.model.classify(config, &shots));
+                }
+            }
+        }
+        let primary_states = active.classify(config, &shots);
+        (canary_states, primary_states)
+    }));
+    let (canary_states, primary_states) = match outcome {
+        Ok(classified) => classified,
+        Err(_) => {
+            counters.monitor.note_panic();
+            replay_solo(entries, &shots, &poison, active, config, counters);
+            return;
+        }
+    };
+    counters.monitor.note_clean_batch();
     // The measured service rate drives retry-after hints; canary
     // double-classification is real work the backlog waits behind, so
     // it counts.
@@ -1194,7 +1848,7 @@ fn run_batch(
             counters.canary_batches.fetch_add(1, Ordering::Relaxed);
             counters
                 .canary_requests
-                .fetch_add(replies.len() as u64, Ordering::Relaxed);
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
             counters
                 .canary_shots
                 .fetch_add(shots.len() as u64, Ordering::Relaxed);
@@ -1221,80 +1875,12 @@ fn run_batch(
         None => &primary_states,
     };
 
-    counters.shots.fetch_add(shots.len() as u64, Ordering::Relaxed);
-    counters.batches.fetch_add(1, Ordering::Relaxed);
-    counters
-        .largest_batch
-        .fetch_max(shots.len() as u64, Ordering::Relaxed);
-    counters
-        .latency_requests
-        .fetch_add(latency_requests, Ordering::Relaxed);
-    if expedited {
-        counters.expedited_batches.fetch_add(1, Ordering::Relaxed);
-    }
-
-    // Drift monitor: running per-qubit excited fractions over the
-    // states actually served (whichever model produced them).
-    counters
-        .drift_shots
-        .fetch_add(states.len() as u64, Ordering::Relaxed);
-    let mut excited = [0u64; NUM_QUBITS];
-    for row in states {
-        for qb in 0..NUM_QUBITS {
-            excited[qb] += u64::from(row[qb]);
-        }
-    }
-    for (counter, &n) in counters.drift_excited.iter().zip(&excited) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
+    note_batch(counters, states);
 
     let mut offset = 0;
-    for (reply, count, calibration, tenant, deadline) in replies {
-        // Delivery-time deadline check: the batch may have executed
-        // past a request's deadline (e.g. behind a long backlog). The
-        // states exist but are stale by contract — answering typed here
-        // is what makes "an expired request never gets states" exact.
-        if deadline.is_some_and(|d| d <= Instant::now()) {
-            counters.record_deadline_miss(tenant);
-            reply(Err(ServeError::DeadlineExceeded));
-            offset += count;
-            continue;
-        }
-        if calibration {
-            // Calibration lane: the shot buffer is still alive, so
-            // each shot's prepared states score the served states.
-            counters.calib_shots.fetch_add(count as u64, Ordering::Relaxed);
-            let mut prep_excited = [0u64; NUM_QUBITS];
-            let mut false_excited = [0u64; NUM_QUBITS];
-            let mut false_ground = [0u64; NUM_QUBITS];
-            for i in offset..offset + count {
-                let prepared = shots[i].prepared;
-                let got = states[i];
-                for qb in 0..NUM_QUBITS {
-                    if prepared[qb] {
-                        prep_excited[qb] += 1;
-                        false_ground[qb] += u64::from(!got[qb]);
-                    } else {
-                        false_excited[qb] += u64::from(got[qb]);
-                    }
-                }
-            }
-            for qb in 0..NUM_QUBITS {
-                counters.calib_prepared_excited[qb]
-                    .fetch_add(prep_excited[qb], Ordering::Relaxed);
-                counters.calib_false_excited[qb]
-                    .fetch_add(false_excited[qb], Ordering::Relaxed);
-                counters.calib_false_ground[qb]
-                    .fetch_add(false_ground[qb], Ordering::Relaxed);
-            }
-        }
-        let t = &counters.tenants[tenant];
-        t.requests.fetch_add(1, Ordering::Relaxed);
-        t.shots.fetch_add(count as u64, Ordering::Relaxed);
-        // Counted before the reply lands: a client that sees its answer
-        // must also see it in the stats.
-        counters.requests.fetch_add(1, Ordering::Relaxed);
-        reply(Ok(states[offset..offset + count].to_vec()));
+    for entry in entries {
+        let count = entry.count;
+        settle_one(entry, states, &shots, offset, counters);
         offset += count;
     }
 }
@@ -1312,20 +1898,30 @@ fn collector_loop(
     rx: &Receiver<Msg>,
     counters: &Counters,
 ) {
+    // How often a blocked collector wakes to stamp its heartbeat. Far
+    // below any sane `SuperviseConfig::heartbeat_timeout`, so a live
+    // collector is never mistaken for a stuck one.
+    const HEARTBEAT_TICK: Duration = Duration::from_millis(25);
     let mut active = Model::new(system);
     let mut canary: Option<Canary> = None;
+    let mut crash = config.crash.or_else(chaos::env_crash).map(CrashState::new);
     let mut shutting_down = false;
     loop {
         // Idle: nothing queued, so controls apply immediately and the
-        // collector costs nothing blocking on `recv`.
+        // collector costs (almost) nothing blocking on `recv_timeout` —
+        // it wakes only to stamp the heartbeat the watchdog reads.
         while sched.is_empty() {
             if shutting_down {
                 return;
             }
-            match rx.recv() {
+            counters.monitor.beat();
+            match rx.recv_timeout(HEARTBEAT_TICK) {
                 Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
-                Ok(Msg::Control(c)) => apply_control(c, &mut active, &mut canary, counters),
-                Ok(Msg::Shutdown) | Err(_) => return,
+                Ok(Msg::Control(c)) => {
+                    apply_control(intercept_kill(c), &mut active, &mut canary, counters);
+                }
+                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
             }
         }
         // Linger: admit traffic until a close condition — the shot
@@ -1347,7 +1943,7 @@ fn collector_loop(
         while pending_control.is_none() && !shutting_down {
             match rx.try_recv() {
                 Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
-                Ok(Msg::Control(c)) => pending_control = Some(c),
+                Ok(Msg::Control(c)) => pending_control = Some(intercept_kill(c)),
                 Ok(Msg::Shutdown) => shutting_down = true,
                 // Disconnected: the queued work still gets answered;
                 // the idle loop observes the hangup once drained.
@@ -1375,27 +1971,36 @@ fn collector_loop(
             // `recv_timeout` drains already-queued messages even with a
             // zero remaining budget, so an expired linger still soaks
             // up whatever arrived meanwhile — it just never *waits*.
-            let next = match close_at {
-                Some(close_at) => {
-                    let remaining = close_at.saturating_duration_since(now);
-                    rx.recv_timeout(remaining)
-                }
-                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            };
-            match next {
+            // The wait is capped at `HEARTBEAT_TICK` so a lingering
+            // collector (even one lingering forever on
+            // `Duration::MAX`) keeps stamping its heartbeat.
+            let remaining = close_at
+                .map_or(HEARTBEAT_TICK, |c| {
+                    c.saturating_duration_since(now).min(HEARTBEAT_TICK)
+                });
+            match rx.recv_timeout(remaining) {
                 Ok(Msg::Request(req)) => route(req, &mut sched, &active, counters),
                 Ok(Msg::Control(c)) => {
                     // A control arriving mid-linger closes the open
                     // batch — everything admitted before it is answered
                     // by the pre-command model — and applies after the
                     // queues drain.
-                    pending_control = Some(c);
+                    pending_control = Some(intercept_kill(c));
                 }
                 Ok(Msg::Shutdown) => {
                     // Answer everything queued, then exit.
                     shutting_down = true;
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    counters.monitor.beat();
+                    // A heartbeat wakeup is not a close condition: only
+                    // an actually-expired close deadline ends the
+                    // linger.
+                    if close_at.is_some_and(|c| Instant::now() >= c) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         // Close: fail expired requests typed, then execute — one batch
@@ -1404,13 +2009,22 @@ fn collector_loop(
         // is exact: every request admitted before the command is
         // answered by the pre-command model).
         loop {
+            counters.monitor.beat();
             for (tenant, item) in sched.take_expired(Instant::now()) {
                 counters.record_deadline_miss(tenant);
-                (item.payload.reply)(Err(ServeError::DeadlineExceeded));
+                item.payload.reply.send(Err(ServeError::DeadlineExceeded));
             }
             let entries = sched.assemble(config.max_batch_shots);
             if !entries.is_empty() {
-                run_batch(entries, &active, &mut canary, &config, counters, &mut sched);
+                run_batch(
+                    entries,
+                    &active,
+                    &mut canary,
+                    &config,
+                    counters,
+                    &mut sched,
+                    &mut crash,
+                );
             }
             if (pending_control.is_none() && !shutting_down) || sched.is_empty() {
                 break;

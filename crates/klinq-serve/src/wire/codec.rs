@@ -7,18 +7,24 @@
 //!
 //! | type | body |
 //! |------|------|
-//! | `1` request  | device `u16`, priority `u8`, *(v3+)* tenant `u32` + deadline `u64` (µs, `0` = none), shot count `u32`, shots (per shot: trace count `u16`; per trace: I count `u32`, I samples `f32`×nᵢ, Q count `u32`, Q samples `f32`×n_q) |
+//! | `1` request  | device `u16`, priority `u8`, *(v3+)* tenant `u32` + deadline `u64` (µs, `0` = none), *(v4+)* flags `u8` (bit 0 = allow failover), shot count `u32`, shots (per shot: trace count `u16`; per trace: I count `u32`, I samples `f32`×nᵢ, Q count `u32`, Q samples `f32`×n_q) |
 //! | `2` response | shot count `u32`, one `u8` five-qubit state mask per shot |
 //! | `3` error    | kind `u8` ([`ServeError`] variant), message (`u32` length + UTF-8), *(kind/version-specific extras — see below)* |
+//! | `4` health   | *(v4+, header only)* fleet health query |
+//! | `5` health report | *(v4+)* shard count `u16`; per shard: health `u8` ([`ShardHealth`] wire code), restarts `u64`, downs `u64` |
 //!
 //! Version 3 added multi-tenant QoS: requests carry a tenant id and an
 //! optional relative deadline, and two error kinds carry typed extras —
 //! `Overloaded` (kind 2, v3 frames only) is followed by a `u64`
 //! retry-after hint in µs (`0` = no hint), and `UnknownTenant` (kind 8)
-//! by the offending tenant id as a `u32`. Decoding stays
+//! by the offending tenant id as a `u32`. Version 4 added the
+//! supervision story: a request flags byte (bit 0 opts the request into
+//! health-aware failover), the fleet health query/report pair, and two
+//! error kinds (`Poisoned` = 9, `ShardDown` = 10). Decoding stays
 //! **version-tolerant**: v2 frames (no tenant/deadline fields, no
 //! `Overloaded` extra) still decode — a v2 request is simply the default
-//! tenant with no deadline — so PR-6 clients keep working unmodified.
+//! tenant with no deadline — and a v3 request simply carries no flags
+//! (no failover), so PR-6/7/8 clients keep working unmodified.
 //!
 //! The request id is what makes **pipelining** work: a client may put
 //! many requests in flight on one connection, and the server is free to
@@ -44,6 +50,7 @@
 //! into a huge allocation.
 
 use crate::server::{Priority, ServeError};
+use crate::supervise::{ShardHealth, ShardHealthReport};
 use klinq_core::ShotStates;
 use klinq_sim::device::NUM_QUBITS;
 use klinq_sim::trajectory::StateEvolution;
@@ -55,9 +62,12 @@ use std::io::{self, Read, Write};
 pub(crate) const MAGIC: u16 = 0x514B;
 /// Protocol version this build speaks. Version 2 added the per-message
 /// request id (pipelining); version 3 added tenant ids, deadlines, and
-/// error-frame extras. Frames older than [`MIN_WIRE_VERSION`] (v1 had
-/// no request id) fail with a typed [`WireError::UnsupportedVersion`].
-pub(crate) const WIRE_VERSION: u8 = 3;
+/// error-frame extras; version 4 added the request flags byte
+/// (failover opt-in), the fleet health query, and the
+/// `Poisoned`/`ShardDown` error kinds. Frames older than
+/// [`MIN_WIRE_VERSION`] (v1 had no request id) fail with a typed
+/// [`WireError::UnsupportedVersion`].
+pub(crate) const WIRE_VERSION: u8 = 4;
 /// Oldest protocol version this build still decodes. v2 request frames
 /// carry no tenant/deadline fields and decode as the default tenant
 /// with no deadline.
@@ -81,6 +91,12 @@ pub const CONNECTION_REQ_ID: u64 = 0;
 const MSG_REQUEST: u8 = 1;
 const MSG_RESPONSE: u8 = 2;
 const MSG_ERROR: u8 = 3;
+const MSG_HEALTH: u8 = 4;
+const MSG_HEALTH_REPORT: u8 = 5;
+
+/// Request flags (v4+): bit 0 opts the request into health-aware
+/// failover to a healthy peer shard when its own shard is `Down`.
+const FLAG_ALLOW_FAILOVER: u8 = 1;
 
 /// Why bytes could not be read or decoded as a protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,9 +173,26 @@ pub enum WireMessage {
         /// Relative deadline in microseconds from server receipt; `0`
         /// means no deadline. v2 frames decode as `0`.
         deadline_us: u64,
+        /// Whether the request may fail over to a healthy peer shard
+        /// when its own shard is `Down` (v4 flags bit 0; older frames
+        /// decode as `false`).
+        allow_failover: bool,
         /// The shots to classify. Decoded shots carry only traces (the
         /// wire sends no labels); `prepared`/`evolutions` are defaulted.
         shots: Vec<Shot>,
+    },
+    /// Client → server: report the fleet's per-shard health.
+    Health {
+        /// Client-chosen id (≥ 1) echoed by the matching report.
+        req_id: u64,
+    },
+    /// Server → client: one [`ShardHealthReport`] per device shard, in
+    /// device order.
+    HealthReport {
+        /// The health query this answers.
+        req_id: u64,
+        /// Per-shard health, restart and down counts.
+        shards: Vec<ShardHealthReport>,
     },
     /// Server → client: one five-qubit state row per requested shot.
     Response {
@@ -204,7 +237,7 @@ fn push_f32s(out: &mut Vec<u8>, vals: &[f32]) {
 
 /// Bytes a request for `shots` occupies on the wire (payload only).
 fn request_wire_size(shots: &[Shot]) -> usize {
-    36 + shots.len() * 2
+    37 + shots.len() * 2
         + shots.iter().map(|s| s.traces.len()).sum::<usize>() * 8
         + shots
             .iter()
@@ -222,6 +255,7 @@ fn encode_request_body(
     priority: Priority,
     tenant: u32,
     deadline_us: u64,
+    allow_failover: bool,
     shots: &[Shot],
 ) {
     header(MSG_REQUEST, req_id, out);
@@ -232,6 +266,7 @@ fn encode_request_body(
     });
     out.extend_from_slice(&tenant.to_le_bytes());
     out.extend_from_slice(&deadline_us.to_le_bytes());
+    out.push(if allow_failover { FLAG_ALLOW_FAILOVER } else { 0 });
     out.extend_from_slice(&(shots.len() as u32).to_le_bytes());
     for shot in shots {
         out.extend_from_slice(&(shot.traces.len() as u16).to_le_bytes());
@@ -248,24 +283,35 @@ fn encode_request_body(
 }
 
 /// Encodes a classification request payload for the default tenant with
-/// no deadline (see [`encode_request_opts`] for the full v3 fields).
+/// no deadline and no failover (see [`encode_request_opts`] for the
+/// full v3/v4 fields).
 pub fn encode_request(req_id: u64, device: u16, priority: Priority, shots: &[Shot]) -> Vec<u8> {
-    encode_request_opts(req_id, device, priority, 0, 0, shots)
+    encode_request_opts(req_id, device, priority, 0, 0, false, shots)
 }
 
-/// Encodes a classification request payload with the v3 QoS fields:
+/// Encodes a classification request payload with the v3 QoS fields —
 /// the tenant the request bills to and its relative deadline in
-/// microseconds (`0` = none).
+/// microseconds (`0` = none) — and the v4 failover opt-in flag.
 pub fn encode_request_opts(
     req_id: u64,
     device: u16,
     priority: Priority,
     tenant: u32,
     deadline_us: u64,
+    allow_failover: bool,
     shots: &[Shot],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(request_wire_size(shots));
-    encode_request_body(&mut out, req_id, device, priority, tenant, deadline_us, shots);
+    encode_request_body(
+        &mut out,
+        req_id,
+        device,
+        priority,
+        tenant,
+        deadline_us,
+        allow_failover,
+        shots,
+    );
     out
 }
 
@@ -282,6 +328,7 @@ pub fn encode_request_opts(
 /// (leaving `out` empty): refused before any byte is sent, because a
 /// `usize` length silently cast to `u32` would wrap for ≥ 4 GiB
 /// payloads and desync the peer.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_request_frame_into(
     out: &mut Vec<u8>,
     req_id: u64,
@@ -289,12 +336,22 @@ pub(crate) fn encode_request_frame_into(
     priority: Priority,
     tenant: u32,
     deadline_us: u64,
+    allow_failover: bool,
     shots: &[Shot],
 ) -> Result<(), usize> {
     out.clear();
     out.reserve(4 + request_wire_size(shots));
     out.extend_from_slice(&[0u8; 4]);
-    encode_request_body(out, req_id, device, priority, tenant, deadline_us, shots);
+    encode_request_body(
+        out,
+        req_id,
+        device,
+        priority,
+        tenant,
+        deadline_us,
+        allow_failover,
+        shots,
+    );
     let len = out.len() - 4;
     if len > MAX_FRAME as usize {
         out.clear();
@@ -337,6 +394,8 @@ pub fn encode_error(req_id: u64, error: &ServeError) -> Vec<u8> {
         ServeError::Draining => (6, ""),
         ServeError::DeadlineExceeded => (7, ""),
         ServeError::UnknownTenant(_) => (8, ""),
+        ServeError::Poisoned => (9, ""),
+        ServeError::ShardDown => (10, ""),
     };
     let mut out = Vec::with_capacity(29 + msg.len());
     header(MSG_ERROR, req_id, &mut out);
@@ -350,6 +409,27 @@ pub fn encode_error(req_id: u64, error: &ServeError) -> Vec<u8> {
         }
         ServeError::UnknownTenant(id) => out.extend_from_slice(&id.to_le_bytes()),
         _ => {}
+    }
+    out
+}
+
+/// Encodes a fleet health query (header-only, v4+).
+pub fn encode_health(req_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    header(MSG_HEALTH, req_id, &mut out);
+    out
+}
+
+/// Encodes a fleet health report: per shard, its health code plus
+/// lifetime restart and down counts.
+pub fn encode_health_report(req_id: u64, shards: &[ShardHealthReport]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14 + shards.len() * 17);
+    header(MSG_HEALTH_REPORT, req_id, &mut out);
+    out.extend_from_slice(&(shards.len() as u16).to_le_bytes());
+    for shard in shards {
+        out.push(shard.health.to_wire());
+        out.extend_from_slice(&shard.restarts.to_le_bytes());
+        out.extend_from_slice(&shard.downs.to_le_bytes());
     }
     out
 }
@@ -457,11 +537,23 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 }
             };
             // Version tolerance: v2 requests carry no QoS fields and
-            // mean "default tenant, no deadline".
+            // mean "default tenant, no deadline"; pre-v4 requests carry
+            // no flags and mean "no failover".
             let (tenant, deadline_us) = if version >= 3 {
                 (cur.u32()?, cur.u64()?)
             } else {
                 (0, 0)
+            };
+            let allow_failover = if version >= 4 {
+                let flags = cur.u8()?;
+                if flags & !FLAG_ALLOW_FAILOVER != 0 {
+                    return Err(WireError::Malformed(format!(
+                        "unknown request flags {flags:#04x}"
+                    )));
+                }
+                flags & FLAG_ALLOW_FAILOVER != 0
+            } else {
+                false
             };
             let n_shots = cur.u32()?;
             if n_shots > MAX_REQUEST_SHOTS {
@@ -498,6 +590,7 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 priority,
                 tenant,
                 deadline_us,
+                allow_failover,
                 shots,
             }
         }
@@ -546,11 +639,34 @@ pub fn decode_message(payload: &[u8]) -> Result<WireMessage, WireError> {
                 6 => ServeError::Draining,
                 7 => ServeError::DeadlineExceeded,
                 8 => ServeError::UnknownTenant(cur.u32()?),
+                9 => ServeError::Poisoned,
+                10 => ServeError::ShardDown,
                 other => {
                     return Err(WireError::Malformed(format!("unknown error kind {other}")))
                 }
             };
             WireMessage::Error { req_id, error }
+        }
+        MSG_HEALTH => WireMessage::Health { req_id },
+        MSG_HEALTH_REPORT => {
+            let n_shards = cur.u16()? as usize;
+            // Every declared shard needs its full 17-byte record.
+            cur.check_backing(n_shards, 17)?;
+            let mut shards = Vec::with_capacity(n_shards);
+            for _ in 0..n_shards {
+                let code = cur.u8()?;
+                let health = ShardHealth::from_wire(code).ok_or_else(|| {
+                    WireError::Malformed(format!("unknown shard health code {code}"))
+                })?;
+                let restarts = cur.u64()?;
+                let downs = cur.u64()?;
+                shards.push(ShardHealthReport {
+                    health,
+                    restarts,
+                    downs,
+                });
+            }
+            WireMessage::HealthReport { req_id, shards }
         }
         other => return Err(WireError::UnknownMessage(other)),
     };

@@ -68,6 +68,7 @@ pub use reactor::{Transport, WireConfig, WireServer};
 
 use crate::sched::RequestOptions;
 use crate::server::{Priority, ServeError};
+use crate::supervise::ShardHealthReport;
 use klinq_core::ShotStates;
 use klinq_sim::Shot;
 use std::collections::{HashMap, VecDeque};
@@ -155,6 +156,11 @@ pub struct WireClient {
     /// Completions read from the socket while waiting for a different
     /// request id, delivered by later `recv_response` calls.
     ready: VecDeque<(u64, Result<Vec<ShotStates>, ServeError>)>,
+    /// Health queries in flight (ids sent, reports not yet received).
+    pending_health: Vec<u64>,
+    /// Health reports read from the socket while waiting on something
+    /// else, delivered by the `fleet_health` call that asked.
+    health_ready: Vec<(u64, Vec<ShardHealthReport>)>,
     /// Inbound frame reassembly. Receives are buffered through this so
     /// one read syscall can drain a whole burst of pipelined responses
     /// (they are ~20 bytes each) instead of paying two syscalls per
@@ -213,6 +219,8 @@ impl WireClient {
             next_req_id: 1,
             pending: HashMap::new(),
             ready: VecDeque::new(),
+            pending_health: Vec::new(),
+            health_ready: Vec::new(),
             rx: FrameAssembler::new(),
             tx: Vec::new(),
         })
@@ -259,6 +267,9 @@ impl WireClient {
         for (req_id, _) in self.pending.drain() {
             self.ready.push_back((req_id, Err(ServeError::Disconnected)));
         }
+        // Health queries die with the stream — their waiters observe
+        // the disconnect as an outer error, not a queued result.
+        self.pending_health.clear();
     }
 
     /// Re-establishes a broken transport under the backoff policy.
@@ -429,6 +440,7 @@ impl WireClient {
             opts.priority,
             opts.tenant.0,
             Self::deadline_us(opts),
+            opts.allow_failover,
             shots,
         )
         .map_err(
@@ -494,6 +506,43 @@ impl WireClient {
         if self.pending.is_empty() {
             return Err(ServeError::Closed);
         }
+        loop {
+            match self.pump_one() {
+                // The pumped frame may have been a health report for a
+                // concurrent `fleet_health` wait — keep pumping until a
+                // request completion lands.
+                Ok(()) => {
+                    if let Some(done) = self.ready.pop_front() {
+                        return Ok(done);
+                    }
+                }
+                Err(ServeError::Disconnected) => {
+                    // The dead connection delivered every in-flight
+                    // request into the ready queue as a per-request
+                    // `Disconnected` result (`pending` was non-empty
+                    // above, so the queue cannot come up empty here).
+                    if let Some(done) = self.ready.pop_front() {
+                        return Ok(done);
+                    }
+                    return Err(ServeError::Disconnected);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly one frame from the stream and dispatches it:
+    /// request completions (responses and per-request error frames)
+    /// land in the ready queue, health reports in the health queue.
+    ///
+    /// # Errors
+    ///
+    /// The outer conditions under which nothing was dispatched:
+    /// `Timeout` (read deadline expired), `Disconnected` (transport
+    /// failed — in-flight requests were delivered into the ready queue
+    /// as per-request results first), `Protocol` (undecodable frame or
+    /// unknown id), or a connection-level error frame's own error.
+    fn pump_one(&mut self) -> Result<(), ServeError> {
         // Extract a buffered frame; read (blocking, possibly under a
         // deadline) only when the reassembly buffer has no complete
         // frame — so a burst of small responses costs one syscall, not
@@ -509,14 +558,10 @@ impl WireClient {
             }
             match self.rx.read_from(&mut self.stream, RECV_CHUNK) {
                 Ok(0) => {
-                    // EOF — clean or mid-frame — is a disconnect:
-                    // deliver the in-flight requests as `Disconnected`
-                    // results (`pending` was non-empty above, so the
-                    // ready queue cannot come up empty here).
+                    // EOF — clean or mid-frame — is a disconnect: the
+                    // in-flight requests are delivered as `Disconnected`
+                    // results through the ready queue.
                     self.fail_connection();
-                    if let Some(done) = self.ready.pop_front() {
-                        return Ok(done);
-                    }
                     return Err(ServeError::Disconnected);
                 }
                 Ok(_) => {}
@@ -539,9 +584,6 @@ impl WireClient {
                 Err(_) => {
                     // Transport failure: same treatment as EOF.
                     self.fail_connection();
-                    if let Some(done) = self.ready.pop_front() {
-                        return Ok(done);
-                    }
                     return Err(ServeError::Disconnected);
                 }
             }
@@ -563,7 +605,8 @@ impl WireClient {
                         states.len()
                     )))
                 };
-                Ok((req_id, result))
+                self.ready.push_back((req_id, result));
+                Ok(())
             }
             Ok(WireMessage::Error { req_id, error }) => {
                 if req_id == CONNECTION_REQ_ID {
@@ -579,12 +622,61 @@ impl WireClient {
                         "error frame for unknown request id {req_id}"
                     )));
                 }
-                Ok((req_id, Err(error)))
+                self.ready.push_back((req_id, Err(error)));
+                Ok(())
             }
-            Ok(WireMessage::Request { .. }) => Err(ServeError::Protocol(
-                "server sent a request message".to_string(),
-            )),
+            Ok(WireMessage::HealthReport { req_id, shards }) => {
+                let Some(at) = self.pending_health.iter().position(|&id| id == req_id) else {
+                    return Err(ServeError::Protocol(format!(
+                        "health report for unknown request id {req_id}"
+                    )));
+                };
+                self.pending_health.swap_remove(at);
+                self.health_ready.push((req_id, shards));
+                Ok(())
+            }
+            Ok(WireMessage::Request { .. } | WireMessage::Health { .. }) => Err(
+                ServeError::Protocol("server sent a client-direction message".to_string()),
+            ),
             Err(e) => Err(ServeError::Protocol(e.to_string())),
+        }
+    }
+
+    /// Queries the fleet's per-shard health — one
+    /// [`ShardHealthReport`] per device shard, in device order —
+    /// blocking until the report arrives. The server answers from its
+    /// shard monitors without a collector round trip, so health is
+    /// visible even while shards are down or the server is draining.
+    ///
+    /// Request completions arriving while this waits are kept for later
+    /// [`recv_response`](Self::recv_response) calls — a pipelining
+    /// client can interleave health polls freely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] if the transport fails (the query
+    /// is not auto-retried), [`ServeError::Timeout`] when the read
+    /// deadline expires, and [`ServeError::Protocol`] for undecodable
+    /// replies.
+    pub fn fleet_health(&mut self) -> Result<Vec<ShardHealthReport>, ServeError> {
+        self.ensure_connected()?;
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let frame = codec::frame(&codec::encode_health(req_id));
+        if self.stream.write_all(&frame).is_err() {
+            self.fail_connection();
+            self.ensure_connected()?;
+            if self.stream.write_all(&frame).is_err() {
+                self.fail_connection();
+                return Err(ServeError::Disconnected);
+            }
+        }
+        self.pending_health.push(req_id);
+        loop {
+            if let Some(at) = self.health_ready.iter().position(|(id, _)| *id == req_id) {
+                return Ok(self.health_ready.swap_remove(at).1);
+            }
+            self.pump_one()?;
         }
     }
 

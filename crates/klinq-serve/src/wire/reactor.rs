@@ -39,7 +39,8 @@ use crate::chaos::{self, Chaos};
 use crate::server::{ReadoutClient, ServeError, ServeStats};
 use crate::shard::ShardedReadoutServer;
 use crate::wire::codec::{
-    decode_message, encode_error, encode_response, WireError, WireMessage, CONNECTION_REQ_ID,
+    decode_message, encode_error, encode_health_report, encode_response, WireError, WireMessage,
+    CONNECTION_REQ_ID,
 };
 use crate::wire::conn::{Conn, ReadOutcome};
 use klinq_core::ShotStates;
@@ -573,6 +574,7 @@ impl Reactor {
                 priority,
                 tenant,
                 deadline_us,
+                allow_failover,
                 shots,
             }) => {
                 if req_id == CONNECTION_REQ_ID {
@@ -595,7 +597,8 @@ impl Reactor {
                         let completions = Arc::clone(&self.completions);
                         let mut opts = crate::sched::RequestOptions::new()
                             .priority(priority)
-                            .tenant(crate::sched::TenantId(tenant));
+                            .tenant(crate::sched::TenantId(tenant))
+                            .failover(allow_failover);
                         if deadline_us > 0 {
                             opts = opts.deadline(Duration::from_micros(deadline_us));
                         }
@@ -633,6 +636,29 @@ impl Reactor {
                             now,
                         );
                     }
+                }
+            }
+            // Health queries are answered synchronously from the shard
+            // monitors — no collector round trip — so fleet health stays
+            // visible even while shards are down or the server drains.
+            Ok(WireMessage::Health { req_id }) => {
+                if req_id == CONNECTION_REQ_ID {
+                    self.conn_protocol_error(
+                        token,
+                        format!("request id {CONNECTION_REQ_ID} is reserved"),
+                        now,
+                    );
+                    return;
+                }
+                let shards: Vec<_> = self
+                    .clients
+                    .iter()
+                    .map(ReadoutClient::health_report)
+                    .collect();
+                let payload = encode_health_report(req_id, &shards);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.queue_payload(&payload);
+                    conn.flush(now);
                 }
             }
             // A peer that sends undecodable payloads (or messages in

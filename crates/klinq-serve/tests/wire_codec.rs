@@ -59,20 +59,24 @@ proptest! {
         device in 0u32..200,
         latency in prop::bool::ANY,
         tenant in any::<u32>(),
-        deadline_us in any::<u64>()
+        deadline_us in any::<u64>(),
+        failover in prop::bool::ANY
     ) {
         let device = device as u16;
         let priority = if latency { Priority::Latency } else { Priority::Throughput };
-        let encoded = encode_request_opts(req_id, device, priority, tenant, deadline_us, &shots);
+        let encoded =
+            encode_request_opts(req_id, device, priority, tenant, deadline_us, failover, &shots);
         match decode_message(&encoded) {
             Ok(WireMessage::Request {
-                req_id: r, device: d, priority: p, tenant: t, deadline_us: dl, shots: s,
+                req_id: r, device: d, priority: p, tenant: t, deadline_us: dl,
+                allow_failover: fo, shots: s,
             }) => {
                 prop_assert_eq!(r, req_id);
                 prop_assert_eq!(d, device);
                 prop_assert_eq!(p, priority);
                 prop_assert_eq!(t, tenant);
                 prop_assert_eq!(dl, deadline_us);
+                prop_assert_eq!(fo, failover);
                 prop_assert_eq!(s, shots);
             }
             other => prop_assert!(false, "decoded {:?}", other),
@@ -193,6 +197,8 @@ fn every_error_variant_round_trips() {
         // can log *which* id the server refused.
         ServeError::UnknownTenant(0),
         ServeError::UnknownTenant(u32::MAX),
+        ServeError::Poisoned,
+        ServeError::ShardDown,
     ] {
         let encoded = encode_error(42, &error);
         match decode_message(&encoded) {
@@ -220,12 +226,15 @@ fn v2_frames_still_decode_as_the_default_tenant() {
     v2_req.push(1); // priority: latency
     v2_req.extend_from_slice(&0u32.to_le_bytes()); // zero shots
     match decode_message(&v2_req) {
-        Ok(WireMessage::Request { req_id, device, priority, tenant, deadline_us, shots }) => {
+        Ok(WireMessage::Request {
+            req_id, device, priority, tenant, deadline_us, allow_failover, shots,
+        }) => {
             assert_eq!(req_id, 9);
             assert_eq!(device, 4);
             assert_eq!(priority, Priority::Latency);
             assert_eq!(tenant, 0, "v2 requests bill to the default tenant");
             assert_eq!(deadline_us, 0, "v2 requests carry no deadline");
+            assert!(!allow_failover, "v2 requests never opt into failover");
             assert!(shots.is_empty());
         }
         other => panic!("decoded {other:?}"),

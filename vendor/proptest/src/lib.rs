@@ -7,15 +7,20 @@
 //! - [`Strategy`] with `.prop_map`, range strategies, tuple strategies,
 //!   `any::<T>()`, `prop::bool::ANY` and `prop::collection::vec`.
 //!
-//! Differences from real proptest: cases are generated from a fixed seed
-//! (fully deterministic runs) and failing cases are not shrunk — the
-//! panic message simply reports the assertion that failed.
+//! Differences from real proptest: cases are generated from a fixed
+//! seed (fully deterministic runs), and shrinking is simpler — every
+//! *integer* draw (integer range strategies and `vec` lengths) is
+//! binary-searched toward its lower bound, with each candidate actually
+//! re-executed so only genuinely failing shrinks survive; float and
+//! `any::<T>()` draws are reported as generated, unshrunk.
 //!
 //! Set `KLINQ_PROPTEST_SEED=<u64>` to vary the generated cases without
 //! editing this crate: the value perturbs every property's RNG stream
 //! (unset, streams are bit-identical to the historical fixed seed).
 //! On a property failure the harness prints the active seed and, when
-//! the override was set, the exact variable assignment to reproduce it.
+//! the override was set, the exact variable assignment to reproduce it —
+//! shrinking never changes the replay handle, because candidates replay
+//! from a snapshot of the failing case's RNG state, not from a new seed.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +67,74 @@ impl Default for ProptestConfig {
 
 /// The RNG handed to strategies (deterministic; see module docs).
 pub type TestRng = StdRng;
+
+pub(crate) mod shrink {
+    //! The shrink observer: a thread-local tap on every integer draw.
+    //!
+    //! Integer strategies report each generated value through
+    //! [`observe`] together with the draw's bounds. During a normal
+    //! case the observer just records the sequence; during a shrink
+    //! replay it substitutes candidate values (clamped to the draw's
+    //! own bounds, so a misaligned override can never produce an
+    //! out-of-range value) while still letting the caller consume the
+    //! RNG normally — record and replay therefore see identical
+    //! downstream streams.
+
+    use std::cell::RefCell;
+
+    /// One observed integer draw: lower bound and the value actually
+    /// used (post-substitution). `i128` covers every integer type the
+    /// range strategies implement, `u64`/`usize` included.
+    pub(crate) type Draw = (i128, i128);
+
+    struct State {
+        overrides: Vec<Option<i128>>,
+        index: usize,
+        seen: Vec<Draw>,
+    }
+
+    thread_local! {
+        static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
+    }
+
+    /// Arms the observer for one case execution. `overrides[i]`, when
+    /// set and in-bounds for draw `i`, replaces that draw's value.
+    pub(crate) fn begin(overrides: Vec<Option<i128>>) {
+        STATE.with(|s| {
+            *s.borrow_mut() = Some(State {
+                overrides,
+                index: 0,
+                seen: Vec::new(),
+            });
+        });
+    }
+
+    /// Disarms the observer and returns the draws the case actually
+    /// used, in draw order.
+    pub(crate) fn end() -> Vec<Draw> {
+        STATE.with(|s| s.borrow_mut().take().map_or_else(Vec::new, |st| st.seen))
+    }
+
+    /// Reports one integer draw: `generated` was sampled from
+    /// `lo..=hi`. Returns the value the strategy must hand out — the
+    /// generated one, or the active override for this draw position.
+    pub(crate) fn observe(lo: i128, hi: i128, generated: i128) -> i128 {
+        STATE.with(|s| {
+            let mut borrow = s.borrow_mut();
+            let Some(st) = borrow.as_mut() else {
+                // Strategy used outside `run_property` — no recording.
+                return generated;
+            };
+            let v = match st.overrides.get(st.index).copied().flatten() {
+                Some(o) if (lo..=hi).contains(&o) => o,
+                _ => generated,
+            };
+            st.seen.push((lo, v));
+            st.index += 1;
+            v
+        })
+    }
+}
 
 /// Creates the deterministic per-test RNG.
 pub fn test_rng(test_name: &str) -> TestRng {
@@ -111,7 +184,7 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -128,7 +201,31 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+// Integer draws report through the shrink observer (always *after*
+// sampling, so record and replay consume the RNG identically).
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let v = rng.gen_range(self.clone());
+                shrink::observe(self.start as i128, self.end as i128 - 1, v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let v = rng.gen_range(self.clone());
+                shrink::observe(*self.start() as i128, *self.end() as i128, v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident : $idx:tt),+);)*) => {$(
@@ -271,8 +368,16 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            // The length is an integer draw like any other: shrinking a
+            // failing case tries shorter vectors first.
             let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            let len = crate::shrink::observe(
+                self.size.lo as i128,
+                self.size.hi_inclusive as i128,
+                len as i128,
+            ) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -313,10 +418,18 @@ pub mod prelude {
     }
 }
 
+/// Ceiling on shrink-candidate re-executions per failing property. A
+/// full binary search costs at most 127 replays per draw, so this
+/// bounds shrinking of pathological many-draw cases without ever
+/// cutting short a typical one.
+const MAX_SHRINK_REPLAYS: u32 = 512;
+
 /// Runs `cases` generated inputs through a property closure.
 ///
 /// The closure returns `false` to signal a rejected case (`prop_assume!`);
 /// assertion failures panic directly with context from the macros below.
+/// A failing case is shrunk (binary search over the recorded integer
+/// draws) before the panic is re-raised.
 pub fn run_property<F: FnMut(&mut TestRng) -> bool>(cfg: ProptestConfig, name: &str, mut case: F) {
     let mut rng = test_rng(name);
     let mut accepted = 0u32;
@@ -325,9 +438,14 @@ pub fn run_property<F: FnMut(&mut TestRng) -> bool>(cfg: ProptestConfig, name: &
     while accepted < cfg.cases {
         // A failing case panics inside the closure; catch it just long
         // enough to report the active seed (the repro handle — without
-        // it a failure under a varied seed cannot be replayed), then
-        // let the panic continue to fail the test normally.
+        // it a failure under a varied seed cannot be replayed) and to
+        // shrink it, then let a panic continue to fail the test
+        // normally. The RNG snapshot lets shrink candidates replay this
+        // exact case.
+        let case_start = rng.clone();
+        shrink::begin(Vec::new());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        let draws = shrink::end();
         match outcome {
             Ok(true) => accepted += 1,
             Ok(false) => {
@@ -349,9 +467,101 @@ pub fn run_property<F: FnMut(&mut TestRng) -> bool>(cfg: ProptestConfig, name: &
                          fixed seed (KLINQ_PROPTEST_SEED unset); rerunning reproduces it"
                     ),
                 }
-                std::panic::resume_unwind(panic);
+                shrink_failure(name, &mut case, &case_start, draws, panic);
             }
         }
+    }
+}
+
+/// Replays one case from `start` with the given draw overrides; returns
+/// whether it failed (panicked) and the draws it actually used.
+///
+/// A case rejected by `prop_assume!` counts as *not failing*: nothing
+/// can be concluded from it, so the search backs away.
+fn replay_case<F: FnMut(&mut TestRng) -> bool>(
+    case: &mut F,
+    start: &TestRng,
+    overrides: Vec<Option<i128>>,
+) -> (bool, Vec<shrink::Draw>) {
+    let mut rng = start.clone();
+    shrink::begin(overrides);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+    let seen = shrink::end();
+    (outcome.is_err(), seen)
+}
+
+/// Shrinks a failing case and re-raises its panic. Never returns.
+///
+/// Each recorded integer draw is binary-searched toward its lower
+/// bound, **with every candidate actually re-executed** from the same
+/// RNG snapshot — a shrink is only kept when the smaller case still
+/// fails, so the reported minimum is a genuine failure, never an
+/// extrapolation. Substituting one draw can change how many draws the
+/// case makes (a shorter vec generates fewer elements); the search
+/// always adopts the draw sequence the failing candidate *actually*
+/// used, so the reported values match the final failing execution even
+/// through such shifts.
+fn shrink_failure<F: FnMut(&mut TestRng) -> bool>(
+    name: &str,
+    case: &mut F,
+    start: &TestRng,
+    original: Vec<shrink::Draw>,
+    panic: Box<dyn std::any::Any + Send>,
+) -> ! {
+    if original.is_empty() {
+        // No integer draws to shrink (float-only property).
+        std::panic::resume_unwind(panic);
+    }
+    let mut current = original.clone();
+    let mut replays = 0u32;
+    let mut position = 0usize;
+    while position < current.len() && replays < MAX_SHRINK_REPLAYS {
+        let (lo, failing) = current[position];
+        let mut low = lo;
+        let mut high = failing;
+        while low < high && replays < MAX_SHRINK_REPLAYS {
+            let mid = low + (high - low) / 2;
+            let mut overrides: Vec<Option<i128>> =
+                current.iter().map(|&(_, v)| Some(v)).collect();
+            overrides[position] = Some(mid);
+            replays += 1;
+            let (failed, seen) = replay_case(case, start, overrides);
+            if failed {
+                current = seen;
+                high = mid;
+                if position >= current.len() {
+                    break;
+                }
+            } else {
+                low = mid + 1;
+            }
+        }
+        position += 1;
+    }
+    if current == original {
+        eprintln!(
+            "property `{name}`: failing case is already minimal over its integer draws {:?}",
+            current.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+        );
+    } else {
+        eprintln!(
+            "property `{name}`: shrunk integer draws {:?} -> {:?} ({replays} replays)",
+            original.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            current.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+        );
+    }
+    // Fail the test with the *minimal* case's own panic, so the
+    // assertion message on screen matches the draws reported above. A
+    // shrunk case going flaky on the confirmation run falls back to the
+    // original panic rather than passing a failing property.
+    let overrides = current.iter().map(|&(_, v)| Some(v)).collect();
+    let mut rng = start.clone();
+    shrink::begin(overrides);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+    shrink::end();
+    match outcome {
+        Err(minimal_panic) => std::panic::resume_unwind(minimal_panic),
+        Ok(_) => std::panic::resume_unwind(panic),
     }
 }
 
@@ -463,6 +673,81 @@ mod tests {
             let as_int = u8::from(b);
             prop_assert!(as_int <= 1);
         }
+    }
+
+    /// Drives `run_property` against a deliberately failing property
+    /// and returns the inputs of the confirmation run — the minimal
+    /// failing case the shrinker settled on (it is always the last
+    /// execution before the panic is re-raised).
+    fn shrunk_failure_inputs<T: Clone + 'static>(
+        name: &str,
+        mut case: impl FnMut(&mut crate::TestRng) -> T,
+        fails: impl Fn(&T) -> bool,
+    ) -> T {
+        let last = std::cell::RefCell::new(None);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_property(ProptestConfig::with_cases(64), name, |rng| {
+                let value = case(rng);
+                *last.borrow_mut() = Some(value.clone());
+                assert!(!fails(&value), "injected property failure");
+                true
+            });
+        }));
+        assert!(outcome.is_err(), "the property was built to fail");
+        last.into_inner().expect("the failing property ran at least once")
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        // Fails for every x >= 137: the binary search must land exactly
+        // on the smallest failing value, not merely a smaller one.
+        let minimal =
+            shrunk_failure_inputs("shrink_int", |rng| (137u64..100_000).generate(rng), |_| true);
+        assert_eq!(minimal, 137);
+        let minimal = shrunk_failure_inputs(
+            "shrink_int_threshold",
+            |rng| (0i32..100_000).generate(rng),
+            |&x| x >= 1234,
+        );
+        assert_eq!(minimal, 1234);
+    }
+
+    #[test]
+    fn vec_length_failures_shrink_to_the_shortest_failing_vec() {
+        // Fails whenever the vec holds >= 5 elements; the shrinker must
+        // shorten the length draw to exactly 5 (re-executing each
+        // candidate, since a shorter vec consumes fewer element draws).
+        let minimal = shrunk_failure_inputs(
+            "shrink_vec_len",
+            |rng| prop::collection::vec(0u32..10, 0..40).generate(rng),
+            |v| v.len() >= 5,
+        );
+        assert_eq!(minimal.len(), 5);
+    }
+
+    #[test]
+    fn joint_failures_shrink_each_draw_against_the_others() {
+        // Fails when a + b >= 100. Shrinking a alone stops where the
+        // case stops failing, then b shrinks against the updated a: the
+        // result must sit exactly on the failure boundary.
+        let (a, b) = shrunk_failure_inputs(
+            "shrink_joint",
+            |rng| (0u32..1000, 0u32..1000).generate(rng),
+            |&(a, b)| a + b >= 100,
+        );
+        assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn passing_properties_never_invoke_the_shrinker() {
+        // The observer must be transparent for green properties: this
+        // exercises the record path (every case arms/disarms it) and
+        // would hang or panic if `end()` mismatched `begin()`.
+        crate::run_property(ProptestConfig::with_cases(32), "no_shrink_needed", |rng| {
+            let v = prop::collection::vec(0u8..255, 1..8).generate(rng);
+            assert!(!v.is_empty());
+            true
+        });
     }
 
     #[test]
