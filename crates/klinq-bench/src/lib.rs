@@ -12,6 +12,8 @@
 //!   student vs teacher vs bit-accurate FPGA datapath, feature-pipeline
 //!   throughput, and fixed-point kernel costs.
 
+#![forbid(unsafe_code)]
+
 use klinq_core::experiments::ExperimentConfig;
 
 pub mod hist;

@@ -82,7 +82,7 @@ mod tests {
             let mf = MfThreshold::train(&train, qb).unwrap();
             assert_eq!(mf.qubit(), qb);
             let f = mf.fidelity_at(&test, test.samples());
-            assert!(f > 0.6, "qubit {}: {f}", qb + 1);
+            assert!(f > crate::stat_floors::MF_SMOKE_FIDELITY, "qubit {}: {f}", qb + 1);
         }
     }
 
@@ -94,7 +94,7 @@ mod tests {
         let mf = MfThreshold::train(&train, 0).unwrap();
         let full = mf.fidelity_at(&train, 500);
         let half = mf.fidelity_at(&train, 250);
-        assert!(full > 0.9, "{full}");
-        assert!(half > 0.75, "{half}");
+        assert!(full > crate::stat_floors::MF_FULL_SHOT_FIDELITY, "{full}");
+        assert!(half > crate::stat_floors::MF_HALF_SHOT_FIDELITY, "{half}");
     }
 }

@@ -194,7 +194,7 @@ mod tests {
             })
             .count();
         let fidelity = correct as f64 / labels.len() as f64;
-        assert!(fidelity > 0.72, "student fidelity {fidelity}");
+        assert!(fidelity > crate::stat_floors::STUDENT_DISTILL_FIDELITY, "student fidelity {fidelity}");
     }
 
     #[test]
@@ -209,6 +209,6 @@ mod tests {
             ..TrainConfig::default()
         };
         let s = train_student_supervised(0, StudentArch::FnnA, &train_data, &cfg, 9).unwrap();
-        assert!(s.report.final_train_accuracy > 0.72);
+        assert!(s.report.final_train_accuracy > crate::stat_floors::STUDENT_SUPERVISED_ACCURACY);
     }
 }

@@ -297,8 +297,8 @@ mod tests {
         let teacher = Teacher::train(&TeacherConfig::smoke(), &train, 0).unwrap();
         assert_eq!(teacher.qubit(), 0);
         let f = teacher.fidelity(&test);
-        assert!(f > 0.72, "teacher fidelity {f}");
-        assert!(teacher.report().final_train_accuracy > 0.80);
+        assert!(f > crate::stat_floors::TEACHER_SMOKE_FIDELITY, "teacher fidelity {f}");
+        assert!(teacher.report().final_train_accuracy > crate::stat_floors::TEACHER_TRAIN_ACCURACY);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! All functions operate on plain `f32`/`f64` slices so the crate stays
 //! independent of the simulator and network crates.
 
+#![forbid(unsafe_code)]
+
 pub mod averaging;
 pub mod feature;
 pub mod matched_filter;

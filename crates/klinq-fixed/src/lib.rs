@@ -28,6 +28,8 @@
 //! assert_eq!(big.saturating_add(Q16_16::ONE), Q16_16::MAX);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod q16;
 pub mod shift;
 pub mod vector;

@@ -31,6 +31,8 @@
 //! assert_eq!(a, b); // the paper's "coincidentally equal" 32 ns totals
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod axi;
 pub mod engine;
 pub mod latency;

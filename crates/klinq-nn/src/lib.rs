@@ -42,6 +42,8 @@
 //! # Ok::<(), klinq_nn::train::DatasetError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod layer;
 pub mod loss;
 pub mod matrix;

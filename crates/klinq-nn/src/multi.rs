@@ -277,8 +277,10 @@ mod tests {
         };
         let report = train_supervised_multi(&mut net, &data, &cfg);
         let acc = evaluate_multi_accuracy(&net, &data);
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(acc[0] > 0.95, "output 0: {acc:?}");
         assert!(acc[1] > 0.95, "output 1: {acc:?}");
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(report.final_train_accuracy > 0.95);
         assert!(report.final_loss() < report.epoch_losses[0]);
     }

@@ -394,6 +394,7 @@ mod tests {
             ..TrainConfig::default()
         };
         let report = train_supervised(&mut net, &data, &cfg);
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(report.final_train_accuracy > 0.98, "{report:?}");
         assert!(report.final_loss() < report.epoch_losses[0]);
     }
@@ -410,6 +411,7 @@ mod tests {
             ..TrainConfig::default()
         };
         let report = train_supervised(&mut net, &data, &cfg);
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(report.final_train_accuracy > 0.95, "{report:?}");
     }
 
@@ -460,6 +462,7 @@ mod tests {
             DistillParams::default(),
             &cfg,
         );
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(report.final_train_accuracy > 0.95, "{report:?}");
     }
 
@@ -511,6 +514,7 @@ mod tests {
         assert!(norm(&decayed) < norm(&plain));
         // Biases are untouched by decay in expectation: the decayed model
         // still learns the task.
+        // klinq-lint: allow(stat-floor-locality) klinq-nn sits upstream of klinq-core and cannot import its stat_floors; NN-local training floor
         assert!(evaluate_accuracy(&decayed, &data) > 0.9);
     }
 

@@ -76,6 +76,8 @@
 //! # Ok::<(), klinq_core::KlinqError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod sched;
 mod server;

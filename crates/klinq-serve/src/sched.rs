@@ -444,6 +444,7 @@ impl<T> Scheduler<T> {
             // Rotate through the queue once, keeping live requests in
             // order and extracting expired ones.
             for _ in 0..t.queue.len() {
+                // klinq-lint: allow(no-panic-serve) the loop is bounded by queue.len(), so pop_front cannot fail
                 let item = t.queue.pop_front().expect("length-bounded loop");
                 if item.deadline.is_some_and(|d| d <= now) {
                     t.queued_shots -= item.cost;
@@ -474,6 +475,7 @@ impl<T> Scheduler<T> {
         if self.latency_queued > 0 {
             for ti in 0..self.tenants.len() {
                 while self.tenant_has_latency(ti) {
+                    // klinq-lint: allow(no-panic-serve) tenant_has_latency just confirmed a queued latency request
                     let item = self.pop_front(ti).expect("latency request is queued");
                     shots += item.cost;
                     out.push((ti, item));

@@ -199,6 +199,7 @@ impl ShardedReadoutServer {
     pub fn shard_health(&self) -> Vec<ShardHealthReport> {
         self.shards
             .iter()
+            // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
             .map(|slot| slot.lock().unwrap().monitor().report())
             .collect()
     }
@@ -266,6 +267,7 @@ impl ShardedReadoutServer {
         fraction: f64,
     ) -> Result<(), ServeError> {
         self.shard(device).stage_canary(Arc::clone(&system), fraction)?;
+        // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
         *self.staged[device].lock().unwrap() = Some(system);
         Ok(())
     }
@@ -284,6 +286,7 @@ impl ShardedReadoutServer {
     /// Same contract as [`ReadoutServer::promote_canary`].
     pub fn promote_canary(&self, device: usize) -> Result<u64, ServeError> {
         let version = self.shard(device).promote_canary()?;
+        // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
         if let Some(system) = self.staged[device].lock().unwrap().take() {
             self.sources[device].retain_swapped(system);
         }
@@ -302,6 +305,7 @@ impl ShardedReadoutServer {
     /// Same contract as [`ReadoutServer::abort_canary`].
     pub fn abort_canary(&self, device: usize) -> Result<bool, ServeError> {
         let aborted = self.shard(device).abort_canary()?;
+        // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
         *self.staged[device].lock().unwrap() = None;
         Ok(aborted)
     }
@@ -321,6 +325,7 @@ impl ShardedReadoutServer {
             "device {device} out of range: this fleet serves {} devices",
             self.shards.len()
         );
+        // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
         self.shards[device].lock().unwrap()
     }
 
@@ -328,6 +333,7 @@ impl ShardedReadoutServer {
     pub fn shard_stats(&self) -> Vec<ServeStats> {
         self.shards
             .iter()
+            // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
             .map(|slot| slot.lock().unwrap().stats())
             .collect()
     }
@@ -349,6 +355,7 @@ impl ShardedReadoutServer {
     pub fn tenant_stats(&self) -> Vec<crate::sched::TenantStats> {
         let mut merged: Vec<crate::sched::TenantStats> = Vec::new();
         for slot in self.shards.iter() {
+            // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
             let stats = slot.lock().unwrap().tenant_stats();
             if merged.is_empty() {
                 merged = stats;
@@ -377,9 +384,11 @@ impl ShardedReadoutServer {
         // The joined watchdog was the only other owner of the shard
         // vector, so unwrapping the `Arc` cannot fail.
         let shards = Arc::try_unwrap(shards)
+            // klinq-lint: allow(no-panic-serve) the joined watchdog released the only other shard-vector handle
             .expect("the stopped watchdog released the only other shard-vector handle");
         shards
             .into_iter()
+            // klinq-lint: allow(no-panic-serve) lock poisoning requires a prior panic, which this same rule forbids on the serve path
             .map(|slot| slot.into_inner().unwrap().shutdown())
             .fold(ServeStats::default(), |acc, s| acc.merge(&s))
     }

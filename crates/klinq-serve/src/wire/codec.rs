@@ -480,16 +480,26 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads exactly `N` bytes as a fixed-size array. `take` has already
+    /// bounds-checked, so the conversion cannot fail in practice; the
+    /// `map_err` keeps the decode path free of panicking conversions
+    /// (no-panic-serve) instead of asserting the invariant.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| WireError::Malformed(format!("internal: take({N}) length invariant")))
+    }
+
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>, WireError> {
@@ -500,7 +510,7 @@ impl<'a> Cursor<'a> {
         ))?)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect())
     }
 }
@@ -894,7 +904,12 @@ impl FrameAssembler {
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        let Ok(len_bytes) = <[u8; 4]>::try_from(&avail[..4]) else {
+            // `avail.len() >= 4` was checked above; keep the reassembly
+            // path typed rather than panicking on the invariant.
+            return Err(WireError::Malformed("internal: frame-length slice".into()));
+        };
+        let len = u32::from_le_bytes(len_bytes);
         if len > MAX_FRAME {
             return Err(WireError::FrameTooLarge(len));
         }

@@ -314,6 +314,7 @@ impl Reactor {
             };
             {
                 let Driver::Epoll(ep) = &self.driver else {
+                    // klinq-lint: allow(no-panic-serve) run_epoll is only entered after resolve() selected the epoll driver
                     unreachable!("run_epoll requires the epoll driver")
                 };
                 if ep.wait(&mut events, timeout).is_err() {
@@ -921,6 +922,7 @@ impl WireServer {
                 )
             }
             #[cfg(not(target_os = "linux"))]
+            // klinq-lint: allow(no-panic-serve) resolve() rejects epoll off-Linux before construction reaches this arm
             Transport::Epoll => unreachable!("resolve() rejects epoll off-Linux"),
             _ => (
                 Driver::PollLoop,

@@ -33,6 +33,8 @@
 //! assert_eq!(q.len(), 500);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod config;
 pub mod dataset;

@@ -34,6 +34,8 @@
 //! println!("five-qubit geometric-mean fidelity: {:.3}", report.geometric_mean());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use klinq_core as core;
 pub use klinq_dsp as dsp;
 pub use klinq_fixed as fixed;

@@ -4,6 +4,7 @@ use klinq::core::baselines::{
     quantize_network, HerqulesConfig, HerqulesDiscriminator, MfThreshold,
 };
 use klinq::core::teacher::{Teacher, TeacherConfig};
+use klinq::core::stat_floors as floors;
 use klinq::sim::{FiveQubitDevice, ReadoutDataset, SimConfig};
 
 fn datasets() -> &'static (ReadoutDataset, ReadoutDataset) {
@@ -27,16 +28,16 @@ fn all_baselines_discriminate_the_easy_qubit() {
 
     let mf = MfThreshold::train(train, qb).expect("mf trains");
     let mf_f = mf.fidelity_at(test, samples);
-    assert!(mf_f > 0.78, "matched filter {mf_f}");
+    assert!(mf_f > floors::SMOKE_E2E_MF_FIDELITY, "matched filter {mf_f}");
 
     let hq = HerqulesDiscriminator::train(&HerqulesConfig::default(), train, qb)
         .expect("herqules trains");
     let hq_f = hq.fidelity_at(test, samples);
-    assert!(hq_f > 0.68, "herqules {hq_f}");
+    assert!(hq_f > floors::SMOKE_E2E_HERQULES_FIDELITY, "herqules {hq_f}");
 
     let teacher = Teacher::train(&TeacherConfig::smoke(), train, qb).expect("teacher trains");
     let t_f = teacher.fidelity(test);
-    assert!(t_f > 0.70, "teacher {t_f}");
+    assert!(t_f > floors::SMOKE_E2E_TEACHER_FIDELITY, "teacher {t_f}");
 }
 
 #[test]

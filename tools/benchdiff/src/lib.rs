@@ -10,6 +10,8 @@
 //! silent cross-container diff would produce false regressions (or,
 //! worse, false passes).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// Default failure threshold: fail on >25% throughput regression.

@@ -7,6 +7,7 @@
 //! annotations under Actions) without affecting the exit code.
 
 use benchdiff::{diff, parse_entries, Verdict, DEFAULT_PREFIX, DEFAULT_THRESHOLD, WARN_PREFIX};
+use ghannot::Annotation;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -50,7 +51,7 @@ fn main() -> ExitCode {
     if !WARN_PREFIX.starts_with(&prefix) {
         for v in diff(&baseline, &fresh, WARN_PREFIX, threshold) {
             if v.is_regression() {
-                println!("::warning title=serving perf drifted (warn-only)::{v}");
+                println!("{}", Annotation::warning("serving perf drifted (warn-only)", v.to_string()));
             } else {
                 println!("benchdiff: (warn-only) {v}");
             }
@@ -78,10 +79,16 @@ fn main() -> ExitCode {
         // guard doesn't pass for a working one; committing a baseline
         // recorded on this runner's pool size makes the guard real.
         println!(
-            "::warning title=benchdiff compared nothing::all {} guarded `{prefix}*` entries \
-             were skipped (pool-size mismatch or missing figures) — the perf guard is \
-             vacuous until a baseline recorded at this runner's worker_threads is committed",
-            verdicts.len()
+            "{}",
+            Annotation::warning(
+                "benchdiff compared nothing",
+                format!(
+                    "all {} guarded `{prefix}*` entries were skipped (pool-size mismatch or \
+                     missing figures) — the perf guard is vacuous until a baseline recorded \
+                     at this runner's worker_threads is committed",
+                    verdicts.len()
+                ),
+            )
         );
     }
     ExitCode::SUCCESS

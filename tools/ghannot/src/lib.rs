@@ -1,0 +1,179 @@
+//! GitHub Actions workflow-command ("annotation") formatting, shared by
+//! the `tools/` crates.
+//!
+//! Both `benchdiff` (perf drift warnings) and `klinq-lint` (invariant
+//! violations) surface findings in CI as GitHub annotations. The
+//! `::warning ...::` / `::error ...::` command grammar is easy to get
+//! subtly wrong — property values need `%`/`\r`/`\n`/`,`/`:` escaping or
+//! a crafted message truncates (or forges) the annotation — so the
+//! format strings live here once instead of being duplicated per tool.
+//!
+//! An [`Annotation`] is plain data with a [`Display`](fmt::Display)
+//! impl; callers `println!("{}", ...)` it themselves, which keeps this
+//! crate trivially testable (no I/O, no env sniffing).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Annotation severity. GitHub renders `Error` annotations red and
+/// `Warning` yellow; neither affects the job's exit status by itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// `::notice`
+    Notice,
+    /// `::warning`
+    Warning,
+    /// `::error`
+    Error,
+}
+
+impl Level {
+    fn command(self) -> &'static str {
+        match self {
+            Level::Notice => "notice",
+            Level::Warning => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One GitHub annotation: `::<level> title=...,file=...,line=...::<message>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Severity of the annotation.
+    pub level: Level,
+    /// Short title shown in bold in the annotation list.
+    pub title: String,
+    /// The message body.
+    pub message: String,
+    /// Repo-relative path the annotation attaches to, if any.
+    pub file: Option<String>,
+    /// 1-based line within `file`, if any.
+    pub line: Option<u32>,
+}
+
+impl Annotation {
+    /// A floating warning (no file/line attachment).
+    pub fn warning(title: impl Into<String>, message: impl Into<String>) -> Self {
+        Annotation {
+            level: Level::Warning,
+            title: title.into(),
+            message: message.into(),
+            file: None,
+            line: None,
+        }
+    }
+
+    /// A floating error (no file/line attachment).
+    pub fn error(title: impl Into<String>, message: impl Into<String>) -> Self {
+        Annotation {
+            level: Level::Error,
+            title: title.into(),
+            message: message.into(),
+            file: None,
+            line: None,
+        }
+    }
+
+    /// Attaches the annotation to `file:line`, so GitHub renders it
+    /// inline in the PR diff.
+    #[must_use]
+    pub fn at(mut self, file: impl Into<String>, line: u32) -> Self {
+        self.file = Some(file.into());
+        self.line = Some(line);
+        self
+    }
+}
+
+/// Escapes a workflow-command *message* (the part after `::`): only
+/// `%`, `\r` and `\n` are special there.
+fn escape_data(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\r' => out.push_str("%0D"),
+            '\n' => out.push_str("%0A"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a workflow-command *property value* (`title=`, `file=`, ...):
+/// the message escapes plus the property delimiters `,` and `:`.
+fn escape_property(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\r' => out.push_str("%0D"),
+            '\n' => out.push_str("%0A"),
+            ',' => out.push_str("%2C"),
+            ':' => out.push_str("%3A"),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut line = String::with_capacity(self.message.len() + self.title.len() + 32);
+        line.push_str("::");
+        line.push_str(self.level.command());
+        line.push_str(" title=");
+        escape_property(&self.title, &mut line);
+        if let Some(file) = &self.file {
+            line.push_str(",file=");
+            escape_property(file, &mut line);
+        }
+        if let Some(n) = self.line {
+            line.push_str(",line=");
+            line.push_str(&n.to_string());
+        }
+        line.push_str("::");
+        escape_data(&self.message, &mut line);
+        f.write_str(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floating_warning_matches_the_benchdiff_shape() {
+        let a = Annotation::warning("serving perf drifted (warn-only)", "wire_c256 drifted -3.1 pct");
+        assert_eq!(
+            a.to_string(),
+            "::warning title=serving perf drifted (warn-only)::wire_c256 drifted -3.1 pct"
+        );
+    }
+
+    #[test]
+    fn file_attached_error_carries_file_and_line() {
+        let a = Annotation::error("klinq-lint no-panic-serve", "`unwrap()` in serve path")
+            .at("crates/klinq-serve/src/server.rs", 42);
+        assert_eq!(
+            a.to_string(),
+            "::error title=klinq-lint no-panic-serve,file=crates/klinq-serve/src/server.rs,\
+             line=42::`unwrap()` in serve path"
+        );
+    }
+
+    #[test]
+    fn message_newlines_and_percents_escape() {
+        let a = Annotation::warning("t", "50% broke\nacross lines");
+        assert_eq!(a.to_string(), "::warning title=t::50%25 broke%0Aacross lines");
+    }
+
+    #[test]
+    fn property_commas_and_colons_escape() {
+        let a = Annotation {
+            level: Level::Notice,
+            title: "a,b:c".into(),
+            message: "m".into(),
+            file: Some("weird,name.rs".into()),
+            line: Some(7),
+        };
+        assert_eq!(a.to_string(), "::notice title=a%2Cb%3Ac,file=weird%2Cname.rs,line=7::m");
+    }
+}

@@ -1,0 +1,22 @@
+// lint-fixture: path=crates/klinq-serve/src/fx_annotation.rs
+// lint-expect: annotation@11
+// lint-expect: no-panic-serve@12
+// lint-expect: annotation@15
+// lint-expect: no-panic-serve@16
+// lint-expect: annotation@20
+// lint-expect: no-panic-serve@21
+//! Malformed `klinq-lint:` annotations are themselves findings, and do
+//! not suppress the violation they sit on.
+
+// klinq-lint: allow(no-panic-serve)
+fn empty_reason(v: Option<u32>) -> u32 { v.unwrap() }
+
+fn unknown_rule(v: Option<u32>) -> u32 {
+    // klinq-lint: allow(no-such-rule) a reason that excuses nothing
+    v.unwrap()
+}
+
+fn bad_grammar(v: Option<u32>) -> u32 {
+    // klinq-lint: deny(no-panic-serve) wrong verb
+    v.unwrap()
+}

@@ -1,0 +1,9 @@
+// lint-fixture: path=crates/klinq-fixed/src/lib.rs
+// lint-expect: unsafe-confinement@1
+//! The crates that legitimately hold `unsafe` must carry
+//! `#![deny(unsafe_op_in_unsafe_fn)]`; `forbid(unsafe_code)` does not
+//! satisfy that policy (it would not even compile there).
+
+#![forbid(unsafe_code)]
+
+pub fn wrong_attribute_for_an_unsafe_root() {}

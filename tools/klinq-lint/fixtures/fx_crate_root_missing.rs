@@ -1,0 +1,6 @@
+// lint-fixture: path=crates/klinq-dsp/src/lib.rs
+// lint-expect: unsafe-confinement@1
+//! A first-party crate root without `#![forbid(unsafe_code)]` fires at
+//! line 1.
+
+pub fn no_hygiene_attribute_here() {}

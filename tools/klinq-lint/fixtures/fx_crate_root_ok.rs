@@ -1,0 +1,6 @@
+// lint-fixture: path=crates/klinq-bench/src/lib.rs
+//! A first-party crate root carrying the attribute is clean.
+
+#![forbid(unsafe_code)]
+
+pub fn hygienic() {}

@@ -1,0 +1,31 @@
+// lint-fixture: path=crates/klinq-fixed/src/fx_determinism.rs
+//! Firing and suppressed cases for `determinism`.
+
+fn firing() {
+    let _started = Instant::now(); //~ determinism
+    let _wall = SystemTime::now(); //~ determinism
+    let _rng = thread_rng(); //~ determinism
+    let _seeded = SmallRng::from_entropy(); //~ determinism
+    let _coin: bool = rand::random(); //~ determinism
+}
+
+fn explicit_seed_is_fine(seed: u64) {
+    let _rng = SmallRng::seed_from_u64(seed);
+}
+
+fn a_field_named_random_is_fine(cfg: &Config) {
+    let _ = cfg.random;
+}
+
+fn suppressed_by_annotation() {
+    // klinq-lint: allow(determinism) fixture: coarse health timestamp, not on the decode path
+    let _ = Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

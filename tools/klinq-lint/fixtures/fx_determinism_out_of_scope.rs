@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/klinq-serve/src/health.rs
+//! Wall-clock reads outside the deterministic modules are fine — the
+//! server legitimately timestamps health reports.
+
+fn scrape() {
+    let _now = Instant::now();
+}

@@ -1,0 +1,28 @@
+// lint-fixture: path=src/fx_lossy_cast.rs
+//! Firing and suppressed cases for `lossy-cast` (the benchdiff
+//! PoolSize bug class: a JSON number parsed as f64 then truncated).
+
+fn firing(v: &Value) -> u64 {
+    v.as_f64().unwrap_or(0.0) as u64 //~ lossy-cast
+}
+
+fn firing_through_question_mark(v: &Value) -> Option<u32> {
+    Some(v.as_f64()? as u32) //~ lossy-cast
+}
+
+fn firing_f32(sample: &Sample) -> i16 {
+    sample.as_f32().clamp(-1.0, 1.0) as i16 //~ lossy-cast
+}
+
+fn float_result_is_fine(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+fn integer_parse_is_the_fix(v: &Value) -> u64 {
+    v.as_u64().unwrap_or(0)
+}
+
+fn suppressed_by_annotation(v: &Value) -> u64 {
+    // klinq-lint: allow(lossy-cast) fixture: value is validated to be a small integer upstream
+    v.as_f64().unwrap_or(0.0) as u64
+}

@@ -1,0 +1,39 @@
+// lint-fixture: path=crates/klinq-serve/src/fx_no_panic.rs
+//! Firing and suppressed cases for `no-panic-serve`.
+
+fn firing(v: Option<u32>, r: Result<u32, ()>, xs: &[u32]) -> u32 {
+    let a = v.unwrap(); //~ no-panic-serve
+    let b = r.expect("present"); //~ no-panic-serve
+    if a == 0 {
+        panic!("boom"); //~ no-panic-serve
+    }
+    assert!(xs[0] > 0, "first element"); //~ no-panic-serve
+    match b {
+        0 => todo!(), //~ no-panic-serve
+        1 => unreachable!("one is filtered upstream"), //~ no-panic-serve
+        _ => a + b,
+    }
+}
+
+fn suppressed_by_annotation(v: Option<u32>) -> u32 {
+    // klinq-lint: allow(no-panic-serve) fixture: deliberate liveness invariant
+    v.unwrap()
+}
+
+fn plain_assert_without_indexing_is_fine(n: u32) {
+    assert!(n > 0, "n must be positive");
+}
+
+fn panic_in_a_string_or_comment_is_fine() -> &'static str {
+    // this comment says unwrap() and panic!() and nothing fires
+    "unwrap() and panic!() in a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/klinq-core/src/fx_no_panic_out_of_scope.rs
+//! The same panicky code outside `crates/klinq-serve/src/` is out of
+//! scope for `no-panic-serve` — training code may assert its invariants.
+
+fn unscoped(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,33 @@
+// lint-fixture: path=crates/klinq-core/src/fx_stat_floor.rs
+//! Firing and suppressed cases for `stat-floor-locality`.
+
+mod stat_floors {
+    /// Inside the `stat_floors` module is the sanctioned home.
+    pub const SMOKE_FIDELITY: f64 = 0.9;
+}
+
+fn firing(fidelity: f64) {
+    assert!(fidelity > 0.85, "held-out fidelity {fidelity}"); //~ stat-floor-locality
+}
+
+fn firing_const() {
+    const LOCAL_ACCURACY_FLOOR: f64 = 0.72; //~ stat-floor-locality
+    let _ = LOCAL_ACCURACY_FLOOR;
+}
+
+fn tolerance_band_is_not_a_floor(fidelity: f64, target: f64) {
+    assert!((fidelity - target).abs() < 0.25, "band, not a floor");
+}
+
+fn tiny_epsilon_is_not_a_floor(fidelity: f64, predicted: f64) {
+    assert!(fidelity - predicted < 1e-6);
+}
+
+fn unrelated_float_is_fine(weight: f64) {
+    assert!(weight > 0.85, "no fidelity/accuracy ident near this one");
+}
+
+fn suppressed_by_annotation(fidelity: f64) {
+    // klinq-lint: allow(stat-floor-locality) fixture: upstream crate cannot import stat_floors
+    assert!(fidelity > 0.85);
+}

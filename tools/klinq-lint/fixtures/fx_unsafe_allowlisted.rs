@@ -1,0 +1,19 @@
+// lint-fixture: path=vendor/epoll/src/fx_unsafe_allowlisted.rs
+//! Inside the allowlist, `unsafe` needs a `// SAFETY:` comment block
+//! directly above it; with one it is suppressed.
+
+fn missing_safety(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-confinement
+}
+
+fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+fn documented_multiline(p: *const u8) -> u8 {
+    // The justification may span a contiguous comment block, as long
+    // as the block ends directly above the unsafe.
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

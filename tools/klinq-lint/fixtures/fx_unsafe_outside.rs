@@ -1,0 +1,7 @@
+// lint-fixture: path=crates/klinq-nn/src/fx_unsafe_outside.rs
+//! `unsafe` outside the allowlist fires even when documented.
+
+fn outside_allowlist(p: *const u8) -> u8 {
+    // SAFETY: a SAFETY comment does not rescue non-allowlisted unsafe.
+    unsafe { *p } //~ unsafe-confinement
+}

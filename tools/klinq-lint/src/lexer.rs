@@ -1,0 +1,510 @@
+//! A small Rust lexer that is exactly comment/string/char-literal aware.
+//!
+//! The rule engine needs to know which bytes of a source file are *code*
+//! and which are comments or literal text — `// a comment mentioning
+//! unwrap()` or `"a string containing panic!"` must never fire a rule —
+//! plus the comments themselves (for `// SAFETY:` and `// klinq-lint:
+//! allow(...)` parsing). Full parsing (`syn`) is out: the workspace
+//! builds with no registry access, so this lexer hand-rolls the token
+//! classes that matter and nothing more:
+//!
+//! - line (`//`) and block (`/* */`, nested) comments, recorded with
+//!   their line spans so annotation rules can attach them to code;
+//! - string (`"..."`), raw string (`r"..."`, `r#"..."#`, any hash
+//!   count), byte-string (`b"..."`, `br#"..."#`) and char/byte-char
+//!   (`'x'`, `b'\n'`) literals, including escapes;
+//! - lifetimes (`'a`) disambiguated from char literals;
+//! - raw identifiers (`r#fn`);
+//! - numbers, classified int vs float (suffixes, `_` separators,
+//!   exponents, hex/octal/binary prefixes);
+//! - identifiers and single-character punctuation.
+//!
+//! The lexer is total: any byte sequence (after lossy UTF-8 conversion)
+//! lexes to *some* token stream without panicking — property-tested in
+//! `tests/lexer_props.rs` against arbitrary byte soup. Malformed input
+//! (unterminated strings/comments) degrades to a best-effort token
+//! rather than an error; the linter lints code that `rustc` already
+//! accepted, so error recovery only needs to be non-crashing.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime (`'a`), including the quote in its text.
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and suffixed forms).
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal of any flavour (content not retained).
+    Str,
+    /// Char or byte-char literal (content not retained).
+    Char,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for `Ident`/`Int`/`Float`/`Punct` tokens (raw
+    /// identifiers drop their `r#` prefix so `r#fn` compares as `fn`);
+    /// empty for string/char literals, whose content never matters to a
+    /// rule.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, with its line span (block comments may span lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (== `line` for line comments).
+    pub end_line: u32,
+}
+
+/// A lexed source file: code tokens plus the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2; // `//`
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment {
+            text: text.trim_start_matches(['/', '!']).trim().to_string(),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.pos += 2; // `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    let end = self.pos;
+                    self.pos += 2;
+                    if depth == 0 {
+                        let text: String = self.chars[start..end].iter().collect();
+                        self.out.comments.push(Comment {
+                            text: text.trim_start_matches(['*', '!']).trim().to_string(),
+                            line,
+                            end_line: self.line,
+                        });
+                        return;
+                    }
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment {
+            text: text.trim_start_matches(['*', '!']).trim().to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Consumes a `"..."` body starting *after* the opening quote.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting *after* the opening quote,
+    /// terminated by `"` followed by `hashes` `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.pos += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tries to lex a string-ish literal at an `r`/`b` prefix. Returns
+    /// true when it consumed one.
+    fn try_prefixed_literal(&mut self) -> bool {
+        let line = self.line;
+        let c0 = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        // Offsets past the `b`/`r`/`br` prefix under trial.
+        let (raw_at, after_prefix) = match (c0, self.peek(1)) {
+            ('b', Some('r')) => (1, 2),
+            ('b', Some('"')) => {
+                self.pos += 2;
+                self.string_body();
+                self.push(TokKind::Str, String::new(), line);
+                return true;
+            }
+            ('b', Some('\'')) => {
+                self.pos += 1; // the char-literal path handles the rest
+                self.char_literal();
+                return true;
+            }
+            ('r', _) => (0, 1),
+            _ => return false,
+        };
+        // From `after_prefix`, a raw string is `#*` then `"`. Anything
+        // else (e.g. a raw identifier `r#fn`, or a plain ident starting
+        // with r/b) is not ours.
+        let mut hashes = 0usize;
+        while self.peek(after_prefix + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(after_prefix + hashes) != Some('"') {
+            // `r#ident` raw identifier: consume `r#` and let the ident
+            // path lex the rest, so `r#fn` compares as `fn`.
+            if raw_at == 0 && hashes == 1 {
+                if let Some(c) = self.peek(2) {
+                    if c == '_' || c.is_alphabetic() {
+                        self.pos += 2;
+                        self.ident();
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        self.pos += after_prefix + hashes + 1;
+        self.raw_string_body(hashes);
+        self.push(TokKind::Str, String::new(), line);
+        let _ = raw_at;
+        true
+    }
+
+    /// Lexes at a `'`: lifetime or char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        // Lifetime: `'` ident-start, and the char after the ident run is
+        // not another `'` (which would make it a char literal like 'a').
+        if let Some(c1) = self.peek(1) {
+            if c1 == '_' || c1.is_alphabetic() {
+                let mut k = 2;
+                while let Some(c) = self.peek(k) {
+                    if c == '_' || c.is_alphanumeric() {
+                        k += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(k) != Some('\'') {
+                    let text: String = self.chars[self.pos..self.pos + k].iter().collect();
+                    self.pos += k;
+                    self.push(TokKind::Lifetime, text, line);
+                    return;
+                }
+            }
+        }
+        self.char_literal();
+    }
+
+    /// Consumes a char/byte-char literal starting at the `'`.
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        // Scan to the closing quote, honouring escapes; give up at a
+        // newline or EOF (malformed input — emit what we have).
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                '\n' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let hexish = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('o') | Some('b'));
+        let consume_run = |lx: &mut Self| {
+            while let Some(c) = lx.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    lx.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            // Exponent sign: `1e-5` — the run stops at `-`; absorb the
+            // sign and continue when an `e`/`E` precedes it (non-hex).
+            if !hexish
+                && matches!(lx.chars.get(lx.pos.wrapping_sub(1)), Some('e') | Some('E'))
+                && matches!(lx.peek(0), Some('+') | Some('-'))
+                && lx.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                lx.pos += 1;
+                while let Some(c) = lx.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        lx.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        };
+        consume_run(self);
+        // Fractional part: `.` followed by a digit (so `1..2` ranges and
+        // `1.max()` method calls stay untouched).
+        if !hexish
+            && self.peek(0) == Some('.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            consume_run(self);
+        } else if !hexish
+            && self.peek(0) == Some('.')
+            && !self.peek(1).is_some_and(|c| c == '.' || c == '_' || c.is_alphabetic())
+        {
+            // Trailing-dot float `1.` (not `1..` / `1.f()`).
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let is_float = !hexish
+            && (text.contains('.')
+                || text.ends_with("f32")
+                || text.ends_with("f64")
+                || text
+                    .trim_end_matches(|c: char| c.is_ascii_digit() || c == '_' || c == '+' || c == '-')
+                    .ends_with(['e', 'E']));
+        self.push(if is_float { TokKind::Float } else { TokKind::Int }, text, line);
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let line = self.line;
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, String::new(), line);
+                }
+                '\'' => self.quote(),
+                'r' | 'b' => {
+                    if !self.try_prefixed_literal() {
+                        self.ident();
+                    }
+                }
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into tokens and comments. Total: never panics, for any
+/// input.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_content_from_tokens() {
+        let lx = lex("let x = \"unwrap()\"; // panic! here\n/* also unwrap() */ y");
+        assert!(lx.tokens.iter().all(|t| !t.text.contains("unwrap") && !t.text.contains("panic")));
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].text, "panic! here");
+        assert_eq!(lx.comments[1].text, "also unwrap()");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_strings() {
+        let toks = kinds(r####"a r"x" r#""quoted""# br##"deep "# end"## b"bytes" z"####);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "z"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_compare_unprefixed() {
+        let toks = kinds("r#fn r#type plain");
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["fn", "type", "plain"]);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        for (src, kind) in [
+            ("42", TokKind::Int),
+            ("1_000u64", TokKind::Int),
+            ("0x1e5", TokKind::Int),
+            ("0b1010", TokKind::Int),
+            ("1.0", TokKind::Float),
+            ("0.72", TokKind::Float),
+            ("1e-5", TokKind::Float),
+            ("2.5e3", TokKind::Float),
+            ("1f64", TokKind::Float),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src} lexed as {toks:?}");
+            assert_eq!(toks[0].0, kind, "{src}");
+        }
+        // Ranges and method calls on ints keep the dot out of the number.
+        let toks = kinds("1..2");
+        assert_eq!(toks[0], (TokKind::Int, "1".to_string()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lx = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(lx.tokens.len(), 1);
+        assert_eq!(lx.tokens[0].text, "code");
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'\\", "b'", "'", "r#"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_including_in_literals() {
+        let lx = lex("a\n\"str\nover\nlines\"\nb");
+        let a = &lx.tokens[0];
+        let b = &lx.tokens[2];
+        assert_eq!(a.line, 1);
+        assert_eq!(lx.tokens[1].line, 2);
+        assert_eq!(b.line, 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! CLI: `klinq-lint [--root DIR] [--json] [--github] [--baseline PATH]
+//! [--write-baseline PATH]`.
+//!
+//! Lints the workspace's first-party Rust sources against the invariant
+//! rules (see the library docs / README "Static analysis"). Exits 0
+//! when every finding is baselined or absent, 1 on any active
+//! violation, 2 on usage/I-O errors.
+//!
+//! - `--json` prints the machine-readable report to stdout (human lines
+//!   go to stderr instead so stdout stays pure JSON).
+//! - `--github` additionally emits one GitHub `::error` annotation per
+//!   active finding (shared format via `tools/ghannot`), which Actions
+//!   renders inline in the PR diff.
+//! - `--baseline` points at a baseline file (default:
+//!   `<root>/tools/klinq-lint/baseline.json` when present); baselined
+//!   findings are counted but do not fail the run.
+//! - `--write-baseline` snapshots the current findings as a new
+//!   baseline and exits 0 — the escape hatch for landing the gate
+//!   before a cleanup lands.
+
+#![forbid(unsafe_code)]
+
+use ghannot::Annotation;
+use klinq_lint::{findings_to_json, lint_workspace, BaselineFile};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut github = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--github" => github = true,
+            "--root" => match iter.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match iter.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--write-baseline" => match iter.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage("--write-baseline needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("klinq-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = write_baseline {
+        let rendered = BaselineFile::render(&findings);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("klinq-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("klinq-lint: wrote {} finding(s) to {}", findings.len(), path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let default_baseline = root.join("tools/klinq-lint/baseline.json");
+    let baseline_path = baseline_path.or_else(|| default_baseline.is_file().then_some(default_baseline));
+    let baseline = match baseline_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("klinq-lint: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match BaselineFile::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("klinq-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => BaselineFile::default(),
+    };
+    let (active, baselined) = baseline.apply(findings);
+
+    // Human-readable findings: stdout normally, stderr under --json so
+    // stdout stays machine-parseable.
+    let human = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for f in &active {
+        human(f.to_string());
+        if github {
+            let ann = Annotation::error(format!("klinq-lint {}", f.rule), f.message.clone())
+                .at(f.file.clone(), f.line);
+            // Workflow commands are scanned from the whole job log, so
+            // stderr is fine and keeps stdout pure under --json.
+            eprintln!("{ann}");
+        }
+    }
+    human(format!(
+        "klinq-lint: {} active violation(s), {} baselined",
+        active.len(),
+        baselined
+    ));
+    if json {
+        println!("{}", findings_to_json(&active, baselined));
+    }
+    if active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("klinq-lint: {err}");
+    eprintln!(
+        "usage: klinq-lint [--root DIR] [--json] [--github] [--baseline PATH] [--write-baseline PATH]"
+    );
+    ExitCode::from(2)
+}

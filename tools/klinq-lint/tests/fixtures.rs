@@ -1,0 +1,90 @@
+//! Corpus-driven rule tests. Each file under `fixtures/` declares the
+//! workspace path it pretends to live at on its first line
+//! (`// lint-fixture: path=...`) and the findings it must produce:
+//!
+//! - a trailing `//~ <rule>` marker expects a finding of that rule on
+//!   its own line;
+//! - a `// lint-expect: <rule>@<line>` header expects a finding at an
+//!   explicit line — needed when the finding lands on line 1 (crate-root
+//!   checks) or on an annotation line whose text the marker would alter.
+//!
+//! The assertion is an exact set equality, so a fixture documents both
+//! what fires and what stays quiet.
+
+use klinq_lint::lint_source;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+type Expected = BTreeSet<(String, u32)>;
+
+fn expected(src: &str) -> Expected {
+    let mut out = Expected::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        if let Some(rest) = line.split("//~").nth(1) {
+            for rule in rest.split_whitespace() {
+                out.insert((rule.to_string(), lineno));
+            }
+        }
+        if let Some(rest) = line.trim().strip_prefix("// lint-expect:") {
+            let (rule, at) = rest.trim().split_once('@').expect("lint-expect: <rule>@<line>");
+            out.insert((
+                rule.trim().to_string(),
+                at.trim().parse().expect("lint-expect line number"),
+            ));
+        }
+    }
+    out
+}
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+#[test]
+fn every_fixture_matches_its_expectations() {
+    let mut checked = 0usize;
+    let mut rules_seen: BTreeSet<String> = BTreeSet::new();
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let first = src.lines().next().unwrap_or("");
+        let vpath = first
+            .split("path=")
+            .nth(1)
+            .unwrap_or_else(|| panic!("{}: missing `// lint-fixture: path=...`", path.display()))
+            .trim()
+            .to_string();
+        let got: Expected = lint_source(&vpath, &src)
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect();
+        let want = expected(&src);
+        assert_eq!(got, want, "fixture {} (as {vpath})", path.display());
+        rules_seen.extend(want.into_iter().map(|(r, _)| r));
+        checked += 1;
+    }
+    assert!(checked >= 10, "expected a corpus, found {checked} fixtures");
+    // Every rule (and the annotation meta-rule) has at least one firing
+    // fixture; the suppressed halves are asserted by the exact-set match.
+    for rule in klinq_lint::RULES.iter().chain([&klinq_lint::ANNOTATION_RULE]) {
+        assert!(rules_seen.contains(*rule), "no fixture fires `{rule}`");
+    }
+}
+
+#[test]
+fn findings_have_stable_display_and_order() {
+    let src = std::fs::read_to_string(fixtures_dir().join("fx_no_panic.rs")).expect("fixture");
+    let findings = lint_source("crates/klinq-serve/src/fx_no_panic.rs", &src);
+    let mut sorted = findings.clone();
+    sorted.sort();
+    assert_eq!(findings, sorted, "lint_source returns sorted findings");
+    let first = findings.first().expect("fixture fires");
+    assert_eq!(
+        first.to_string(),
+        format!("{}:{}: [{}] {}", first.file, first.line, first.rule, first.message)
+    );
+}

@@ -1,0 +1,46 @@
+//! Totality properties: the lexer and the whole lint pipeline must
+//! never panic, whatever bytes they are fed — the linter runs on every
+//! tree state CI ever sees, including mid-refactor syntax errors.
+
+use klinq_lint::lexer::lex;
+use klinq_lint::lint_source;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lex(&src);
+        let lines = src.split('\n').count() as u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= lines, "token line {} of {lines}", t.line);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1 && c.end_line >= c.line);
+        }
+    }
+
+    #[test]
+    fn lint_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        // Exercise every path-scoped rule: the serve path, an
+        // unsafe-allowlisted file, a deterministic module, and a crate
+        // root with an attribute requirement.
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lint_source("crates/klinq-serve/src/fuzz.rs", &src);
+        let _ = lint_source("vendor/epoll/src/fuzz.rs", &src);
+        let _ = lint_source("crates/klinq-fixed/src/lib.rs", &src);
+        let _ = lint_source("src/lib.rs", &src);
+    }
+
+    #[test]
+    fn lexing_twice_is_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+        }
+    }
+}

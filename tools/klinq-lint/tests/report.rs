@@ -1,0 +1,55 @@
+//! Golden test for the `--json` report shape, plus a baseline
+//! round-trip: `render` → `parse` → `apply` must neutralise exactly the
+//! findings it was rendered from.
+//!
+//! Regenerate the golden with
+//! `UPDATE_GOLDEN=1 cargo test -p klinq-lint --test report`.
+
+use klinq_lint::{findings_to_json, lint_source, BaselineFile};
+use std::path::PathBuf;
+
+fn lossy_cast_findings() -> Vec<klinq_lint::Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/fx_lossy_cast.rs");
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    lint_source("src/fx_lossy_cast.rs", &src)
+}
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    let findings = lossy_cast_findings();
+    assert!(!findings.is_empty(), "fixture fires");
+
+    // Baseline away the first finding to exercise the whole pipeline.
+    let baseline_json = BaselineFile::render(&findings[..1]);
+    let baseline = BaselineFile::parse(&baseline_json).expect("rendered baseline parses");
+    let (active, baselined) = baseline.apply(findings);
+    assert_eq!(baselined, 1, "render/parse/apply round-trips one entry");
+
+    let got = findings_to_json(&active, baselined);
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{got}\n")).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("golden file (UPDATE_GOLDEN=1 to create)");
+    assert_eq!(got.trim_end(), want.trim_end(), "JSON report drifted from tests/golden/report.json");
+}
+
+#[test]
+fn an_unrelated_baseline_neutralises_nothing() {
+    let findings = lossy_cast_findings();
+    let baseline = BaselineFile::parse(
+        r#"{"version":1,"entries":[{"rule":"lossy-cast","file":"somewhere/else.rs","message":"x"}]}"#,
+    )
+    .expect("valid baseline");
+    let n = findings.len();
+    let (active, baselined) = baseline.apply(findings);
+    assert_eq!((active.len(), baselined), (n, 0));
+}
+
+#[test]
+fn malformed_baselines_are_rejected() {
+    assert!(BaselineFile::parse("not json").is_err());
+    assert!(BaselineFile::parse(r#"{"version":1}"#).is_err());
+    assert!(BaselineFile::parse(r#"{"version":1,"entries":[{"rule":"x"}]}"#).is_err());
+}

@@ -1,0 +1,26 @@
+//! The self-test that makes `cargo test` alone enforce the gate: the
+//! checked-in tree must be lint-clean (modulo the committed baseline,
+//! when one exists), exactly as the CI `lint-invariants` job asserts.
+
+use klinq_lint::{lint_workspace, BaselineFile};
+use std::path::PathBuf;
+
+#[test]
+fn the_checked_in_tree_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace walk");
+    let baseline_path = root.join("tools/klinq-lint/baseline.json");
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path).expect("baseline readable");
+        BaselineFile::parse(&text).expect("baseline parses")
+    } else {
+        BaselineFile::default()
+    };
+    let (active, _baselined) = baseline.apply(findings);
+    assert!(
+        active.is_empty(),
+        "the tree has {} active lint violation(s):\n{}",
+        active.len(),
+        active.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

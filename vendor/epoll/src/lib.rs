@@ -13,6 +13,8 @@
 //! `cfg`, so the workspace still builds and tests where epoll does not
 //! exist.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 /// Whether this target has the epoll API at all.
 #[cfg(target_os = "linux")]
 pub const SUPPORTED: bool = true;
